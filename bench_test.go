@@ -1,0 +1,180 @@
+// Top-level benchmark harness: one testing.B target per table and figure of
+// the paper's evaluation (§7). Each benchmark runs its suite once per
+// iteration and reports wall-clock via the standard benchmark machinery;
+// the same table text can be produced with cmd/benchtab.
+//
+// The full suites are long-running; use e.g.
+//
+//	go test -bench BenchmarkTable4 -benchtime 1x
+//
+// to regenerate a single table's data.
+package repro_test
+
+import (
+	"io"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// benchTimeout bounds each (task, method) run; override with
+// VS3_BENCH_TIMEOUT (e.g. "150s") for fuller tables at the cost of wall
+// clock. EXPERIMENTS.md records runs at the longer setting.
+func benchTimeout() time.Duration {
+	if s := os.Getenv("VS3_BENCH_TIMEOUT"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			return d
+		}
+	}
+	return 45 * time.Second
+}
+
+func newRunner() (*bench.Runner, *stats.Collector) {
+	c := stats.New()
+	return &bench.Runner{Timeout: benchTimeout(), Stats: c}, c
+}
+
+// populate runs a small representative suite (the running example, one
+// array benchmark, one list benchmark, all three algorithms each) so the
+// statistics collector has data for the figure benchmarks.
+func populate(r *bench.Runner) {
+	for _, task := range []bench.Task{
+		{Name: "Array Init", Build: bench.ArrayInit},
+		bench.ArrayListTasks()[1], // Partition Array
+		bench.ArrayListTasks()[3], // List Delete
+	} {
+		r.Run(task)
+	}
+}
+
+// BenchmarkTable1Preservation regenerates Table 1: the ∀∃ preservation
+// assertions, proved on the two flagship instances (quick sort partition and
+// merge). The full preservation sweep is in BenchmarkTable6Sorting.
+func BenchmarkTable1Preservation(b *testing.B) {
+	r, _ := newRunner()
+	tasks := bench.PreservationTasks()
+	for i := 0; i < b.N; i++ {
+		for _, t := range []bench.Task{tasks[4], tasks[5]} { // quick, merge
+			t.Methods = []core.Method{core.LFP}
+			for _, m := range r.Run(t) {
+				if m.Err == nil && !m.Proved {
+					b.Logf("%s/%s not proved", m.Task, m.Method)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2WorstCase regenerates Table 2: worst-case upper-bound
+// preconditions via GFP.
+func BenchmarkTable2WorstCase(b *testing.B) {
+	r, _ := newRunner()
+	for i := 0; i < b.N; i++ {
+		bench.Table2(io.Discard, r)
+	}
+}
+
+// BenchmarkTable3Functional regenerates Table 3 (and Table 5's timings):
+// functional-correctness preconditions via GFP.
+func BenchmarkTable3Functional(b *testing.B) {
+	r, _ := newRunner()
+	for i := 0; i < b.N; i++ {
+		bench.Table3And5(io.Discard, r)
+	}
+}
+
+// BenchmarkTable5PrecondTimes is an alias suite for Table 5 (the same runs
+// as Table 3 report the timings).
+func BenchmarkTable5PrecondTimes(b *testing.B) {
+	BenchmarkTable3Functional(b)
+}
+
+// BenchmarkTable4Lists regenerates Table 4: the data-sensitive array/list
+// programs under all three algorithms.
+func BenchmarkTable4Lists(b *testing.B) {
+	r, _ := newRunner()
+	for i := 0; i < b.N; i++ {
+		bench.Table4(io.Discard, r)
+	}
+}
+
+// BenchmarkTable6Sorting regenerates Table 6: the sorting suite (sortedness,
+// preservation, worst-case bounds). This is the longest-running target.
+func BenchmarkTable6Sorting(b *testing.B) {
+	r, _ := newRunner()
+	for i := 0; i < b.N; i++ {
+		bench.Table6(io.Discard, r)
+	}
+}
+
+// BenchmarkFigure4QueryTimes regenerates Figure 4: the SMT query latency
+// histogram, collected over a representative suite (Table 4).
+func BenchmarkFigure4QueryTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, c := newRunner()
+		populate(r)
+		bench.Figure4(io.Discard, c)
+	}
+}
+
+// BenchmarkFigure5Robustness regenerates Figure 5: slowdown under irrelevant
+// predicates on the quicksort partition base task.
+func BenchmarkFigure5Robustness(b *testing.B) {
+	r, _ := newRunner()
+	for i := 0; i < b.N; i++ {
+		bench.Figure5(io.Discard, r, bench.SortednessTasks()[4], []int{10, 20, 30})
+	}
+}
+
+// BenchmarkFigure6NegSolutionSizes regenerates Figure 6 from a Table 4 run.
+func BenchmarkFigure6NegSolutionSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, c := newRunner()
+		populate(r)
+		bench.Figure6(io.Discard, c)
+	}
+}
+
+// BenchmarkFigure7OptSolutionCounts regenerates Figure 7 from a Table 4 run.
+func BenchmarkFigure7OptSolutionCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, c := newRunner()
+		populate(r)
+		bench.Figure7(io.Discard, c)
+	}
+}
+
+// BenchmarkFigure8Candidates regenerates Figure 8 from a Table 4 run.
+func BenchmarkFigure8Candidates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, c := newRunner()
+		populate(r)
+		bench.Figure8(io.Discard, c)
+	}
+}
+
+// BenchmarkFigure9SATSize regenerates Figure 9 from a Table 4 run (the CFP
+// column builds the ψ_Prog SAT instances).
+func BenchmarkFigure9SATSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, c := newRunner()
+		populate(r)
+		bench.Figure9(io.Discard, c)
+	}
+}
+
+// BenchmarkVerifyArrayInit measures one end-to-end verification of the
+// paper's running example under GFP with a cold solver per iteration.
+func BenchmarkVerifyArrayInit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := core.New(core.Config{})
+		out, err := v.Verify(bench.ArrayInit(), core.GFP)
+		if err != nil || !out.Proved {
+			b.Fatalf("verify: %v proved=%v", err, out.Proved)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: verify the paper's running example (ArrayInit, Example 2)
+// with all three fixed-point algorithms.
+//
+// The program initializes A[0..n) to zero; the template says "some range of
+// cells is zero" with the range guard left as an unknown over the predicate
+// vocabulary Q_{j,{0,i,n}}; the tool discovers the guard 0 ≤ j < i.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/predabs"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+func main() {
+	prog := lang.MustParse(`
+		program ArrayInit(array A, n) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall j. (0 <= j && j < n) => A[j] = 0);
+		}`)
+
+	// Template at the loop header: ∀j: ?v ⇒ A[j] = 0, with the unknown v
+	// ranging over conjunctions of Q_{j,{0,i,n}}.
+	problem := &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"loop": lang.MustParseFormula("forall j. ?v => A[j] = 0"),
+		},
+		Q: template.Domain{
+			"v": predabs.QjV("j", []string{"0", "i", "n"}),
+		},
+	}
+
+	v := core.New(core.Config{})
+	for _, m := range core.Methods {
+		out, err := v.Verify(problem, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(core.FormatOutcome(out))
+	}
+}

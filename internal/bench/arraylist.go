@@ -1,0 +1,196 @@
+// Table 4 benchmarks: data-sensitive array and list programs.
+
+package bench
+
+import (
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/predabs"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+// ConsumerProducer verifies that only values produced are consumed [17]:
+// after the loop, every consumed cell equals the produced cell.
+func ConsumerProducer() *spec.Problem {
+	prog := lang.MustParse(`
+		program ConsumerProducer(array P, array C, n) {
+			p := 0;
+			c := 0;
+			while loop (c < n) {
+				if (*) {
+					P[p] := p + 5;
+					p := p + 1;
+				} else {
+					assume(c < p);
+					C[c] := P[c];
+					c := c + 1;
+				}
+			}
+			assert(forall k. (0 <= k && k < n) => C[k] = P[k]);
+		}`)
+	tmpl := logic.Conj(
+		unk("v0"),
+		forallImp([]string{"k"}, unk("v1"), logic.EqF(sel("C", "k"), sel("P", "k"))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q: template.Domain{
+			"v0": predabs.AllPreds(predabs.Vars("c", "p", "n"), []int64{0}, []logic.RelOp{logic.Le, logic.Ge}),
+			"v1": predabs.QjV("k", []string{"0", "c", "p", "n"}),
+		},
+	}
+}
+
+// PartitionArray verifies that the output arrays partition the input by
+// sign [2, 17].
+func PartitionArray() *spec.Problem {
+	prog := lang.MustParse(`
+		program PartitionArray(array A, array B, array C, n) {
+			i := 0;
+			b := 0;
+			c := 0;
+			while loop (i < n) {
+				if (A[i] >= 0) {
+					B[b] := A[i];
+					b := b + 1;
+				} else {
+					C[c] := A[i];
+					c := c + 1;
+				}
+				i := i + 1;
+			}
+			assert(forall k. (0 <= k && k < b) => B[k] >= 0);
+			assert(forall k. (0 <= k && k < c) => C[k] < 0);
+		}`)
+	tmpl := logic.Conj(
+		forallImp([]string{"k"}, unk("v1"), logic.GeF(sel("B", "k"), logic.I(0))),
+		forallImp([]string{"k"}, unk("v2"), logic.LtF(sel("C", "k"), logic.I(0))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q: template.Domain{
+			"v1": predabs.QjV("k", []string{"0", "b", "i", "n"}),
+			"v2": predabs.QjV("k", []string{"0", "c", "i", "n"}),
+		},
+	}
+}
+
+// ListInit verifies that traversing a singly linked list (encoded as a next
+// array N laid out in traversal order, see DESIGN.md) initializes every
+// node [12].
+func ListInit() *spec.Problem {
+	prog := lang.MustParse(`
+		program ListInit(array V, array N, n) {
+			assume(forall k. (0 <= k && k < n) => N[k] = k + 1);
+			x := 0;
+			while loop (x < n) {
+				V[x] := 0;
+				x := N[x];
+			}
+			assert(forall k. (0 <= k && k < n) => V[k] = 0);
+		}`)
+	tmpl := logic.Conj(
+		unk("v0"),
+		forallImp([]string{"k"}, unk("v1"),
+			logic.EqF(sel("N", "k"), logic.Plus(v("k"), logic.I(1)))),
+		forallImp([]string{"k"}, unk("v2"), logic.EqF(sel("V", "k"), logic.I(0))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q: template.Domain{
+			"v0": predabs.AllPreds(predabs.Vars("x", "n"), []int64{0}, []logic.RelOp{logic.Le, logic.Ge}),
+			"v1": predabs.QjV("k", []string{"0", "x", "n"}),
+			"v2": predabs.QjV("k", []string{"0", "x", "n"}),
+		},
+	}
+}
+
+// ListInsert verifies that inserting an initialized node preserves list
+// initialization across a traversal [12].
+func ListInsert() *spec.Problem {
+	prog := lang.MustParse(`
+		program ListInsert(array V, n) {
+			assume(forall k. (0 <= k && k < n) => V[k] = 0);
+			x := 0;
+			while loop (x < n) {
+				if (*) {
+					x := n;
+				} else {
+					x := x + 1;
+				}
+			}
+			V[n] := 0;
+			n := n + 1;
+			assert(forall k. (0 <= k && k < n) => V[k] = 0);
+		}`)
+	tmpl := logic.Conj(
+		forallImp([]string{"k"}, unk("v1"), logic.EqF(sel("V", "k"), logic.I(0))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q: template.Domain{
+			"v1": predabs.QjV("k", []string{"0", "x", "n"}),
+		},
+	}
+}
+
+// ListDelete verifies that deleting the tail node preserves initialization
+// of the remaining list [12].
+func ListDelete() *spec.Problem {
+	prog := lang.MustParse(`
+		program ListDelete(array V, n) {
+			assume(n >= 1);
+			assume(forall k. (0 <= k && k < n) => V[k] = 0);
+			n := n - 1;
+			x := 0;
+			while loop (x < n) {
+				x := x + 1;
+			}
+			assert(forall k. (0 <= k && k < n) => V[k] = 0);
+		}`)
+	tmpl := logic.Conj(
+		forallImp([]string{"k"}, unk("v1"), logic.EqF(sel("V", "k"), logic.I(0))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q: template.Domain{
+			"v1": predabs.QjV("k", []string{"0", "x", "n"}),
+		},
+	}
+}
+
+// ArrayInit is the paper's running example (Example 2).
+func ArrayInit() *spec.Problem {
+	prog := lang.MustParse(`
+		program ArrayInit(array A, n) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall j. (0 <= j && j < n) => A[j] = 0);
+		}`)
+	tmpl := forallImp([]string{"j"}, unk("v"), logic.EqF(sel("A", "j"), logic.I(0)))
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q:         template.Domain{"v": predabs.QjV("j", []string{"0", "i", "n"})},
+	}
+}
+
+// ArrayListTasks returns the Table 4 task list.
+func ArrayListTasks() []Task {
+	return []Task{
+		{Name: "Consumer Producer", Property: "array/list", Build: ConsumerProducer},
+		{Name: "Partition Array", Property: "array/list", Build: PartitionArray},
+		{Name: "List Init", Property: "array/list", Build: ListInit},
+		{Name: "List Delete", Property: "array/list", Build: ListDelete},
+		{Name: "List Insert", Property: "array/list", Build: ListInsert},
+	}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// runAll verifies a task with every method it declares and fails the test on
+// any method that cannot prove it.
+func runAll(t *testing.T, task Task, timeout time.Duration) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("verification runs skipped in -short mode")
+	}
+	r := &Runner{Timeout: timeout}
+	for _, m := range r.Run(task) {
+		if m.Err != nil {
+			t.Errorf("%s/%s: error: %v", m.Task, m.Method, m.Err)
+			continue
+		}
+		if !m.Proved {
+			t.Errorf("%s/%s: not proved (%v)", m.Task, m.Method, m.Duration)
+			continue
+		}
+		t.Logf("%s/%s: proved in %v", m.Task, m.Method, m.Duration.Round(time.Millisecond))
+	}
+}
+
+func TestArrayInitAllMethods(t *testing.T) {
+	runAll(t, Task{Name: "Array Init", Property: "array/list", Build: ArrayInit}, 2*time.Minute)
+}
+
+// Consumer-Producer and Partition Array must be provable by at least one
+// algorithm in the quick suite (LFP and GFP respectively fail or time out
+// on them under tight budgets — see EXPERIMENTS.md Table 4 notes); the
+// all-methods sweep runs under VS3_SEARCH=1 via search_test.go.
+func TestConsumerProducer(t *testing.T) {
+	runTask(t, ArrayListTasks()[0], 100*time.Second)
+}
+
+func TestPartitionArray(t *testing.T) {
+	runTask(t, ArrayListTasks()[1], 100*time.Second)
+}
+
+func TestTaskMethodDefaults(t *testing.T) {
+	vt := Task{Kind: Verify}
+	if got := vt.methods(); len(got) != 3 {
+		t.Errorf("verify task should default to all 3 methods, got %v", got)
+	}
+	pt := Task{Kind: Precondition}
+	if got := pt.methods(); len(got) != 1 || got[0] != core.GFP {
+		t.Errorf("precondition task should default to GFP, got %v", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package bench defines the paper's benchmark suite (§7): the programs,
+// their invariant templates and predicate vocabularies, and a harness that
+// regenerates every table and figure of the evaluation. Each Task is one
+// (program, property) pair; tables group tasks.
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// Kind distinguishes verification from precondition-inference tasks.
+type Kind int
+
+// Task kinds.
+const (
+	// Verify discovers loop invariants proving the program's assertions.
+	Verify Kind = iota
+	// Precondition infers maximally-weak entry conditions (§6).
+	Precondition
+)
+
+// Task is one benchmark instance.
+type Task struct {
+	// Name identifies the benchmark ("Selection Sort", ...).
+	Name string
+	// Property labels the property class ("sortedness", "preservation",
+	// "upper-bound", "array/list", "functional").
+	Property string
+	// Kind selects verification or precondition inference.
+	Kind Kind
+	// Build constructs a fresh problem instance (problems are stateful:
+	// they cache paths).
+	Build func() *spec.Problem
+	// Methods lists the algorithms to run (default: all three for Verify,
+	// GFP for Precondition, matching the paper's tables).
+	Methods []core.Method
+	// ExpectPre, for Precondition tasks, holds substrings of preconditions
+	// that should be among the inferred maximally-weak set (checked
+	// semantically by the tests, informally here for reporting).
+	ExpectPre []logic.Formula
+}
+
+// methods returns the algorithms to run for this task.
+func (t Task) methods() []core.Method {
+	if len(t.Methods) > 0 {
+		return t.Methods
+	}
+	if t.Kind == Precondition {
+		return []core.Method{core.GFP}
+	}
+	return core.Methods
+}
+
+// Measurement is one (task, method) timing.
+type Measurement struct {
+	Task     string
+	Property string
+	Method   core.Method
+	Proved   bool
+	Duration time.Duration
+	// Preconditions holds the inferred formulas for Precondition tasks.
+	Preconditions []logic.Formula
+	// Err records a failure to run (distinct from "no invariant found").
+	Err error
+}
+
+// Runner executes tasks with a shared configuration.
+type Runner struct {
+	// Timeout bounds each (task, method) run; 0 means none.
+	Timeout time.Duration
+	// Stats receives Figure 4–9 measurements across all runs.
+	Stats *stats.Collector
+	// Config is the base verifier configuration (Stats is attached
+	// automatically).
+	Config core.Config
+}
+
+// Run executes one task with each of its methods, returning one measurement
+// per method. A fresh Verifier (hence a cold SMT cache) is used per run so
+// timings are comparable.
+func (r *Runner) Run(t Task) []Measurement {
+	var out []Measurement
+	for _, m := range t.methods() {
+		out = append(out, r.runOne(t, m))
+	}
+	return out
+}
+
+func (r *Runner) runOne(t Task, m core.Method) Measurement {
+	cfg := r.Config
+	cfg.Stats = r.Stats
+	// A cooperative stop flag lets a timed-out run release the CPU instead
+	// of skewing subsequent measurements.
+	var stopped atomic.Bool
+	stop := func() bool { return stopped.Load() }
+	cfg.Fixpoint.Stop = stop
+	cfg.CBI.Stop = stop
+	v := core.New(cfg)
+	meas := Measurement{Task: t.Name, Property: t.Property, Method: m}
+
+	type result struct {
+		meas Measurement
+	}
+	done := make(chan result, 1)
+	go func() {
+		mm := meas
+		start := time.Now()
+		p := t.Build()
+		switch t.Kind {
+		case Verify:
+			o, err := v.Verify(p, m)
+			mm.Err = err
+			mm.Proved = o.Proved
+		case Precondition:
+			pres, err := v.InferPreconditions(p)
+			mm.Err = err
+			mm.Proved = len(pres) > 0
+			for _, pre := range pres {
+				mm.Preconditions = append(mm.Preconditions, pre.Pre)
+			}
+		}
+		mm.Duration = time.Since(start)
+		done <- result{meas: mm}
+	}()
+	if r.Timeout <= 0 {
+		return (<-done).meas
+	}
+	select {
+	case res := <-done:
+		return res.meas
+	case <-time.After(r.Timeout):
+		stopped.Store(true)
+		meas.Err = fmt.Errorf("timeout after %v", r.Timeout)
+		meas.Duration = r.Timeout
+		return meas
+	}
+}
+
+// helpers shared by the benchmark definitions.
+
+func unk(name string) logic.Formula { return logic.Unknown{Name: name} }
+
+func v(name string) logic.Term { return logic.V(name) }
+
+func sel(arr, idx string) logic.Term { return logic.Sel(logic.AV(arr), logic.V(idx)) }
+
+// forallImp builds ∀vars: guard ⇒ body.
+func forallImp(vars []string, guard, body logic.Formula) logic.Formula {
+	return logic.All(vars, logic.Imp(guard, body))
+}

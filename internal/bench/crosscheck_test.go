@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/logic"
+)
+
+// TestDiscoveredInvariantsHoldOnTraces verifies end to end that the
+// invariants the tool discovers are true of actual executions: it runs the
+// verifier on quicksort's partition step, instantiates the loop template
+// with the discovered solution, executes the program on random inputs, and
+// evaluates the invariant at every recorded loop-header state.
+func TestDiscoveredInvariantsHoldOnTraces(t *testing.T) {
+	p := QuickSortInnerSorted()
+	v := core.New(core.Config{})
+	out, err := v.Verify(p, core.LFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Proved {
+		t.Fatal("quick sort partition not proved")
+	}
+	inv := out.Invariants["loop"]
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := int64(rng.Intn(7))
+		env := logic.NewEnv(-3, n+3)
+		env.Ints["n"] = n
+		env.Ints["pivot"] = int64(rng.Intn(11) - 5)
+		cells := make([]int64, n)
+		for i := range cells {
+			cells[i] = int64(rng.Intn(11) - 5)
+		}
+		env.SetArr("A", cells)
+		res, err := interp.RunClean(p.Prog, env, interp.Options{RecordCuts: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AssertFailed != nil {
+			t.Fatalf("trial %d: program assertion failed concretely: %v", trial, res.AssertFailed)
+		}
+		if bad := interp.CheckInvariant(res, "loop", inv); bad != nil {
+			t.Fatalf("trial %d: discovered invariant %v violated at state i=%d s=%d A=%v",
+				trial, inv, bad.Ints["i"], bad.Ints["s"], bad.Arrs["A"])
+		}
+	}
+}
+
+// TestWorstCasePreconditionForcesWorstCase checks the §6 claim concretely:
+// under the inferred worst-case precondition for the quicksort partition, a
+// swap happens in every iteration (the in-program assert never fails); and
+// on an input violating it, the assert can fail.
+func TestWorstCasePreconditionForcesWorstCase(t *testing.T) {
+	p := QuickSortInnerWorstCase()
+	v := core.New(core.Config{})
+	pres, err := v.InferPreconditions(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres) == 0 {
+		t.Fatal("no worst-case precondition inferred")
+	}
+	pre := pres[0].Pre
+	rng := rand.New(rand.NewSource(3))
+	okTrials := 0
+	for trial := 0; trial < 200; trial++ {
+		n := int64(1 + rng.Intn(6))
+		env := logic.NewEnv(-3, n+3)
+		env.Ints["n"] = n
+		cells := make([]int64, n)
+		for i := range cells {
+			cells[i] = int64(rng.Intn(7) - 3)
+		}
+		env.SetArr("A", cells)
+		if !env.EvalFormula(pre) {
+			continue // input does not satisfy the precondition
+		}
+		okTrials++
+		res, err := interp.RunClean(p.Prog, env, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AssertFailed != nil {
+			t.Fatalf("trial %d: precondition %v held but worst-case assert failed on %v",
+				trial, pre, cells)
+		}
+	}
+	if okTrials == 0 {
+		t.Fatal("no sampled input satisfied the precondition; sampler too narrow")
+	}
+	// A strictly descending array violates "A[0] is minimum" (for n ≥ 2)
+	// and must be able to break the assert.
+	env := logic.NewEnv(-3, 8)
+	env.Ints["n"] = 3
+	env.SetArr("A", []int64{5, 3, 1})
+	res, err := interp.RunClean(p.Prog, env, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AssertFailed == nil {
+		t.Error("descending input should break the every-iteration-swaps assert")
+	}
+}

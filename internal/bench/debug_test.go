@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/optimal"
+	"repro/internal/smt"
+)
+
+// TestDebugListDeletePaths prints the paths and checks the expected
+// invariant solution for ListDelete (debugging aid kept as a regression
+// test: the known solution must pass CheckAll).
+func TestDebugListDeletePaths(t *testing.T) {
+	p := ListDelete()
+	for _, path := range p.Paths() {
+		t.Logf("path: %v", path)
+	}
+	eng := optimal.New(smt.NewSolver(smt.Options{}))
+	sol := knownSolution(map[string][]string{"v1": {"0 <= k", "k < n"}})
+	if ok, fail := p.CheckAll(eng.S, sol); !ok {
+		t.Fatalf("known ListDelete solution rejected; failing path %v", fail)
+	}
+}
+
+// TestDebugListInitKnown checks the expected ListInit solution.
+func TestDebugListInitKnown(t *testing.T) {
+	p := ListInit()
+	eng := optimal.New(smt.NewSolver(smt.Options{}))
+	sol := knownSolution(map[string][]string{
+		"v0": {"x >= 0"},
+		"v1": {"0 <= k", "k < n"},
+		"v2": {"0 <= k", "k < x"},
+	})
+	if ok, fail := p.CheckAll(eng.S, sol); !ok {
+		t.Fatalf("known ListInit solution rejected; failing path %v", fail)
+	}
+	t.Logf("SMT queries: %d, cache hits: %d", eng.S.Queries, eng.S.CacheHits)
+}

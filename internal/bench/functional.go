@@ -1,0 +1,163 @@
+// Table 3/5 benchmarks: maximally-weak preconditions for functional
+// correctness (Fig. 10 of the paper). Each program carries its functional
+// specification as an assertion; the entry template is instantiated by GFP
+// precondition inference.
+
+package bench
+
+import (
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+// PartialInit initializes A[0..n) but is specified to initialize A[0..m).
+// The paper reports two maximally-weak preconditions: m ≤ n, or the cells
+// [n, m) already initialized.
+func PartialInit() *spec.Problem {
+	prog := lang.MustParse(`
+		program PartialInit(array A, n, m) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall k. (0 <= k && k < m) => A[k] = 0);
+		}`)
+	zero := func(g string) logic.Formula {
+		return forallImp([]string{"k"}, unk(g), logic.EqF(sel("A", "k"), logic.I(0)))
+	}
+	entry := logic.Conj(unk("p0"), zero("p1"))
+	loop := logic.Conj(unk("v0"), zero("v1"), zero("v2"))
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"entry": entry, "loop": loop,
+		},
+		Q: template.Domain{
+			"p0": preds("m <= n", "n <= m", "0 <= m", "0 <= n"),
+			"p1": preds("n <= k", "k < m", "0 <= k", "m <= k", "k < n"),
+			"v0": preds("m <= n", "i <= n", "0 <= i", "0 <= m"),
+			"v1": preds("0 <= k", "k < i", "k < n", "k < m"),
+			"v2": preds("n <= k", "k < m", "0 <= k", "i <= k"),
+		},
+	}
+}
+
+// InitSynthesis finds the index of the maximum array element, but its
+// initializers are missing; the inferred preconditions are the two
+// alternative initializations the paper reports: i=1 ∧ max=0, or i=0.
+func InitSynthesis() *spec.Problem {
+	prog := lang.MustParse(`
+		program InitSynthesis(array A, n, i, max) {
+			while loop (i < n) {
+				if (A[max] < A[i]) {
+					max := i;
+				}
+				i := i + 1;
+			}
+			assert(forall k. (0 <= k && k < n) => A[max] >= A[k]);
+		}`)
+	maxGe := func(g string) logic.Formula {
+		return forallImp([]string{"k"}, unk(g), logic.GeF(sel("A", "max"), sel("A", "k")))
+	}
+	entry := unk("p0")
+	loop := logic.Conj(unk("v0"), maxGe("v1"))
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"entry": entry, "loop": loop,
+		},
+		Q: template.Domain{
+			"p0": preds("i = 0", "i = 1", "max = 0", "max = i", "max = 1"),
+			"v0": preds("0 <= i", "0 <= max", "max <= i"),
+			"v1": preds("0 <= k", "k < i", "k <= i"),
+		},
+	}
+}
+
+// BinarySearch infers that the array must be sorted for the standard "not
+// found implies absent" specification.
+func BinarySearch() *spec.Problem {
+	prog := lang.MustParse(`
+		program BinarySearch(array A, n, e) {
+			low := 0;
+			high := n - 1;
+			while loop (low <= high) {
+				mid := *;
+				assume(low <= mid && mid <= high);
+				if (A[mid] < e) {
+					low := mid + 1;
+				} else {
+					if (A[mid] > e) {
+						high := mid - 1;
+					} else {
+						assume(false);
+					}
+				}
+			}
+			assert(forall k. (0 <= k && k < n) => A[k] != e);
+		}`)
+	entry := forallImp([]string{"k1", "k2"}, unk("p"), leSel("A", "k1", "k2"))
+	loop := logic.Conj(
+		unk("v0"),
+		forallImp([]string{"k1", "k2"}, unk("v1"), leSel("A", "k1", "k2")),
+		forallImp([]string{"k"}, unk("v2"), logic.LtF(sel("A", "k"), v("e"))),
+		forallImp([]string{"k"}, unk("v3"), logic.GtF(sel("A", "k"), v("e"))),
+	)
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"entry": entry, "loop": loop,
+		},
+		Q: template.Domain{
+			"p":  preds("0 <= k1", "k1 < k2", "k2 < n"),
+			"v0": preds("0 <= low", "high < n", "high <= n - 1", "low <= high + 1"),
+			"v1": preds("0 <= k1", "k1 < k2", "k2 < n"),
+			"v2": preds("0 <= k", "k < low", "k <= low"),
+			"v3": preds("high < k", "k < n", "high <= k"),
+		},
+	}
+}
+
+// MergeFunctional is the merge routine with its sortedness postcondition;
+// the inferred preconditions are that both inputs are sorted.
+func MergeFunctional() *spec.Problem {
+	p := MergeSortInnerSorted()
+	// Strip the assumed input sortedness: the first two statements are the
+	// assume(...) facts. The entry template re-infers them.
+	body := p.Prog.Body[2:]
+	prog := &lang.Program{
+		Name:      "MergeFunctional",
+		IntParams: p.Prog.IntParams,
+		ArrParams: p.Prog.ArrParams,
+		Body:      body,
+	}
+	entry := logic.Conj(
+		forallImp([]string{"k1", "k2"}, unk("pa"), leSel("A", "k1", "k2")),
+		forallImp([]string{"k1", "k2"}, unk("pb"), leSel("B", "k1", "k2")),
+	)
+	templates := map[string]logic.Formula{"entry": entry}
+	for cut, t := range p.Templates {
+		templates[cut] = t
+	}
+	q := template.Domain{
+		"pa": preds("0 <= k1", "k1 < k2", "k2 < n"),
+		"pb": preds("0 <= k1", "k1 < k2", "k2 < m"),
+	}
+	for u, ps := range p.Q {
+		q[u] = ps
+	}
+	return &spec.Problem{Prog: prog, Templates: templates, Q: q}
+}
+
+// FunctionalTasks returns the Table 3/5 precondition-inference tasks.
+func FunctionalTasks() []Task {
+	return []Task{
+		{Name: "Partial Init", Property: "functional", Kind: Precondition, Build: PartialInit},
+		{Name: "Init Synthesis", Property: "functional", Kind: Precondition, Build: InitSynthesis},
+		{Name: "Binary Search", Property: "functional", Kind: Precondition, Build: BinarySearch},
+		{Name: "Merge", Property: "functional", Kind: Precondition, Build: MergeFunctional},
+	}
+}

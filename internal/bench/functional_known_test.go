@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestBinarySearchKnownSolution backs the EXPERIMENTS.md claim: the
+// hand-derived invariant for binary search (sorted array + the two
+// exclusion zones) validates all paths.
+func TestBinarySearchKnownSolution(t *testing.T) {
+	checkKnown(t, BinarySearch(), knownSolution(map[string][]string{
+		"p":  {"0 <= k1", "k1 < k2", "k2 < n"},
+		"v0": {"0 <= low", "high < n"},
+		"v1": {"0 <= k1", "k1 < k2", "k2 < n"},
+		"v2": {"0 <= k", "k < low"},
+		"v3": {"high < k", "k < n"},
+	}))
+}
+
+// TestPartialInitKnownSolution: the m<=n precondition with a vacuous array
+// fact plus the standard loop invariant.
+func TestPartialInitKnownSolution(t *testing.T) {
+	checkKnown(t, PartialInit(), knownSolution(map[string][]string{
+		"p0": {"m <= n"},
+		"p1": {"n <= k", "k < m"}, // empty under m <= n
+		"v0": {"m <= n"},
+		"v1": {"0 <= k", "k < i"},
+		"v2": {"n <= k", "k < m"},
+	}))
+}

@@ -1,0 +1,302 @@
+// Table 6 benchmarks, ∀∃ column (and Table 1): the sorting programs
+// preserve the elements of their input. A ghost snapshot A0 of the input is
+// assumed equal to A at entry, and the assertion states that every snapshot
+// element still occurs in the output:
+//
+//	∀y ∃x: (0 ≤ y < n) ⇒ (A0[y] = A[x] ∧ 0 ≤ x < n)
+//
+// For swap-based sorts the invariant is the same fact at every cut-point
+// (swaps permute in place); insertion sort additionally tracks the shifting
+// hole (the paper's x ≠ j+1 disjunct), and merge tracks consumed prefixes.
+
+package bench
+
+import (
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+// permTemplate builds ∀y: g ⇒ ∃x: (src[y] = dst[x] ∧ h).
+func permTemplate(src, dst, g, h string) logic.Formula {
+	return logic.All([]string{"y"}, logic.Imp(unk(g),
+		logic.Any([]string{"x"}, logic.Conj(
+			logic.EqF(sel(src, "y"), sel(dst, "x")),
+			unk(h)))))
+}
+
+const ghostAssume = `assume(forall k. A0[k] = A[k]);`
+
+const preserveAssert = `assert(forall y. (0 <= y && y < n) => (exists x. A0[y] = A[x] && 0 <= x && x < n));`
+
+func permQ(prefix string) template.Domain {
+	return template.Domain{
+		prefix + "g": preds("0 <= y", "y < n"),
+		prefix + "h": preds("0 <= x", "x < n"),
+	}
+}
+
+func mergeDomains(ds ...template.Domain) template.Domain {
+	out := template.Domain{}
+	for _, d := range ds {
+		for k, v := range d {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// SelectionSortPreserves verifies element preservation of selection sort.
+func SelectionSortPreserves() *spec.Problem {
+	prog := lang.MustParse(`
+		program SelectionSort(array A, array A0, n) {
+			` + ghostAssume + `
+			i := 0;
+			while outer (i < n - 1) {
+				min := i;
+				j := i + 1;
+				while inner (j < n) {
+					if (A[j] < A[min]) {
+						min := j;
+					}
+					j := j + 1;
+				}
+				t := A[i];
+				A[i] := A[min];
+				A[min] := t;
+				i := i + 1;
+			}
+			` + preserveAssert + `
+		}`)
+	outer := logic.Conj(unk("u0"), permTemplate("A0", "A", "ug", "uh"))
+	inner := logic.Conj(unk("v0"), permTemplate("A0", "A", "vg", "vh"))
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"outer": outer, "inner": inner},
+		Q: mergeDomains(permQ("u"), permQ("v"), template.Domain{
+			"u0": preds("0 <= i", "i <= n"),
+			"v0": preds("i <= min", "min < j", "j <= n", "i < n - 1", "0 <= i"),
+		}),
+	}
+}
+
+// BubbleSortPreserves verifies element preservation of the flagless bubble
+// sort.
+func BubbleSortPreserves() *spec.Problem {
+	prog := lang.MustParse(`
+		program BubbleSort(array A, array A0, n) {
+			` + ghostAssume + `
+			i := n;
+			while outer (i > 1) {
+				j := 0;
+				while inner (j < i - 1) {
+					if (A[j] > A[j + 1]) {
+						t := A[j];
+						A[j] := A[j + 1];
+						A[j + 1] := t;
+					}
+					j := j + 1;
+				}
+				i := i - 1;
+			}
+			` + preserveAssert + `
+		}`)
+	outer := logic.Conj(unk("u0"), permTemplate("A0", "A", "ug", "uh"))
+	inner := logic.Conj(unk("v0"), permTemplate("A0", "A", "vg", "vh"))
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"outer": outer, "inner": inner},
+		Q: mergeDomains(permQ("u"), permQ("v"), template.Domain{
+			"u0": preds("i <= n", "0 <= i", "1 <= i"),
+			"v0": preds("0 <= j", "i <= n", "j < i", "0 <= i"),
+		}),
+	}
+}
+
+// BubbleSortFlagPreserves verifies element preservation of the early-exit
+// bubble sort.
+func BubbleSortFlagPreserves() *spec.Problem {
+	prog := lang.MustParse(`
+		program BubbleSortFlag(array A, array A0, n) {
+			` + ghostAssume + `
+			swapped := 1;
+			while outer (swapped = 1) {
+				swapped := 0;
+				j := 0;
+				while inner (j < n - 1) {
+					if (A[j] > A[j + 1]) {
+						t := A[j];
+						A[j] := A[j + 1];
+						A[j + 1] := t;
+						swapped := 1;
+					}
+					j := j + 1;
+				}
+			}
+			` + preserveAssert + `
+		}`)
+	outer := permTemplate("A0", "A", "ug", "uh")
+	inner := logic.Conj(unk("v0"), permTemplate("A0", "A", "vg", "vh"))
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"outer": outer, "inner": inner},
+		Q: mergeDomains(permQ("u"), permQ("v"), template.Domain{
+			"v0": preds("0 <= j", "0 <= swapped", "swapped <= 1"),
+		}),
+	}
+}
+
+// QuickSortInnerPreserves verifies element preservation of the quicksort
+// partitioning step.
+func QuickSortInnerPreserves() *spec.Problem {
+	prog := lang.MustParse(`
+		program QuickSortInner(array A, array A0, n, pivot) {
+			` + ghostAssume + `
+			i := 0;
+			s := 0;
+			while loop (i < n) {
+				if (A[i] <= pivot) {
+					t := A[i];
+					A[i] := A[s];
+					A[s] := t;
+					s := s + 1;
+				}
+				i := i + 1;
+			}
+			` + preserveAssert + `
+		}`)
+	tmpl := logic.Conj(unk("v0"), permTemplate("A0", "A", "vg", "vh"))
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q: mergeDomains(permQ("v"), template.Domain{
+			"v0": preds("0 <= s", "s <= i", "i <= n", "s < n", "0 <= i"),
+		}),
+	}
+}
+
+// InsertionSortPreserves verifies element preservation of insertion sort —
+// the paper's flagship ∀∃ example (Figure 1a). During the shifting loop the
+// prefix elements of the snapshot live at positions up to i excluding the
+// hole j+1, the suffix is untouched, and val carries the snapshot element
+// originally at i.
+func InsertionSortPreserves() *spec.Problem {
+	prog := lang.MustParse(`
+		program InsertionSort(array A, array A0, n) {
+			` + ghostAssume + `
+			i := 1;
+			while outer (i < n) {
+				j := i - 1;
+				val := A[i];
+				while inner (j >= 0 && A[j] > val) {
+					A[j + 1] := A[j];
+					j := j - 1;
+				}
+				A[j + 1] := val;
+				i := i + 1;
+			}
+			` + preserveAssert + `
+		}`)
+	// Outer: suffix untouched; prefix snapshot elements occur below i.
+	outer := logic.Conj(
+		unk("u0"),
+		forallImp([]string{"y"}, unk("us"), logic.EqF(sel("A", "y"), sel("A0", "y"))),
+		permTemplate("A0", "A", "ug", "uh"),
+	)
+	// Inner: additionally val holds the snapshot element from i, and
+	// witnesses avoid the hole j+1.
+	inner := logic.Conj(
+		unk("v0"),
+		forallImp([]string{"y"}, unk("vs"), logic.EqF(sel("A", "y"), sel("A0", "y"))),
+		permTemplate("A0", "A", "vg", "vh"),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"outer": outer, "inner": inner},
+		Q: template.Domain{
+			"u0": preds("1 <= i", "i <= n"),
+			"us": preds("i <= y", "y < n", "0 <= y"),
+			"ug": preds("0 <= y", "y < i", "y < n"),
+			"uh": preds("0 <= x", "x < i", "x < n"),
+			"v0": preds("val = A0[i]", "j >= -1", "j < i", "1 <= i", "i < n"),
+			"vs": preds("i < y", "y < n", "0 <= y"),
+			"vg": preds("0 <= y", "y < i", "y < n"),
+			"vh": preds("0 <= x", "x <= i", "x != j + 1", "x < n"),
+		},
+	}
+}
+
+// MergeSortInnerPreserves verifies that every element of the sorted inputs A
+// and B occurs in the merged output C (Table 1).
+func MergeSortInnerPreserves() *spec.Problem {
+	prog := lang.MustParse(`
+		program MergeSortInner(array A, array B, array C, n, m) {
+			i := 0;
+			j := 0;
+			t := 0;
+			while merge (i < n && j < m) {
+				if (A[i] <= B[j]) {
+					C[t] := A[i];
+					t := t + 1;
+					i := i + 1;
+				} else {
+					C[t] := B[j];
+					t := t + 1;
+					j := j + 1;
+				}
+			}
+			while copyA (i < n) {
+				C[t] := A[i];
+				t := t + 1;
+				i := i + 1;
+			}
+			while copyB (j < m) {
+				C[t] := B[j];
+				t := t + 1;
+				j := j + 1;
+			}
+			assert(forall y. (0 <= y && y < n) => (exists x. A[y] = C[x] && 0 <= x && x < t));
+			assert(forall y. (0 <= y && y < m) => (exists x. B[y] = C[x] && 0 <= x && x < t));
+		}`)
+	// Consumed prefixes of A and B occur in C[0..t).
+	inv := func(p string) logic.Formula {
+		return logic.Conj(
+			unk(p+"0"),
+			logic.All([]string{"y"}, logic.Imp(unk(p+"ga"),
+				logic.Any([]string{"x"}, logic.Conj(
+					logic.EqF(sel("A", "y"), sel("C", "x")), unk(p+"ha"))))),
+			logic.All([]string{"y"}, logic.Imp(unk(p+"gb"),
+				logic.Any([]string{"x"}, logic.Conj(
+					logic.EqF(sel("B", "y"), sel("C", "x")), unk(p+"hb"))))),
+		)
+	}
+	qFor := func(p string) template.Domain {
+		return template.Domain{
+			p + "0":  preds("0 <= i", "0 <= j", "0 <= t", "i <= n", "j <= m", "n <= i", "m <= j"),
+			p + "ga": preds("0 <= y", "y < i", "y < n"),
+			p + "ha": preds("0 <= x", "x < t"),
+			p + "gb": preds("0 <= y", "y < j", "y < m"),
+			p + "hb": preds("0 <= x", "x < t"),
+		}
+	}
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"merge": inv("w"), "copyA": inv("x"), "copyB": inv("z"),
+		},
+		Q: mergeDomains(qFor("w"), qFor("x"), qFor("z")),
+	}
+}
+
+// PreservationTasks returns the Table 6 ∀∃ column.
+func PreservationTasks() []Task {
+	return []Task{
+		{Name: "Selection Sort", Property: "preservation", Build: SelectionSortPreserves},
+		{Name: "Insertion Sort", Property: "preservation", Build: InsertionSortPreserves},
+		{Name: "Bubble Sort (n2)", Property: "preservation", Build: BubbleSortPreserves},
+		{Name: "Bubble Sort (flag)", Property: "preservation", Build: BubbleSortFlagPreserves},
+		{Name: "Quick Sort (inner)", Property: "preservation", Build: QuickSortInnerPreserves},
+		{Name: "Merge Sort (inner)", Property: "preservation", Build: MergeSortInnerPreserves},
+	}
+}

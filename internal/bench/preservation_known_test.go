@@ -1,0 +1,69 @@
+package bench
+
+import "testing"
+
+func TestSelectionSortPreservesKnown(t *testing.T) {
+	checkKnown(t, SelectionSortPreserves(), knownSolution(map[string][]string{
+		"u0": {"0 <= i"},
+		"ug": {"0 <= y", "y < n"},
+		"uh": {"0 <= x", "x < n"},
+		"v0": {"i <= min", "min < j", "j <= n", "i < n - 1", "0 <= i"},
+		"vg": {"0 <= y", "y < n"},
+		"vh": {"0 <= x", "x < n"},
+	}))
+}
+
+func TestQuickSortInnerPreservesKnown(t *testing.T) {
+	checkKnown(t, QuickSortInnerPreserves(), knownSolution(map[string][]string{
+		"v0": {"0 <= s", "s <= i"},
+		"vg": {"0 <= y", "y < n"},
+		"vh": {"0 <= x", "x < n"},
+	}))
+}
+
+func TestBubbleSortPreservesKnown(t *testing.T) {
+	checkKnown(t, BubbleSortPreserves(), knownSolution(map[string][]string{
+		"u0": {"i <= n"},
+		"ug": {"0 <= y", "y < n"},
+		"uh": {"0 <= x", "x < n"},
+		"v0": {"0 <= j", "i <= n"},
+		"vg": {"0 <= y", "y < n"},
+		"vh": {"0 <= x", "x < n"},
+	}))
+}
+
+func TestBubbleSortFlagPreservesKnown(t *testing.T) {
+	checkKnown(t, BubbleSortFlagPreserves(), knownSolution(map[string][]string{
+		"ug": {"0 <= y", "y < n"},
+		"uh": {"0 <= x", "x < n"},
+		"v0": {"0 <= j"},
+		"vg": {"0 <= y", "y < n"},
+		"vh": {"0 <= x", "x < n"},
+	}))
+}
+
+func TestInsertionSortPreservesKnown(t *testing.T) {
+	checkKnown(t, InsertionSortPreserves(), knownSolution(map[string][]string{
+		"u0": {"1 <= i"},
+		"us": {"i <= y", "y < n"},
+		"ug": {"0 <= y", "y < i", "y < n"},
+		"uh": {"0 <= x", "x < i", "x < n"},
+		"v0": {"val = A0[i]", "j >= -1", "j < i", "1 <= i", "i < n"},
+		"vs": {"i < y", "y < n"},
+		"vg": {"0 <= y", "y < i"},
+		"vh": {"0 <= x", "x <= i", "x != j + 1"},
+	}))
+}
+
+func TestMergeSortInnerPreservesKnown(t *testing.T) {
+	sol := map[string][]string{}
+	for _, p := range []string{"w", "x", "z"} {
+		sol[p+"0"] = []string{"0 <= i", "0 <= j", "0 <= t"}
+		sol[p+"ga"] = []string{"0 <= y", "y < i"}
+		sol[p+"ha"] = []string{"0 <= x", "x < t"}
+		sol[p+"gb"] = []string{"0 <= y", "y < j"}
+		sol[p+"hb"] = []string{"0 <= x", "x < t"}
+	}
+	sol["z0"] = append(sol["z0"], "n <= i")
+	checkKnown(t, MergeSortInnerPreserves(), knownSolution(sol))
+}

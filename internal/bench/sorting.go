@@ -1,0 +1,340 @@
+// Table 6 benchmarks, sortedness column: the sorting suite. Each problem
+// carries the invariant templates and per-unknown predicate vocabularies
+// used to verify that the routine outputs a sorted array.
+
+package bench
+
+import (
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+// preds parses a list of predicate formulas.
+func preds(srcs ...string) []logic.Formula {
+	out := make([]logic.Formula, len(srcs))
+	for i, s := range srcs {
+		out[i] = lang.MustParseFormula(s)
+	}
+	return out
+}
+
+// leSel builds A[x] <= A[y].
+func leSel(arr, x, y string) logic.Formula {
+	return logic.LeF(sel(arr, x), sel(arr, y))
+}
+
+// sortedPair builds ∀k1,k2: guard ⇒ arr[k1] <= arr[k2].
+func sortedPair(arr, guard string) logic.Formula {
+	return forallImp([]string{"k1", "k2"}, unk(guard), leSel(arr, "k1", "k2"))
+}
+
+// SelectionSortSorted verifies sortedness of selection sort.
+//
+// Outer invariant: pairs with k1 below i are ordered (the sorted prefix also
+// bounds the suffix). Inner adds min-tracking over the scanned range.
+func SelectionSortSorted() *spec.Problem {
+	prog := lang.MustParse(`
+		program SelectionSort(array A, n) {
+			i := 0;
+			while outer (i < n - 1) {
+				min := i;
+				j := i + 1;
+				while inner (j < n) {
+					if (A[j] < A[min]) {
+						min := j;
+					}
+					j := j + 1;
+				}
+				t := A[i];
+				A[i] := A[min];
+				A[min] := t;
+				i := i + 1;
+			}
+			assert(forall k1, k2. (0 <= k1 && k1 < k2 && k2 < n) => A[k1] <= A[k2]);
+		}`)
+	outer := logic.Conj(unk("u0"), sortedPair("A", "u1"))
+	inner := logic.Conj(
+		unk("v0"),
+		sortedPair("A", "v1"),
+		forallImp([]string{"k"}, unk("v2"),
+			logic.LeF(sel("A", "min"), sel("A", "k"))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"outer": outer, "inner": inner},
+		Q: template.Domain{
+			"u0": preds("0 <= i", "i <= n"),
+			"u1": preds("0 <= k1", "k1 < k2", "k2 < n", "k1 < i", "k2 < i", "k2 <= i"),
+			"v0": preds("i <= min", "min < j", "i < j", "i < n - 1", "0 <= i", "j <= n"),
+			"v1": preds("0 <= k1", "k1 < k2", "k2 < n", "k1 < i", "k2 < i", "k2 <= i"),
+			"v2": preds("i <= k", "k < j", "k <= j", "0 <= k", "k < n"),
+		},
+	}
+}
+
+// InsertionSortSorted verifies sortedness of insertion sort.
+//
+// During the shifting loop, A[0..i] stays sorted when the hole position j+1
+// is excluded as the larger index, and the shifted tail (j+1, i] stays
+// strictly above val.
+func InsertionSortSorted() *spec.Problem {
+	prog := lang.MustParse(`
+		program InsertionSort(array A, n) {
+			i := 1;
+			while outer (i < n) {
+				j := i - 1;
+				val := A[i];
+				while inner (j >= 0 && A[j] > val) {
+					A[j + 1] := A[j];
+					j := j - 1;
+				}
+				A[j + 1] := val;
+				i := i + 1;
+			}
+			assert(forall k1, k2. (0 <= k1 && k1 < k2 && k2 < n) => A[k1] <= A[k2]);
+		}`)
+	outer := logic.Conj(unk("u0"), sortedPair("A", "u1"))
+	inner := logic.Conj(
+		unk("v0"),
+		sortedPair("A", "v1"),
+		forallImp([]string{"k"}, unk("v2"),
+			logic.GtF(sel("A", "k"), v("val"))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"outer": outer, "inner": inner},
+		Q: template.Domain{
+			"u0": preds("1 <= i", "i <= n", "0 <= i"),
+			"u1": preds("0 <= k1", "k1 < k2", "k2 < i", "k2 <= i", "k2 < n", "k1 < i"),
+			"v0": preds("j >= -1", "j < i", "1 <= i", "i < n", "j < n"),
+			"v1": preds("0 <= k1", "k1 < k2", "k2 <= i", "k2 != j + 1", "k2 < n", "k2 < i"),
+			"v2": preds("j + 1 < k", "k <= i", "j < k", "k < n", "0 <= k"),
+		},
+	}
+}
+
+// BubbleSortSorted verifies sortedness of the flagless bubble sort that
+// always performs all passes (the paper's n² version).
+func BubbleSortSorted() *spec.Problem {
+	prog := lang.MustParse(`
+		program BubbleSort(array A, n) {
+			i := n;
+			while outer (i > 1) {
+				j := 0;
+				while inner (j < i - 1) {
+					if (A[j] > A[j + 1]) {
+						t := A[j];
+						A[j] := A[j + 1];
+						A[j + 1] := t;
+					}
+					j := j + 1;
+				}
+				i := i - 1;
+			}
+			assert(forall k1, k2. (0 <= k1 && k1 < k2 && k2 < n) => A[k1] <= A[k2]);
+		}`)
+	outer := logic.Conj(unk("u0"), sortedPair("A", "u1"))
+	inner := logic.Conj(
+		unk("v0"),
+		sortedPair("A", "v1"),
+		forallImp([]string{"k"}, unk("v2"),
+			logic.LeF(sel("A", "k"), sel("A", "j"))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"outer": outer, "inner": inner},
+		Q: template.Domain{
+			"u0": preds("i <= n", "1 <= i", "0 <= i"),
+			"u1": preds("0 <= k1", "k1 < k2", "k2 < n", "i <= k2", "k1 < i", "0 <= k2"),
+			"v0": preds("0 <= j", "j < i", "i <= n", "1 < i", "j < n"),
+			"v1": preds("0 <= k1", "k1 < k2", "k2 < n", "i <= k2", "k1 < i", "0 <= k2"),
+			"v2": preds("0 <= k", "k < j", "k <= j", "k < i", "k < n"),
+		},
+	}
+}
+
+// BubbleSortFlagSorted verifies sortedness of the early-exit bubble sort:
+// when the swapped flag stays clear the scanned prefix is in order, which at
+// the outer exit yields adjacent sortedness of the whole array.
+func BubbleSortFlagSorted() *spec.Problem {
+	prog := lang.MustParse(`
+		program BubbleSortFlag(array A, n) {
+			swapped := 1;
+			while outer (swapped = 1) {
+				swapped := 0;
+				j := 0;
+				while inner (j < n - 1) {
+					if (A[j] > A[j + 1]) {
+						t := A[j];
+						A[j] := A[j + 1];
+						A[j + 1] := t;
+						swapped := 1;
+					}
+					j := j + 1;
+				}
+			}
+			assert(forall k. (0 <= k && k < n - 1) => A[k] <= A[k + 1]);
+		}`)
+	adj := func(guard string) logic.Formula {
+		return forallImp([]string{"k"}, unk(guard),
+			logic.LeF(sel("A", "k"), logic.Sel(logic.AV("A"), logic.Plus(v("k"), logic.I(1)))))
+	}
+	outer := logic.Conj(unk("u0"), adj("u1"))
+	inner := logic.Conj(unk("v0"), adj("v1"))
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"outer": outer, "inner": inner},
+		Q: template.Domain{
+			"u0": preds("0 <= swapped", "swapped <= 1"),
+			"u1": preds("swapped <= 0", "0 <= k", "k < n - 1", "k < n"),
+			"v0": preds("0 <= swapped", "swapped <= 1", "0 <= j", "j <= n - 1", "j < n"),
+			"v1": preds("swapped <= 0", "0 <= k", "k < j", "k <= j", "k < n - 1"),
+		},
+	}
+}
+
+// QuickSortInnerSorted verifies the partitioning step of quicksort: at exit,
+// the prefix is at most the pivot and the scanned middle is above it.
+func QuickSortInnerSorted() *spec.Problem {
+	prog := lang.MustParse(`
+		program QuickSortInner(array A, n, pivot) {
+			i := 0;
+			s := 0;
+			while loop (i < n) {
+				if (A[i] <= pivot) {
+					t := A[i];
+					A[i] := A[s];
+					A[s] := t;
+					s := s + 1;
+				}
+				i := i + 1;
+			}
+			assert(forall k. (0 <= k && k < s) => A[k] <= pivot);
+			assert(forall k. (s <= k && k < i) => A[k] > pivot);
+		}`)
+	tmpl := logic.Conj(
+		unk("v0"),
+		forallImp([]string{"k"}, unk("v1"), logic.LeF(sel("A", "k"), v("pivot"))),
+		forallImp([]string{"k"}, unk("v2"), logic.GtF(sel("A", "k"), v("pivot"))),
+	)
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q: template.Domain{
+			"v0": preds("0 <= s", "s <= i", "i <= n", "0 <= i"),
+			"v1": preds("0 <= k", "k < s", "k <= s", "k < i", "k < n"),
+			"v2": preds("s <= k", "k < i", "k <= i", "0 <= k", "k < n"),
+		},
+	}
+}
+
+// MergeSortInnerSorted verifies the merge step of merge sort: given sorted
+// inputs A and B, the merged output C is sorted. The three sequential loops
+// share "output sorted" and "output bounds remaining input" invariants; the
+// copy loop for A additionally needs the disjunction i ≥ n ∨ j ≥ m inherited
+// from the main loop's exit.
+func MergeSortInnerSorted() *spec.Problem {
+	prog := lang.MustParse(`
+		program MergeSortInner(array A, array B, array C, n, m) {
+			assume(forall k1, k2. (0 <= k1 && k1 < k2 && k2 < n) => A[k1] <= A[k2]);
+			assume(forall k1, k2. (0 <= k1 && k1 < k2 && k2 < m) => B[k1] <= B[k2]);
+			i := 0;
+			j := 0;
+			t := 0;
+			while merge (i < n && j < m) {
+				if (A[i] <= B[j]) {
+					C[t] := A[i];
+					t := t + 1;
+					i := i + 1;
+				} else {
+					C[t] := B[j];
+					t := t + 1;
+					j := j + 1;
+				}
+			}
+			while copyA (i < n) {
+				C[t] := A[i];
+				t := t + 1;
+				i := i + 1;
+			}
+			while copyB (j < m) {
+				C[t] := B[j];
+				t := t + 1;
+				j := j + 1;
+			}
+			assert(forall k1, k2. (0 <= k1 && k1 < k2 && k2 < t) => C[k1] <= C[k2]);
+		}`)
+	// Cross bound: everything already output is at most everything still
+	// unconsumed in the given input array.
+	cross := func(inArr, idxGuard string) logic.Formula {
+		return forallImp([]string{"k1", "k2"}, unk(idxGuard),
+			logic.LeF(sel("C", "k1"), sel(inArr, "k2")))
+	}
+	sortedIn := func(arr, guard string) logic.Formula { return sortedPair(arr, guard) }
+
+	qPair := func(hi string) []logic.Formula {
+		return preds("0 <= k1", "k1 < k2", "k2 < "+hi, "k1 < "+hi)
+	}
+	qCross := func(lo, hi string) []logic.Formula {
+		return preds("0 <= k1", "k1 < t", lo+" <= k2", "k2 < "+hi, "k1 < k2")
+	}
+
+	mergeT := logic.Conj(
+		unk("w0"),
+		sortedIn("A", "wa"), sortedIn("B", "wb"), sortedPair("C", "wc"),
+		cross("A", "wxa"), cross("B", "wxb"),
+	)
+	copyAT := logic.Conj(
+		unk("x0"),
+		logic.Disj(unk("xd1"), unk("xd2")),
+		sortedIn("A", "xa"), sortedIn("B", "xb"), sortedPair("C", "xc"),
+		cross("A", "xxa"), cross("B", "xxb"),
+	)
+	copyBT := logic.Conj(
+		unk("y0"),
+		sortedIn("B", "yb"), sortedPair("C", "yc"),
+		cross("B", "yxb"),
+	)
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"merge": mergeT, "copyA": copyAT, "copyB": copyBT,
+		},
+		Q: template.Domain{
+			"w0":  preds("0 <= i", "0 <= j", "0 <= t", "i <= n", "j <= m"),
+			"wa":  qPair("n"),
+			"wb":  qPair("m"),
+			"wc":  preds("0 <= k1", "k1 < k2", "k2 < t", "k1 < t"),
+			"wxa": qCross("i", "n"),
+			"wxb": qCross("j", "m"),
+
+			"x0":  preds("0 <= i", "0 <= t", "i <= n", "j <= m", "0 <= j"),
+			"xd1": preds("n <= i", "m <= j"),
+			"xd2": preds("n <= i", "m <= j"),
+			"xa":  qPair("n"),
+			"xb":  qPair("m"),
+			"xc":  preds("0 <= k1", "k1 < k2", "k2 < t", "k1 < t"),
+			"xxa": qCross("i", "n"),
+			"xxb": qCross("j", "m"),
+
+			"y0":  preds("0 <= j", "0 <= t", "j <= m", "n <= i"),
+			"yb":  qPair("m"),
+			"yc":  preds("0 <= k1", "k1 < k2", "k2 < t", "k1 < t"),
+			"yxb": qCross("j", "m"),
+		},
+	}
+}
+
+// SortednessTasks returns the Table 6 sortedness column.
+func SortednessTasks() []Task {
+	return []Task{
+		{Name: "Selection Sort", Property: "sortedness", Build: SelectionSortSorted},
+		{Name: "Insertion Sort", Property: "sortedness", Build: InsertionSortSorted},
+		{Name: "Bubble Sort (n2)", Property: "sortedness", Build: BubbleSortSorted},
+		{Name: "Bubble Sort (flag)", Property: "sortedness", Build: BubbleSortFlagSorted},
+		{Name: "Quick Sort (inner)", Property: "sortedness", Build: QuickSortInnerSorted},
+		{Name: "Merge Sort (inner)", Property: "sortedness", Build: MergeSortInnerSorted},
+	}
+}

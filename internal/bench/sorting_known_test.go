@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/optimal"
+	"repro/internal/smt"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+// knownSolution builds a Solution from predicate source strings per unknown.
+func knownSolution(m map[string][]string) template.Solution {
+	out := template.Solution{}
+	for u, ps := range m {
+		out[u] = template.NewPredSet(preds(ps...)...)
+	}
+	return out
+}
+
+// checkKnown asserts that the hand-derived invariant solution passes
+// CheckAll — isolating SMT capability from search capability.
+func checkKnown(t *testing.T, p *spec.Problem, sol template.Solution) {
+	t.Helper()
+	eng := optimal.New(smt.NewSolver(smt.Options{}))
+	ok, fail := p.CheckAll(eng.S, sol)
+	if !ok {
+		t.Fatalf("known solution rejected; failing path: %v", fail)
+	}
+}
+
+func TestSelectionSortKnownInvariant(t *testing.T) {
+	checkKnown(t, SelectionSortSorted(), knownSolution(map[string][]string{
+		"u0": {"0 <= i"},
+		"u1": {"0 <= k1", "k1 < k2", "k2 < n", "k1 < i"},
+		"v0": {"i <= min", "min < j", "i < j", "i < n - 1", "0 <= i", "j <= n"},
+		"v1": {"0 <= k1", "k1 < k2", "k2 < n", "k1 < i"},
+		"v2": {"i <= k", "k < j"},
+	}))
+}
+
+func TestInsertionSortKnownInvariant(t *testing.T) {
+	checkKnown(t, InsertionSortSorted(), knownSolution(map[string][]string{
+		"u0": {"1 <= i"},
+		"u1": {"0 <= k1", "k1 < k2", "k2 < i"},
+		"v0": {"j >= -1", "j < i", "1 <= i", "i < n"},
+		"v1": {"0 <= k1", "k1 < k2", "k2 <= i", "k2 != j + 1"},
+		"v2": {"j + 1 < k", "k <= i"},
+	}))
+}
+
+func TestBubbleSortKnownInvariant(t *testing.T) {
+	checkKnown(t, BubbleSortSorted(), knownSolution(map[string][]string{
+		"u0": {"i <= n"},
+		"u1": {"0 <= k1", "k1 < k2", "k2 < n", "i <= k2"},
+		"v0": {"0 <= j", "j < i", "i <= n", "1 < i"},
+		"v1": {"0 <= k1", "k1 < k2", "k2 < n", "i <= k2"},
+		"v2": {"0 <= k", "k < j"},
+	}))
+}
+
+func TestBubbleSortFlagKnownInvariant(t *testing.T) {
+	checkKnown(t, BubbleSortFlagSorted(), knownSolution(map[string][]string{
+		"u0": {"0 <= swapped", "swapped <= 1"},
+		"u1": {"swapped <= 0", "0 <= k", "k < n - 1"},
+		"v0": {"0 <= swapped", "swapped <= 1", "0 <= j"},
+		"v1": {"swapped <= 0", "0 <= k", "k < j"},
+	}))
+}
+
+func TestQuickSortInnerKnownInvariant(t *testing.T) {
+	checkKnown(t, QuickSortInnerSorted(), knownSolution(map[string][]string{
+		"v0": {"0 <= s", "s <= i"},
+		"v1": {"0 <= k", "k < s"},
+		"v2": {"s <= k", "k < i"},
+	}))
+}
+
+func TestMergeSortInnerKnownInvariant(t *testing.T) {
+	checkKnown(t, MergeSortInnerSorted(), knownSolution(map[string][]string{
+		"w0":  {"0 <= i", "0 <= j", "0 <= t"},
+		"wa":  {"0 <= k1", "k1 < k2", "k2 < n"},
+		"wb":  {"0 <= k1", "k1 < k2", "k2 < m"},
+		"wc":  {"0 <= k1", "k1 < k2", "k2 < t"},
+		"wxa": {"0 <= k1", "k1 < t", "i <= k2", "k2 < n"},
+		"wxb": {"0 <= k1", "k1 < t", "j <= k2", "k2 < m"},
+
+		"x0":  {"0 <= i", "0 <= t", "0 <= j"},
+		"xd1": {"n <= i"},
+		"xd2": {"m <= j"},
+		"xa":  {"0 <= k1", "k1 < k2", "k2 < n"},
+		"xb":  {"0 <= k1", "k1 < k2", "k2 < m"},
+		"xc":  {"0 <= k1", "k1 < k2", "k2 < t"},
+		"xxa": {"0 <= k1", "k1 < t", "i <= k2", "k2 < n"},
+		"xxb": {"0 <= k1", "k1 < t", "j <= k2", "k2 < m"},
+
+		"y0":  {"0 <= j", "0 <= t", "n <= i"},
+		"yb":  {"0 <= k1", "k1 < k2", "k2 < m"},
+		"yc":  {"0 <= k1", "k1 < k2", "k2 < t"},
+		"yxb": {"0 <= k1", "k1 < t", "j <= k2", "k2 < m"},
+	}))
+}

@@ -1,0 +1,234 @@
+// Table 2 benchmarks: maximally-weak preconditions under which the sorting
+// programs exhibit their worst-case behaviour. Each program asserts that its
+// dominant operation always executes; GFP precondition inference (§6)
+// discovers the entry conditions that make the assertion hold.
+
+package bench
+
+import (
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+// SelectionSortWorstCase infers the precondition under which selection sort
+// performs a swap in every outer iteration (n−1 swaps, the worst case, Fig.
+// 1b). The paper's answer: the prefix strictly sorted and A[n−1] strictly
+// smallest.
+func SelectionSortWorstCase() *spec.Problem {
+	prog := lang.MustParse(`
+		program SelectionSortWorst(array A, n) {
+			i := 0;
+			while outer (i < n - 1) {
+				min := i;
+				j := i + 1;
+				while inner (j < n) {
+					if (A[j] < A[min]) {
+						min := j;
+					}
+					j := j + 1;
+				}
+				assert(i != min);
+				t := A[i];
+				A[i] := A[min];
+				A[min] := t;
+				i := i + 1;
+			}
+		}`)
+	last := logic.Sel(logic.AV("A"), logic.Minus(v("n"), logic.I(1)))
+	// ∀k: guard ⇒ A[n−1] < A[k] (the last cell holds the strict minimum of
+	// the guard's range).
+	lastMin := func(g string) logic.Formula {
+		return forallImp([]string{"k"}, unk(g), logic.LtF(last, sel("A", "k")))
+	}
+	// ∀k1,k2: guard ⇒ A[k1] < A[k2] (strict sortedness).
+	strictSorted := func(g string) logic.Formula {
+		return forallImp([]string{"k1", "k2"}, unk(g), logic.LtF(sel("A", "k1"), sel("A", "k2")))
+	}
+	entry := logic.Conj(lastMin("pm"), strictSorted("ps"))
+	outer := logic.Conj(unk("u0"), lastMin("um"), strictSorted("us"))
+	inner := logic.Conj(
+		unk("v0"), lastMin("vm"), strictSorted("vs"),
+		forallImp([]string{"k"}, unk("vt"), logic.LeF(sel("A", "min"), sel("A", "k"))),
+	)
+	qm := preds("0 <= k", "i <= k", "k < n - 1", "k < n")
+	qs := preds("0 <= k1", "i <= k1", "k1 < k2", "k2 < n - 1", "k2 < n")
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"entry": entry, "outer": outer, "inner": inner,
+		},
+		Q: template.Domain{
+			"pm": qm,
+			"ps": qs,
+			"u0": preds("0 <= i", "i < n", "i <= n"),
+			"um": qm,
+			"us": qs,
+			"v0": preds("0 <= i", "i < n - 1", "i <= min", "min < j", "i < j", "j <= n"),
+			"vm": qm,
+			"vs": qs,
+			"vt": preds("i <= k", "k < j", "0 <= k", "k < n"),
+		},
+	}
+}
+
+// InsertionSortWorstCase infers the precondition under which insertion
+// sort's inner copy loop executes in every outer iteration: the shift
+// condition holds immediately. The paper's answer: the array is strictly
+// reverse-sorted (∀k: A[k] > A[k+1]); we infer the equivalent pairwise form.
+func InsertionSortWorstCase() *spec.Problem {
+	prog := lang.MustParse(`
+		program InsertionSortWorst(array A, n) {
+			i := 1;
+			while outer (i < n) {
+				j := i - 1;
+				val := A[i];
+				assert(j >= 0 && A[j] > val);
+				while inner (j >= 0 && A[j] > val) {
+					A[j + 1] := A[j];
+					j := j - 1;
+				}
+				A[j + 1] := val;
+				i := i + 1;
+			}
+		}`)
+	// ∀k1,k2: guard ⇒ A[k2] < A[k1] (strict descent between the ranges).
+	desc := func(g string) logic.Formula {
+		return forallImp([]string{"k1", "k2"}, unk(g), logic.LtF(sel("A", "k2"), sel("A", "k1")))
+	}
+	entry := desc("p")
+	// Outer: prefix dominates suffix; suffix strictly descending.
+	outer := logic.Conj(unk("u0"), desc("u1"), desc("u2"))
+	// Inner: all of A[0..i] dominates the suffix; suffix strictly
+	// descending; val below every unshifted prefix cell.
+	inner := logic.Conj(
+		unk("w0"), desc("w1"), desc("w2"),
+		forallImp([]string{"k"}, unk("w3"), logic.LtF(v("val"), sel("A", "k"))),
+	)
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"entry": entry, "outer": outer, "inner": inner,
+		},
+		Q: template.Domain{
+			"p":  preds("0 <= k1", "k1 < k2", "k2 < n"),
+			"u0": preds("1 <= i", "i <= n", "0 <= i"),
+			"u1": preds("0 <= k1", "k1 < i", "i <= k2", "k2 < n"),
+			"u2": preds("i <= k1", "k1 < k2", "k2 < n"),
+			"w0": preds("j >= -1", "j < i", "1 <= i", "i < n"),
+			"w1": preds("0 <= k1", "k1 <= i", "i < k2", "k2 < n"),
+			"w2": preds("i <= k1", "k1 < k2", "k2 < n"),
+			"w3": preds("0 <= k", "k <= j", "k < j"),
+		},
+	}
+}
+
+// QuickSortInnerWorstCase infers the precondition under which the
+// partitioning step moves an element into the low side in every iteration
+// (n−1 swaps): every element must be at least the pivot A[0] — implied by
+// the paper's sorted-array precondition and strictly weaker than it.
+func QuickSortInnerWorstCase() *spec.Problem {
+	prog := lang.MustParse(`
+		program QuickSortInnerWorst(array A, n) {
+			assume(n >= 1);
+			pivot := A[0];
+			s := 1;
+			i := 1;
+			while loop (i < n) {
+				assert(A[i] >= pivot);
+				if (A[i] >= pivot) {
+					t := A[i];
+					A[i] := A[s];
+					A[s] := t;
+					s := s + 1;
+				}
+				i := i + 1;
+			}
+		}`)
+	// ∀k: guard ⇒ A[0] ≤ A[k].
+	entry := forallImp([]string{"k"}, unk("p"),
+		logic.LeF(logic.Sel(logic.AV("A"), logic.I(0)), sel("A", "k")))
+	loop := logic.Conj(
+		unk("v0"),
+		forallImp([]string{"k"}, unk("v1"), logic.LeF(v("pivot"), sel("A", "k"))),
+		forallImp([]string{"k"}, unk("v2"), logic.LeF(v("pivot"), sel("A", "k"))),
+	)
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"entry": entry, "loop": loop,
+		},
+		Q: template.Domain{
+			"p":  preds("0 <= k", "1 <= k", "k < n"),
+			"v0": preds("s = i", "1 <= i", "i <= n", "1 <= s", "pivot <= A[0]"),
+			"v1": preds("i <= k", "k < n", "0 <= k"),
+			"v2": preds("0 <= k", "k < s", "k < i", "1 <= k"),
+		},
+	}
+}
+
+// BubbleSortFlagWorstCase infers the precondition under which the early-exit
+// bubble sort never exits early: the swapped flag is set by every one of its
+// n−1 passes. The answer is a strictly descending array.
+func BubbleSortFlagWorstCase() *spec.Problem {
+	prog := lang.MustParse(`
+		program BubbleSortFlagWorst(array A, n) {
+			swapped := 1;
+			i := 0;
+			while outer (swapped = 1 && i < n - 1) {
+				swapped := 0;
+				j := 0;
+				while inner (j < n - 1 - i) {
+					if (A[j] > A[j + 1]) {
+						t := A[j];
+						A[j] := A[j + 1];
+						A[j + 1] := t;
+						swapped := 1;
+					}
+					j := j + 1;
+				}
+				assert(swapped = 1);
+				i := i + 1;
+			}
+		}`)
+	desc := func(g string) logic.Formula {
+		return forallImp([]string{"k1", "k2"}, unk(g), logic.LtF(sel("A", "k2"), sel("A", "k1")))
+	}
+	entry := desc("p")
+	outer := logic.Conj(unk("o0"), desc("o1"))
+	inner := logic.Conj(
+		unk("w0"),
+		logic.Disj(unk("wa"), unk("wb")),
+		desc("wd"), // prefix [0, j) strictly descending
+		desc("we"), // cross: prefix cells dominate cells beyond j
+		desc("wf"), // untouched segment [j, n−1−i) strictly descending
+	)
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"entry": entry, "outer": outer, "inner": inner,
+		},
+		Q: template.Domain{
+			"p":  preds("0 <= k1", "k1 < k2", "k2 < n"),
+			"o0": preds("0 <= i", "0 <= swapped", "swapped <= 1"),
+			"o1": preds("0 <= k1", "k1 < k2", "k2 + i < n"),
+			"w0": preds("0 <= j", "0 <= i", "j + i <= n - 1", "0 <= swapped", "swapped <= 1", "i < n - 1"),
+			"wa": preds("1 <= swapped", "swapped = 1"),
+			"wb": preds("j <= 0", "j < 1"),
+			"wd": preds("0 <= k1", "k1 < k2", "k2 < j"),
+			"we": preds("0 <= k1", "k1 < j", "j < k2", "k2 + i < n"),
+			"wf": preds("j <= k1", "k1 < k2", "k2 + i < n"),
+		},
+	}
+}
+
+// WorstCaseTasks returns the Table 2 precondition-inference tasks.
+func WorstCaseTasks() []Task {
+	return []Task{
+		{Name: "Selection Sort", Property: "upper-bound", Kind: Precondition, Build: SelectionSortWorstCase},
+		{Name: "Insertion Sort", Property: "upper-bound", Kind: Precondition, Build: InsertionSortWorstCase},
+		{Name: "Quick Sort (inner)", Property: "upper-bound", Kind: Precondition, Build: QuickSortInnerWorstCase},
+		{Name: "Bubble Sort (flag)", Property: "upper-bound", Kind: Precondition, Build: BubbleSortFlagWorstCase},
+	}
+}

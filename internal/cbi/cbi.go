@@ -1,0 +1,308 @@
+// Package cbi implements the constraint-based fixed-point algorithm of §5:
+// the verification condition of the whole program is encoded as a boolean
+// formula ψ_Prog over indicator variables b_{v,q} ("predicate q is chosen
+// for unknown v"), built from OptimalNegativeSolutions calls, and solved
+// with the CDCL SAT solver. A satisfying assignment decodes to a candidate
+// invariant solution, which is re-verified against the SMT solver; failed
+// candidates are blocked and the SAT search resumes, so the returned
+// solution always validates VC(Prog, σ).
+package cbi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/optimal"
+	"repro/internal/sat"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/template"
+	"repro/internal/vc"
+)
+
+// Options bounds a constraint-based run.
+type Options struct {
+	// MaxModels bounds how many SAT models are decoded and re-verified
+	// before giving up (default 64).
+	MaxModels int
+	// Stop, when non-nil, is polled between encoding steps and SAT models;
+	// returning true abandons the run.
+	Stop func() bool
+	// Stats optionally records Figure 9 SAT formula sizes.
+	Stats *stats.Collector
+}
+
+func (o Options) normalize() Options {
+	if o.MaxModels == 0 {
+		o.MaxModels = 64
+	}
+	return o
+}
+
+// Result reports the outcome of a constraint-based run.
+type Result struct {
+	// Solution is the invariant solution found (nil if none).
+	Solution template.Solution
+	// Clauses and Vars describe the ψ_Prog SAT instance (Figure 9).
+	Clauses, Vars int
+	// Models is the number of SAT models examined.
+	Models int
+}
+
+// Found reports whether an invariant solution was discovered.
+func (r Result) Found() bool { return r.Solution != nil }
+
+// bvar identifies an indicator variable b_{v,q} by unknown name and the
+// canonical form of the (original-variable) predicate.
+type bvar struct {
+	unknown string
+	predKey string
+}
+
+// encoder accumulates ψ_Prog.
+type encoder struct {
+	s     *sat.Solver
+	vars  map[bvar]int
+	preds map[bvar]logic.Formula // remembers the predicate for decoding
+}
+
+func (e *encoder) vidx(u string, p logic.Formula) int {
+	k := bvar{unknown: u, predKey: p.String()}
+	if v, ok := e.vars[k]; ok {
+		return v
+	}
+	v := e.s.NewVar()
+	e.vars[k] = v
+	e.preds[k] = p
+	return v
+}
+
+// Solve runs the constraint-based algorithm on a problem.
+func Solve(p *spec.Problem, eng *optimal.Engine, opts Options) (Result, error) {
+	opts = opts.normalize()
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	enc := &encoder{s: sat.New(), vars: map[bvar]int{}, preds: map[bvar]logic.Formula{}}
+
+	for _, path := range p.Paths() {
+		if opts.Stop != nil && opts.Stop() {
+			return Result{}, nil
+		}
+		if err := encodePath(p, eng, enc, path); err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Clauses: enc.s.NumClauses(), Vars: enc.s.NumVars()}
+	opts.Stats.RecordSATSize(res.Clauses, res.Vars)
+
+	// Enumerate models, decode, and re-verify until one candidate passes
+	// the full VC(Prog, σ) check.
+	for res.Models < opts.MaxModels {
+		if opts.Stop != nil && opts.Stop() {
+			return res, nil
+		}
+		if enc.s.Solve() != sat.Sat {
+			return res, nil
+		}
+		res.Models++
+		sigma := decode(p, enc)
+		if ok, _ := p.CheckAll(eng.S, sigma); ok {
+			res.Solution = sigma
+			return res, nil
+		}
+		// Block this exact assignment of the indicator variables.
+		blocking := make([]sat.Lit, 0, len(enc.vars))
+		for _, v := range sortedVarIdxs(enc) {
+			blocking = append(blocking, sat.MkLit(v, enc.s.Value(v)))
+		}
+		if !enc.s.AddClause(blocking...) {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func sortedVarIdxs(enc *encoder) []int {
+	out := make([]int, 0, len(enc.vars))
+	for _, v := range enc.vars {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// encodePath adds ψ_{δ,τ1,τ2,σt} to the SAT instance (§5.2).
+func encodePath(p *spec.Problem, eng *optimal.Engine, enc *encoder, path vc.Path) error {
+	t1 := p.TemplateAt(path.From)
+	t2 := p.TemplateAt(path.To)
+
+	// Rename τ2's unknowns when both ends share the template (loop paths),
+	// keeping the orig mapping back to the original unknown names.
+	orig := map[string]string{}
+	for _, u := range logic.Unknowns(t1) {
+		orig[u] = u
+	}
+	t2r := t2
+	if sharesUnknowns(t1, t2) {
+		ren := map[string]string{}
+		for _, u := range logic.Unknowns(t2) {
+			ren[u] = u + "@post"
+		}
+		t2r = template.RenameUnknowns(t2, ren)
+		for u, ru := range ren {
+			orig[ru] = u
+		}
+	} else {
+		for _, u := range logic.Unknowns(t2) {
+			orig[u] = u
+		}
+	}
+	// τ2 lives over the path's SSA exit variables.
+	t2ssa := path.Sigma.Apply(t2r)
+	phi := path.VC(t1, t2ssa)
+
+	pol, err := template.Polarities(phi)
+	if err != nil {
+		return fmt.Errorf("cbi: path %s->%s: %w", path.From, path.To, err)
+	}
+	pos, neg := template.Split(pol)
+
+	// fromUnknown reports whether an unknown of φ came from τ1 (original
+	// variables) rather than τ2 (σt-renamed variables).
+	t1Unknowns := map[string]bool{}
+	for _, u := range logic.Unknowns(t1) {
+		t1Unknowns[u] = true
+	}
+	inv := path.Sigma.Inverse()
+
+	// Q′: the vocabulary of each unknown of φ, renamed for τ2-side unknowns.
+	qp := template.Domain{}
+	for _, u := range append(append([]string(nil), pos...), neg...) {
+		base := p.Q[orig[u]]
+		if t1Unknowns[u] {
+			qp[u] = base
+		} else {
+			renamed := make([]logic.Formula, len(base))
+			for i, q := range base {
+				renamed[i] = path.Sigma.Apply(q)
+			}
+			qp[u] = renamed
+		}
+	}
+	negDomain := template.Domain{}
+	for _, n := range neg {
+		negDomain[n] = qp[n]
+	}
+
+	// backToOriginal maps a solution over φ's unknowns to original unknowns
+	// and original-variable predicates.
+	backToOriginal := func(u string, ps template.PredSet) (string, template.PredSet) {
+		if t1Unknowns[u] {
+			return orig[u], ps
+		}
+		return orig[u], ps.Rename(inv)
+	}
+	bc := func(sol template.Solution) []sat.Lit {
+		var lits []sat.Lit
+		for u, ps := range sol {
+			ou, ops := backToOriginal(u, ps)
+			for _, q := range ops.Preds() {
+				lits = append(lits, sat.MkLit(enc.vidx(ou, q), false))
+			}
+		}
+		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+		return lits
+	}
+
+	emptyPos := template.Solution{}
+	for _, r := range pos {
+		emptyPos[r] = template.NewPredSet()
+	}
+
+	// Base case: S_{δ,τ1,τ2} with every positive unknown empty; at least one
+	// optimal negative support must be chosen.
+	base := eng.OptimalNegativeSolutions(emptyPos.Fill(phi), negDomain)
+	if err := addCover(enc, nil, base, bc); err != nil {
+		return fmt.Errorf("cbi: path %s->%s: %w", path.From, path.To, err)
+	}
+
+	// Positive cases: b_{orig(ρ),q·σt⁻¹} ⇒ ∨ BC(S^{ρ,q}).
+	for _, r := range pos {
+		for qi, q := range qp[r] {
+			posPart := emptyPos.Clone()
+			posPart[r] = template.NewPredSet(q)
+			sols := eng.OptimalNegativeSolutions(posPart.Fill(phi), negDomain)
+			ou, oq := orig[r], p.Q[orig[r]][qi]
+			guard := sat.MkLit(enc.vidx(ou, oq), true) // ¬b ∨ cover
+			if err := addCover(enc, []sat.Lit{guard}, sols, bc); err != nil {
+				return fmt.Errorf("cbi: path %s->%s: %w", path.From, path.To, err)
+			}
+		}
+	}
+	return nil
+}
+
+// addCover encodes guard ⇒ (∨_{t∈sols} BC(t)) by introducing one selector
+// variable per disjunct.
+func addCover(enc *encoder, guard []sat.Lit, sols []template.Solution, bc func(template.Solution) []sat.Lit) error {
+	if len(sols) == 0 {
+		// No support: the guard must be false (or, with no guard, the whole
+		// instance is unsatisfiable).
+		if len(guard) == 0 {
+			enc.s.AddClause() // empty clause
+			return nil
+		}
+		enc.s.AddClause(guard...)
+		return nil
+	}
+	clause := append([]sat.Lit(nil), guard...)
+	for _, sol := range sols {
+		lits := bc(sol)
+		if len(lits) == 0 {
+			// An empty support (σ maps every negative to ∅) is trivially
+			// chosen: the implication is satisfied outright.
+			return nil
+		}
+		if len(lits) == 1 {
+			clause = append(clause, lits[0])
+			continue
+		}
+		sel := enc.s.NewVar()
+		selLit := sat.MkLit(sel, false)
+		for _, l := range lits {
+			enc.s.AddClause(selLit.Not(), l)
+		}
+		clause = append(clause, selLit)
+	}
+	enc.s.AddClause(clause...)
+	return nil
+}
+
+// decode reads the model into a solution over the original unknowns.
+func decode(p *spec.Problem, enc *encoder) template.Solution {
+	sigma := template.Solution{}
+	for _, u := range p.Unknowns() {
+		sigma[u] = template.NewPredSet()
+	}
+	for k, v := range enc.vars {
+		if enc.s.Value(v) {
+			sigma[k.unknown] = sigma[k.unknown].Add(enc.preds[k])
+		}
+	}
+	return sigma
+}
+
+func sharesUnknowns(t1, t2 logic.Formula) bool {
+	u1 := map[string]bool{}
+	for _, u := range logic.Unknowns(t1) {
+		u1[u] = true
+	}
+	for _, u := range logic.Unknowns(t2) {
+		if u1[u] {
+			return true
+		}
+	}
+	return false
+}

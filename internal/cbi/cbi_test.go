@@ -1,0 +1,65 @@
+package cbi
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/optimal"
+	"repro/internal/predabs"
+	"repro/internal/smt"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+func arrayInitProblem() *spec.Problem {
+	prog := lang.MustParse(`
+		program ArrayInit(array A, n) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall j. (0 <= j && j < n) => A[j] = 0);
+		}`)
+	tmpl := logic.All([]string{"j"},
+		logic.Imp(logic.Unknown{Name: "v"}, logic.EqF(logic.Sel(logic.AV("A"), logic.V("j")), logic.I(0))))
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q:         template.Domain{"v": predabs.QjV("j", []string{"0", "i", "n"})},
+	}
+}
+
+func TestArrayInitCFP(t *testing.T) {
+	p := arrayInitProblem()
+	eng := optimal.New(smt.NewSolver(smt.Options{}))
+	res, err := Solve(p, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatalf("CFP found no invariant (models examined: %d)", res.Models)
+	}
+	if ok, fail := p.CheckAll(eng.S, res.Solution); !ok {
+		t.Fatalf("CFP returned non-invariant %v; failing path %v", res.Solution, fail)
+	}
+	if res.Clauses == 0 || res.Vars == 0 {
+		t.Errorf("expected a nonempty SAT instance, got %d clauses %d vars", res.Clauses, res.Vars)
+	}
+	t.Logf("CFP clauses=%d vars=%d models=%d solution v -> %s",
+		res.Clauses, res.Vars, res.Models, res.Solution["v"])
+}
+
+func TestArrayInitCFPNoSolutionWithoutPredicates(t *testing.T) {
+	p := arrayInitProblem()
+	p.Q = template.Domain{"v": predabs.QjV("j", []string{"n"})}
+	eng := optimal.New(smt.NewSolver(smt.Options{}))
+	res, err := Solve(p, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() {
+		t.Fatalf("CFP should fail without i-comparisons, got %v", res.Solution)
+	}
+}

@@ -1,0 +1,195 @@
+// Package core is the public façade of the verifier: it wires the SMT
+// solver, the optimal-solutions engine, and the three fixed-point algorithms
+// of Srivastava & Gulwani (PLDI 2009) behind one Verifier type.
+//
+// A verification task is a spec.Problem: a program, an invariant template
+// per cut-point, and a predicate vocabulary per template unknown. Verify
+// discovers an instantiation of the templates that makes every verification
+// condition valid (an inductive invariant proving the program's assertions);
+// InferPreconditions and InferPostconditions run the §6 extensions.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cbi"
+	"repro/internal/fixpoint"
+	"repro/internal/logic"
+	"repro/internal/optimal"
+	"repro/internal/precond"
+	"repro/internal/smt"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/template"
+	"repro/internal/vc"
+)
+
+// Method selects a fixed-point algorithm.
+type Method int
+
+// The three algorithms of the paper.
+const (
+	// LFP is the forward, least fixed-point iterative algorithm (§4.1).
+	LFP Method = iota
+	// GFP is the backward, greatest fixed-point iterative algorithm (§4.2).
+	GFP
+	// CFP is the constraint-based algorithm (§5).
+	CFP
+)
+
+func (m Method) String() string {
+	switch m {
+	case LFP:
+		return "LFP"
+	case GFP:
+		return "GFP"
+	case CFP:
+		return "CFP"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Methods lists all three algorithms in the paper's reporting order.
+var Methods = []Method{LFP, GFP, CFP}
+
+// Config tunes a Verifier. The zero value is usable.
+type Config struct {
+	// SMT configures the validity checker.
+	SMT smt.Options
+	// MaxNegDepth bounds OptimalNegativeSolutions' BFS (default 4).
+	MaxNegDepth int
+	// Fixpoint bounds the iterative algorithms.
+	Fixpoint fixpoint.Options
+	// CBI bounds the constraint-based algorithm.
+	CBI cbi.Options
+	// Stats, when non-nil, collects the Figure 4–9 measurements.
+	Stats *stats.Collector
+}
+
+// Verifier runs verification tasks. Not safe for concurrent use (the
+// underlying SMT solver memoizes state).
+type Verifier struct {
+	cfg Config
+	eng *optimal.Engine
+}
+
+// New returns a Verifier with the given configuration.
+func New(cfg Config) *Verifier {
+	if cfg.SMT.Stop == nil {
+		cfg.SMT.Stop = cfg.Fixpoint.Stop
+	}
+	s := smt.NewSolver(cfg.SMT)
+	s.SetStats(cfg.Stats)
+	eng := optimal.New(s)
+	if cfg.MaxNegDepth > 0 {
+		eng.MaxDepth = cfg.MaxNegDepth
+	}
+	eng.Stats = cfg.Stats
+	eng.Stop = cfg.Fixpoint.Stop
+	cfg.Fixpoint.Stats = cfg.Stats
+	cfg.CBI.Stats = cfg.Stats
+	return &Verifier{cfg: cfg, eng: eng}
+}
+
+// Engine exposes the underlying optimal-solutions engine (for tests and the
+// benchmark harness).
+func (v *Verifier) Engine() *optimal.Engine { return v.eng }
+
+// Outcome reports a verification run.
+type Outcome struct {
+	// Proved reports whether an invariant solution was found.
+	Proved bool
+	// Solution is the discovered solution (nil when !Proved).
+	Solution template.Solution
+	// Invariants maps each templated cut-point to its instantiated,
+	// simplified invariant.
+	Invariants map[string]logic.Formula
+	// Method is the algorithm that ran.
+	Method Method
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+	// Steps counts worklist iterations (iterative methods) or SAT models
+	// examined (CFP).
+	Steps int
+}
+
+// Verify runs the selected algorithm on the problem.
+func (v *Verifier) Verify(p *spec.Problem, m Method) (Outcome, error) {
+	start := time.Now()
+	out := Outcome{Method: m}
+	switch m {
+	case LFP:
+		res, err := fixpoint.LeastFixedPoint(p, v.eng, v.cfg.Fixpoint)
+		if err != nil {
+			return out, err
+		}
+		out.Proved, out.Solution, out.Steps = res.Found(), res.Solution, res.Steps
+	case GFP:
+		res, err := fixpoint.GreatestFixedPoint(p, v.eng, v.cfg.Fixpoint)
+		if err != nil {
+			return out, err
+		}
+		out.Proved, out.Solution, out.Steps = res.Found(), res.Solution, res.Steps
+	case CFP:
+		res, err := cbi.Solve(p, v.eng, v.cfg.CBI)
+		if err != nil {
+			return out, err
+		}
+		out.Proved, out.Solution, out.Steps = res.Found(), res.Solution, res.Models
+	default:
+		return out, fmt.Errorf("core: unknown method %v", m)
+	}
+	out.Duration = time.Since(start)
+	if out.Proved {
+		out.Invariants = instantiate(p, out.Solution)
+	}
+	return out, nil
+}
+
+// InferPreconditions runs §6 maximally-weak precondition inference; the
+// problem's entry template must contain unknowns.
+func (v *Verifier) InferPreconditions(p *spec.Problem) ([]precond.Precondition, error) {
+	if len(logic.Unknowns(p.TemplateAt(vc.Entry))) == 0 {
+		return nil, fmt.Errorf("core: entry template has no unknowns; attach one to infer preconditions")
+	}
+	return precond.MaximallyWeak(p, v.eng, v.cfg.Fixpoint)
+}
+
+// InferPostconditions runs the dual maximally-strong postcondition
+// inference; the problem's exit template must contain unknowns.
+func (v *Verifier) InferPostconditions(p *spec.Problem) ([]precond.Postcondition, error) {
+	if len(logic.Unknowns(p.TemplateAt(vc.Exit))) == 0 {
+		return nil, fmt.Errorf("core: exit template has no unknowns; attach one to infer postconditions")
+	}
+	return precond.MaximallyStrong(p, v.eng, v.cfg.Fixpoint)
+}
+
+func instantiate(p *spec.Problem, sigma template.Solution) map[string]logic.Formula {
+	out := map[string]logic.Formula{}
+	for cut, t := range p.Templates {
+		if len(logic.Unknowns(t)) == 0 {
+			continue
+		}
+		out[cut] = logic.Simplify(sigma.Fill(t))
+	}
+	return out
+}
+
+// FormatOutcome renders an outcome for human consumption.
+func FormatOutcome(o Outcome) string {
+	if !o.Proved {
+		return fmt.Sprintf("%s: no invariant found (%v, %d steps)", o.Method, o.Duration.Round(time.Millisecond), o.Steps)
+	}
+	s := fmt.Sprintf("%s: proved in %v (%d steps)\n", o.Method, o.Duration.Round(time.Millisecond), o.Steps)
+	cuts := make([]string, 0, len(o.Invariants))
+	for c := range o.Invariants {
+		cuts = append(cuts, c)
+	}
+	sort.Strings(cuts)
+	for _, c := range cuts {
+		s += fmt.Sprintf("  %s: %s\n", c, o.Invariants[c])
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package fixpoint
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/optimal"
+	"repro/internal/predabs"
+	"repro/internal/smt"
+	"repro/internal/spec"
+	"repro/internal/template"
+	"repro/internal/vc"
+)
+
+// arrayInitProblem is the paper's running example (Example 2): initialize
+// A[0..n) to zero, template ∀j: v ⇒ A[j]=0, Q(v) = Q_{j,{0,i,n}}.
+func arrayInitProblem() *spec.Problem {
+	prog := lang.MustParse(`
+		program ArrayInit(array A, n) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall j. (0 <= j && j < n) => A[j] = 0);
+		}`)
+	tmpl := logic.All([]string{"j"},
+		logic.Imp(logic.Unknown{Name: "v"}, logic.EqF(logic.Sel(logic.AV("A"), logic.V("j")), logic.I(0))))
+	return &spec.Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": tmpl},
+		Q:         template.Domain{"v": predabs.QjV("j", []string{"0", "i", "n"})},
+	}
+}
+
+func newEngine() *optimal.Engine {
+	return optimal.New(smt.NewSolver(smt.Options{}))
+}
+
+func TestArrayInitPaths(t *testing.T) {
+	p := arrayInitProblem()
+	paths := p.Paths()
+	// Entry→loop, loop→loop (inductive), loop→exit.
+	want := map[string]bool{"entry->loop": false, "loop->loop": false, "loop->exit": false}
+	for _, path := range paths {
+		key := path.From + "->" + path.To
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected path %s", key)
+		}
+		want[key] = true
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing path %s", k)
+		}
+	}
+	if len(paths) != 3 {
+		t.Errorf("got %d paths, want 3", len(paths))
+	}
+}
+
+func TestArrayInitKnownSolutionChecks(t *testing.T) {
+	p := arrayInitProblem()
+	eng := newEngine()
+	// The known invariant: v ↦ {0 ≤ j, j < i} (Example 3).
+	sigma := template.Solution{"v": template.NewPredSet(
+		logic.LeF(logic.I(0), logic.V("j")),
+		logic.LtF(logic.V("j"), logic.V("i")),
+	)}
+	ok, fail := p.CheckAll(eng.S, sigma)
+	if !ok {
+		t.Fatalf("known invariant rejected; failing path %v", fail)
+	}
+	// A wrong invariant: v ↦ {} (i.e. all cells zero) fails the entry VC.
+	bad := template.Solution{"v": template.NewPredSet()}
+	if ok, _ := p.CheckAll(eng.S, bad); ok {
+		t.Fatal("vacuous invariant should fail")
+	}
+}
+
+func TestArrayInitLFP(t *testing.T) {
+	p := arrayInitProblem()
+	eng := newEngine()
+	res, err := LeastFixedPoint(p, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatalf("LFP found no invariant after %d steps (exhausted=%v)", res.Steps, res.Exhausted)
+	}
+	if ok, fail := p.CheckAll(eng.S, res.Solution); !ok {
+		t.Fatalf("LFP returned non-invariant %v; failing path %v", res.Solution, fail)
+	}
+	t.Logf("LFP steps=%d solution: %s", res.Steps, String(p, res.Solution))
+}
+
+func TestArrayInitGFP(t *testing.T) {
+	p := arrayInitProblem()
+	eng := newEngine()
+	res, err := GreatestFixedPoint(p, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatalf("GFP found no invariant after %d steps (exhausted=%v)", res.Steps, res.Exhausted)
+	}
+	if ok, fail := p.CheckAll(eng.S, res.Solution); !ok {
+		t.Fatalf("GFP returned non-invariant %v; failing path %v", res.Solution, fail)
+	}
+	t.Logf("GFP steps=%d solution: %s", res.Steps, String(p, res.Solution))
+}
+
+func TestArrayInitUnprovableWithBadPredicates(t *testing.T) {
+	p := arrayInitProblem()
+	// Remove the needed predicates: only comparisons against n remain.
+	p.Q = template.Domain{"v": predabs.QjV("j", []string{"n"})}
+	eng := newEngine()
+	res, err := LeastFixedPoint(p, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() {
+		t.Fatalf("LFP should fail without the i-comparison predicates, got %v", res.Solution)
+	}
+	if !res.Exhausted {
+		t.Error("expected the candidate set to exhaust")
+	}
+}
+
+func TestEntryExitTemplatesDefaultTrue(t *testing.T) {
+	p := arrayInitProblem()
+	if got := p.TemplateAt(vc.Entry); !logic.FormulaEq(got, logic.True) {
+		t.Errorf("entry template = %v, want true", got)
+	}
+}

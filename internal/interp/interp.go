@@ -1,0 +1,162 @@
+// Package interp executes programs of the mini-language concretely. It
+// serves three roles in the test suite: validating that the benchmark
+// programs actually compute what they claim (the sorts sort), checking
+// discovered invariants against concrete cut-point states, and providing
+// ground truth for assertion behaviour under candidate preconditions.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+// Result reports one concrete run.
+type Result struct {
+	// Env is the final state.
+	Env *logic.Env
+	// AssertFailed is non-nil if an assert evaluated false, naming it.
+	AssertFailed logic.Formula
+	// AssumeFailed reports that an assume evaluated false (the run is
+	// silently discarded semantics-wise; callers usually retry).
+	AssumeFailed bool
+	// Steps counts executed statements (loop bound protection).
+	Steps int
+	// CutStates records the machine state at every cut-point visit,
+	// keyed by loop label, for invariant auditing.
+	CutStates map[string][]*logic.Env
+}
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps bounds execution (default 100000).
+	MaxSteps int
+	// Rand drives non-deterministic choices and havoc (default: seed 1).
+	Rand *rand.Rand
+	// HavocRange bounds havoc'd values to [-HavocRange, HavocRange]
+	// (default 8).
+	HavocRange int64
+	// RecordCuts enables CutStates collection.
+	RecordCuts bool
+}
+
+func (o Options) normalize() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 100000
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	if o.HavocRange == 0 {
+		o.HavocRange = 8
+	}
+	return o
+}
+
+// Run executes the program from the given initial environment (which is
+// mutated). Execution stops at the first failed assert; failed assumes end
+// the run silently (AssumeFailed set).
+func Run(p *lang.Program, env *logic.Env, opts Options) (*Result, error) {
+	opts = opts.normalize()
+	res := &Result{Env: env, CutStates: map[string][]*logic.Env{}}
+	err := runStmts(p.Body, env, opts, res)
+	return res, err
+}
+
+type stopError struct{ reason string }
+
+func (e stopError) Error() string { return e.reason }
+
+func runStmts(stmts []lang.Stmt, env *logic.Env, opts Options, res *Result) error {
+	for _, s := range stmts {
+		res.Steps++
+		if res.Steps > opts.MaxSteps {
+			return fmt.Errorf("interp: step bound %d exceeded (non-terminating?)", opts.MaxSteps)
+		}
+		switch s := s.(type) {
+		case lang.Assign:
+			env.Ints[s.X] = env.EvalTerm(s.E)
+		case lang.ArrAssign:
+			idx, val := env.EvalTerm(s.Idx), env.EvalTerm(s.E)
+			m := env.Arrs[s.A]
+			if m == nil {
+				m = map[int64]int64{}
+				env.Arrs[s.A] = m
+			}
+			m[idx] = val
+		case lang.Havoc:
+			env.Ints[s.X] = opts.Rand.Int63n(2*opts.HavocRange+1) - opts.HavocRange
+		case lang.Assume:
+			if !env.EvalFormula(s.F) {
+				res.AssumeFailed = true
+				return stopError{reason: "assume"}
+			}
+		case lang.Assert:
+			if !env.EvalFormula(s.F) {
+				res.AssertFailed = s.F
+				return stopError{reason: "assert"}
+			}
+		case lang.If:
+			take := opts.Rand.Intn(2) == 0
+			if s.Cond != nil {
+				take = env.EvalFormula(s.Cond)
+			}
+			var err error
+			if take {
+				err = runStmts(s.Then, env, opts, res)
+			} else {
+				err = runStmts(s.Else, env, opts, res)
+			}
+			if err != nil {
+				return err
+			}
+		case lang.While:
+			for {
+				if opts.RecordCuts {
+					res.CutStates[s.Label] = append(res.CutStates[s.Label], env.Clone())
+				}
+				cont := opts.Rand.Intn(2) == 0
+				if s.Cond != nil {
+					cont = env.EvalFormula(s.Cond)
+				}
+				if !cont {
+					break
+				}
+				if err := runStmts(s.Body, env, opts, res); err != nil {
+					return err
+				}
+				res.Steps++
+				if res.Steps > opts.MaxSteps {
+					return fmt.Errorf("interp: step bound %d exceeded in loop %s", opts.MaxSteps, s.Label)
+				}
+			}
+		default:
+			return fmt.Errorf("interp: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+// RunClean is Run but converts the internal early-stop sentinel into a nil
+// error: assert/assume outcomes are reported via the Result.
+func RunClean(p *lang.Program, env *logic.Env, opts Options) (*Result, error) {
+	res, err := Run(p, env, opts)
+	if _, stopped := err.(stopError); stopped {
+		err = nil
+	}
+	return res, err
+}
+
+// CheckInvariant evaluates an instantiated invariant formula at every
+// recorded visit of the given cut-point, returning the first violating
+// state (nil if none).
+func CheckInvariant(res *Result, cut string, inv logic.Formula) *logic.Env {
+	for _, st := range res.CutStates[cut] {
+		if !st.EvalFormula(inv) {
+			return st
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package interp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+func runOn(t *testing.T, p *lang.Program, env *logic.Env, opts Options) *Result {
+	t.Helper()
+	res, err := RunClean(p, env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestArithmeticAndControl(t *testing.T) {
+	p := lang.MustParse(`
+		program Sum(n) {
+			s := 0;
+			i := 1;
+			while loop (i <= n) {
+				s := s + i;
+				i := i + 1;
+			}
+			assert(2 * s = n + n);
+		}`)
+	// The assert is wrong in general (it says 2s = 2n); with n = 1 the sum
+	// is 1 and 2·1 = 1+1 holds; with n = 3 the sum is 6 and 12 ≠ 6.
+	env := logic.NewEnv(-10, 10)
+	env.Ints["n"] = 1
+	res := runOn(t, p, env, Options{})
+	if res.AssertFailed != nil {
+		t.Errorf("n=1 should pass: %v", res.AssertFailed)
+	}
+	env2 := logic.NewEnv(-10, 10)
+	env2.Ints["n"] = 3
+	res2 := runOn(t, p, env2, Options{})
+	if res2.AssertFailed == nil {
+		t.Error("n=3 should fail the bogus assert")
+	}
+}
+
+func TestAssumeStopsRun(t *testing.T) {
+	p := lang.MustParse(`
+		program P(x) {
+			assume(x > 0);
+			assert(false);
+		}`)
+	env := logic.NewEnv(-2, 2)
+	env.Ints["x"] = -1
+	res := runOn(t, p, env, Options{})
+	if !res.AssumeFailed || res.AssertFailed != nil {
+		t.Errorf("failed assume must end the run before the assert: %+v", res)
+	}
+}
+
+func TestStepBound(t *testing.T) {
+	p := lang.MustParse(`
+		program Loop(n) {
+			while w (0 < 1) {
+				n := n + 1;
+			}
+		}`)
+	if _, err := Run(p, logic.NewEnv(0, 0), Options{MaxSteps: 100}); err == nil {
+		t.Error("infinite loop must hit the step bound")
+	}
+}
+
+// sortPrograms are the benchmark sort routines and how to read their output.
+var sortPrograms = []struct {
+	name string
+	src  string
+}{
+	{"insertion", `
+		program InsertionSort(array A, n) {
+			i := 1;
+			while outer (i < n) {
+				j := i - 1;
+				val := A[i];
+				while inner (j >= 0 && A[j] > val) {
+					A[j + 1] := A[j];
+					j := j - 1;
+				}
+				A[j + 1] := val;
+				i := i + 1;
+			}
+		}`},
+	{"selection", `
+		program SelectionSort(array A, n) {
+			i := 0;
+			while outer (i < n - 1) {
+				min := i;
+				j := i + 1;
+				while inner (j < n) {
+					if (A[j] < A[min]) {
+						min := j;
+					}
+					j := j + 1;
+				}
+				t := A[i];
+				A[i] := A[min];
+				A[min] := t;
+				i := i + 1;
+			}
+		}`},
+	{"bubble", `
+		program BubbleSort(array A, n) {
+			i := n;
+			while outer (i > 1) {
+				j := 0;
+				while inner (j < i - 1) {
+					if (A[j] > A[j + 1]) {
+						t := A[j];
+						A[j] := A[j + 1];
+						A[j + 1] := t;
+					}
+					j := j + 1;
+				}
+				i := i - 1;
+			}
+		}`},
+	{"bubbleFlag", `
+		program BubbleSortFlag(array A, n) {
+			swapped := 1;
+			while outer (swapped = 1) {
+				swapped := 0;
+				j := 0;
+				while inner (j < n - 1) {
+					if (A[j] > A[j + 1]) {
+						t := A[j];
+						A[j] := A[j + 1];
+						A[j + 1] := t;
+						swapped := 1;
+					}
+					j := j + 1;
+				}
+			}
+		}`},
+}
+
+// TestSortProgramsSort runs each benchmark sort on random arrays and checks
+// the output is a sorted permutation of the input.
+func TestSortProgramsSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, sp := range sortPrograms {
+		prog := lang.MustParse(sp.src)
+		for trial := 0; trial < 25; trial++ {
+			n := int64(rng.Intn(8))
+			in := make([]int64, n)
+			for i := range in {
+				in[i] = int64(rng.Intn(21) - 10)
+			}
+			env := logic.NewEnv(-1, n)
+			env.Ints["n"] = n
+			env.SetArr("A", in)
+			res := runOn(t, prog, env, Options{})
+			if res.AssertFailed != nil {
+				t.Fatalf("%s: unexpected assert failure", sp.name)
+			}
+			out := env.ArrSlice("A", n)
+			if !isSorted(out) {
+				t.Fatalf("%s: output not sorted: %v -> %v", sp.name, in, out)
+			}
+			if !sameMultiset(in, out) {
+				t.Fatalf("%s: output not a permutation: %v -> %v", sp.name, in, out)
+			}
+		}
+	}
+}
+
+func isSorted(xs []int64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMultiset(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int64(nil), a...)
+	bs := append([]int64(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCutStateRecording(t *testing.T) {
+	p := lang.MustParse(`
+		program Count(n) {
+			i := 0;
+			while loop (i < n) {
+				i := i + 1;
+			}
+		}`)
+	env := logic.NewEnv(0, 5)
+	env.Ints["n"] = 3
+	res := runOn(t, p, env, Options{RecordCuts: true})
+	// Header visited 4 times: i = 0,1,2,3.
+	if got := len(res.CutStates["loop"]); got != 4 {
+		t.Fatalf("cut visits = %d, want 4", got)
+	}
+	inv := lang.MustParseFormula("0 <= i && i <= n")
+	if bad := CheckInvariant(res, "loop", inv); bad != nil {
+		t.Errorf("invariant 0<=i<=n violated at %v", bad.Ints)
+	}
+	badInv := lang.MustParseFormula("i < n")
+	if CheckInvariant(res, "loop", badInv) == nil {
+		t.Error("i<n must be violated at the last visit")
+	}
+}
+
+func TestHavocRespectsRange(t *testing.T) {
+	p := lang.MustParse(`
+		program H(x) {
+			x := *;
+			assert(x <= 4 && x >= -4);
+		}`)
+	for seed := int64(0); seed < 20; seed++ {
+		env := logic.NewEnv(0, 0)
+		res := runOn(t, p, env, Options{Rand: rand.New(rand.NewSource(seed)), HavocRange: 4})
+		if res.AssertFailed != nil {
+			t.Fatalf("havoc out of range: x=%d", env.Ints["x"])
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package lang defines the small imperative language of §2.2 of the paper —
+// scalar and array assignments, assume/assert, structured conditionals and
+// loops — together with a lexer/parser for a C-like concrete syntax. It
+// plays the role of the paper's Phoenix frontend.
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Stmt is a program statement.
+type Stmt interface {
+	isStmt()
+	writeTo(b *strings.Builder, indent string)
+}
+
+// Assign is the scalar assignment X := E.
+type Assign struct {
+	X string
+	E logic.Term
+}
+
+// ArrAssign is the array store A[Idx] := E.
+type ArrAssign struct {
+	A      string
+	Idx, E logic.Term
+}
+
+// Havoc assigns an arbitrary value to X (non-deterministic choice, typically
+// constrained by a following Assume).
+type Havoc struct{ X string }
+
+// Assume constrains control flow: execution continues only if F holds.
+type Assume struct{ F logic.Formula }
+
+// Assert is a proof obligation: F must hold whenever control reaches it.
+type Assert struct{ F logic.Formula }
+
+// If is a conditional; a nil Cond is a non-deterministic choice.
+type If struct {
+	Cond       logic.Formula
+	Then, Else []Stmt
+}
+
+// While is a loop; its header is a cut-point carrying the invariant template
+// named Label. A nil Cond is a non-deterministic loop.
+type While struct {
+	Label string
+	Cond  logic.Formula
+	Body  []Stmt
+}
+
+func (Assign) isStmt()    {}
+func (ArrAssign) isStmt() {}
+func (Havoc) isStmt()     {}
+func (Assume) isStmt()    {}
+func (Assert) isStmt()    {}
+func (If) isStmt()        {}
+func (While) isStmt()     {}
+
+// Program is a named routine: the unit of verification.
+type Program struct {
+	Name string
+	// IntParams and ArrParams record declared parameters (for documentation
+	// and well-formedness checks; the logic layer is untyped beyond
+	// int/array).
+	IntParams []string
+	ArrParams []string
+	Body      []Stmt
+}
+
+// CutPoints returns the loop labels of the program in syntactic order.
+// Together with the implicit "entry" and "exit" cut-points they form the
+// cut-set of §2.2.
+func (p *Program) CutPoints() []string {
+	var out []string
+	var walk func([]Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case If:
+				walk(s.Then)
+				walk(s.Else)
+			case While:
+				out = append(out, s.Label)
+				walk(s.Body)
+			}
+		}
+	}
+	walk(p.Body)
+	return out
+}
+
+// String pretty-prints the program in the concrete syntax accepted by Parse.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s(", p.Name)
+	parts := make([]string, 0, len(p.IntParams)+len(p.ArrParams))
+	for _, a := range p.ArrParams {
+		parts = append(parts, "array "+a)
+	}
+	parts = append(parts, p.IntParams...)
+	b.WriteString(strings.Join(parts, ", "))
+	b.WriteString(") {\n")
+	writeStmts(&b, p.Body, "  ")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		s.writeTo(b, indent)
+	}
+}
+
+func (s Assign) writeTo(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%s%s := %s;\n", indent, s.X, s.E)
+}
+
+func (s ArrAssign) writeTo(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%s%s[%s] := %s;\n", indent, s.A, s.Idx, s.E)
+}
+
+func (s Havoc) writeTo(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%s%s := *;\n", indent, s.X)
+}
+
+func (s Assume) writeTo(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sassume(%s);\n", indent, s.F)
+}
+
+func (s Assert) writeTo(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sassert(%s);\n", indent, s.F)
+}
+
+func (s If) writeTo(b *strings.Builder, indent string) {
+	cond := "*"
+	if s.Cond != nil {
+		cond = s.Cond.String()
+	}
+	fmt.Fprintf(b, "%sif (%s) {\n", indent, cond)
+	writeStmts(b, s.Then, indent+"  ")
+	if len(s.Else) > 0 {
+		fmt.Fprintf(b, "%s} else {\n", indent)
+		writeStmts(b, s.Else, indent+"  ")
+	}
+	fmt.Fprintf(b, "%s}\n", indent)
+}
+
+func (s While) writeTo(b *strings.Builder, indent string) {
+	cond := "*"
+	if s.Cond != nil {
+		cond = s.Cond.String()
+	}
+	fmt.Fprintf(b, "%swhile %s (%s) {\n", indent, s.Label, cond)
+	writeStmts(b, s.Body, indent+"  ")
+	fmt.Fprintf(b, "%s}\n", indent)
+}

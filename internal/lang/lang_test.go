@@ -1,0 +1,227 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestParseTermPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x", "x"},
+		{"42", "42"},
+		{"-3", "-3"},
+		{"x + 1", "(x + 1)"},
+		{"x - 1 + y", "((x - 1) + y)"},
+		{"2 * x + 1", "((2 * x) + 1)"},
+		{"A[i + 1]", "A[(i + 1)]"},
+		{"(x + y) - z", "((x + y) - z)"},
+		{"-x", "(0 - x)"},
+	}
+	for _, tc := range cases {
+		got, err := ParseTerm(tc.src)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		if got.String() != tc.want {
+			t.Errorf("%q: got %q, want %q", tc.src, got.String(), tc.want)
+		}
+	}
+}
+
+func TestParseFormula(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x < y", "x < y"},
+		{"x = y", "x = y"},
+		{"x == y", "x = y"},
+		{"x != y", "x != y"},
+		{"0 <= k && k < n", "(0 <= k) && (k < n)"},
+		{"0 <= k < n", "(0 <= k) && (k < n)"}, // comparison chain
+		{"a < b || c < d", "(a < b) || (c < d)"},
+		{"a < b => c < d", "(a < b) => (c < d)"},
+		{"!(a < b)", "a >= b"},
+		{"true", "true"},
+		{"false", "false"},
+		{"forall k. A[k] = 0", "forall k: (A[k] = 0)"},
+		{"exists x. A[x] = e", "exists x: (A[x] = e)"},
+		{"forall k1, k2. k1 < k2 => A[k1] <= A[k2]", "forall k1,k2: ((k1 < k2) => (A[k1] <= A[k2]))"},
+		{"?v", "$v"},
+		{"?v && x < y", "($v) && (x < y)"},
+		{"(a < b && c < d) => e < f", "((a < b) && (c < d)) => (e < f)"},
+		{"(x + 1) < y", "(x + 1) < y"}, // parenthesized term, not formula
+	}
+	for _, tc := range cases {
+		got, err := ParseFormula(tc.src)
+		if err != nil {
+			t.Errorf("%q: %v", tc.src, err)
+			continue
+		}
+		if got.String() != tc.want {
+			t.Errorf("%q: got %q, want %q", tc.src, got.String(), tc.want)
+		}
+	}
+}
+
+func TestParseFormulaPrecedence(t *testing.T) {
+	// => binds loosest and associates right.
+	f := MustParseFormula("a < b => b < c => c < d")
+	want := "(a < b) => ((b < c) => (c < d))"
+	if f.String() != want {
+		t.Errorf("got %q, want %q", f.String(), want)
+	}
+	// && binds tighter than ||.
+	g := MustParseFormula("a < b || c < d && e < f")
+	want = "(a < b) || ((c < d) && (e < f))"
+	if g.String() != want {
+		t.Errorf("got %q, want %q", g.String(), want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"x <",
+		"forall . x < y",
+		"x ?? y",
+		"(x < y",
+		"x @ y",
+	}
+	for _, src := range bad {
+		if _, err := ParseFormula(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+	badProgs := []string{
+		"",
+		"program P() { x := ; }",
+		"program P() { if x { } }",
+		"program P() { while (x) }",
+		"program P(array) {}",
+		"program P() { x := 1 }", // missing semicolon
+	}
+	for _, src := range badProgs {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	p := MustParse(`
+		program Demo(array A, array B, n, m) {
+			i := 0;
+			x := *;
+			assume(x >= 0);
+			if (i < n) {
+				A[i] := B[i] + 1;
+			} else {
+				i := i + 1;
+			}
+			while myloop (i < n) {
+				if (*) {
+					i := i + 2;
+				}
+				i := i + 1;
+			}
+			assert(i >= n);
+		}`)
+	if p.Name != "Demo" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.ArrParams) != 2 || len(p.IntParams) != 2 {
+		t.Errorf("params: %v %v", p.ArrParams, p.IntParams)
+	}
+	cuts := p.CutPoints()
+	if len(cuts) != 1 || cuts[0] != "myloop" {
+		t.Errorf("cut points = %v", cuts)
+	}
+	if len(p.Body) != 6 {
+		t.Errorf("body statements = %d", len(p.Body))
+	}
+	if _, ok := p.Body[1].(Havoc); !ok {
+		t.Errorf("x := * should parse as Havoc, got %T", p.Body[1])
+	}
+}
+
+func TestDefaultLoopLabels(t *testing.T) {
+	p := MustParse(`
+		program P(n) {
+			while (n > 0) {
+				n := n - 1;
+				while (n > 1) {
+					n := n - 2;
+				}
+			}
+		}`)
+	cuts := p.CutPoints()
+	if len(cuts) != 2 || cuts[0] != "loop1" || cuts[1] != "loop2" {
+		t.Errorf("default labels = %v", cuts)
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	src := `
+		program RoundTrip(array A, n) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall j. (0 <= j && j < n) => A[j] = 0);
+		}`
+	p1 := MustParse(src)
+	p2, err := Parse(p1.String())
+	if err != nil {
+		t.Fatalf("re-parse of pretty output failed: %v\n%s", err, p1.String())
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("round trip unstable:\n%s\nvs\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestParseSpecFile(t *testing.T) {
+	sf, err := ParseSpecFile(`
+		program P(array A, n) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall j. (0 <= j && j < n) => A[j] = 0);
+		}
+
+		template loop: forall j. ?v => A[j] = 0;
+		template entry: ?pre;
+		predicates v: j < i, j >= 0, j < n;
+		predicates pre: n >= 0, n >= 1;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Templates) != 2 {
+		t.Errorf("templates = %v", sf.Templates)
+	}
+	if len(sf.Predicates["v"]) != 3 || len(sf.Predicates["pre"]) != 2 {
+		t.Errorf("predicates = %v", sf.Predicates)
+	}
+	if got := sf.Templates["loop"].String(); !strings.Contains(got, "$v") {
+		t.Errorf("template should contain unknown: %s", got)
+	}
+	if _, err := ParseSpecFile(`program P() {} template x: ?a; template x: ?b;`); err == nil {
+		t.Error("duplicate template should error")
+	}
+}
+
+func TestComparisonChainEquality(t *testing.T) {
+	f := MustParseFormula("0 <= k1 < k2 <= n")
+	want := logic.Conj(
+		logic.LeF(logic.I(0), logic.V("k1")),
+		logic.LtF(logic.V("k1"), logic.V("k2")),
+		logic.LeF(logic.V("k2"), logic.V("n")),
+	)
+	if !logic.FormulaEq(f, want) {
+		t.Errorf("chain: got %v, want %v", f, want)
+	}
+}

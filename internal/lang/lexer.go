@@ -1,0 +1,79 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNum
+	tokSym // punctuation / operator, text in tok.text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// lex splits src into tokens. Line comments start with //.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '\'') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i, line: line})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNum, text: src[i:j], pos: i, line: line})
+			i = j
+		default:
+			// Multi-character operators first, longest match.
+			matched := ""
+			for _, op := range []string{":=", "==", "!=", "<=", ">=", "&&", "||", "=>"} {
+				if strings.HasPrefix(src[i:], op) {
+					matched = op
+					break
+				}
+			}
+			if matched == "" {
+				if strings.ContainsRune("(){}[],;.=<>+-*!?:", rune(c)) {
+					matched = string(c)
+				} else {
+					return nil, fmt.Errorf("line %d: unexpected character %q", line, c)
+				}
+			}
+			toks = append(toks, token{kind: tokSym, text: matched, pos: i, line: line})
+			i += len(matched)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n, line: line})
+	return toks, nil
+}

@@ -1,0 +1,538 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/logic"
+)
+
+// Parse parses a program in the concrete syntax:
+//
+//	program Name(array A, n) {
+//	  i := 0;
+//	  while loop (i < n) {            // label "loop" names the cut-point
+//	    A[i] := 0;
+//	    i := i + 1;
+//	  }
+//	  assert(forall y. 0 <= y && y < n => A[y] = 0);
+//	}
+//
+// Conditions may be `*` for non-deterministic choice. Comparison chains
+// (`0 <= y < n`) abbreviate conjunctions. Loop labels are optional and
+// default to loop1, loop2, ... in syntactic order.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for statically known sources (benchmarks, tests).
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	loops int
+}
+
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &parseError{line: p.peek().line, msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(sym string) bool {
+	if t := p.peek(); t.kind == tokSym && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return p.errf("expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.pos++
+		return t.text, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.peek().text)
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog, err := p.parseProgram2()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf("trailing input %q", t.text)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept("}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected statement, found %q", t.text)
+	}
+	switch t.text {
+	case "assume", "assert":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if t.text == "assume" {
+			return Assume{F: f}, nil
+		}
+		return Assert{F: f}, nil
+	case "if":
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var cond logic.Formula
+		if !p.accept("*") {
+			f, err := p.parseFormula()
+			if err != nil {
+				return nil, err
+			}
+			cond = f
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.acceptKw("else") {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+	case "while":
+		p.next()
+		label := ""
+		if lt := p.peek(); lt.kind == tokIdent {
+			label = lt.text
+			p.pos++
+		}
+		if label == "" {
+			p.loops++
+			label = fmt.Sprintf("loop%d", p.loops)
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var cond logic.Formula
+		if !p.accept("*") {
+			f, err := p.parseFormula()
+			if err != nil {
+				return nil, err
+			}
+			cond = f
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return While{Label: label, Cond: cond, Body: body}, nil
+	}
+	// Assignment: x := e or A[i] := e.
+	name := p.next().text
+	if p.accept("[") {
+		idx, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(":="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return ArrAssign{A: name, Idx: idx, E: e}, nil
+	}
+	if err := p.expect(":="); err != nil {
+		return nil, err
+	}
+	if p.accept("*") {
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return Havoc{X: name}, nil
+	}
+	e, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return Assign{X: name, E: e}, nil
+}
+
+// ParseFormula parses a standalone formula (used for templates, predicates,
+// and specifications given on the command line).
+func ParseFormula(src string) (logic.Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf("trailing input %q", t.text)
+	}
+	return f, nil
+}
+
+// MustParseFormula is ParseFormula for statically known sources.
+func MustParseFormula(src string) logic.Formula {
+	f, err := ParseFormula(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseTerm parses a standalone term.
+func ParseTerm(src string) (logic.Term, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if tk := p.peek(); tk.kind != tokEOF {
+		return nil, p.errf("trailing input %q", tk.text)
+	}
+	return t, nil
+}
+
+// Formula grammar (loosest to tightest): =>  ||  &&  !  atom.
+func (p *parser) parseFormula() (logic.Formula, error) {
+	a, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=>") {
+		b, err := p.parseFormula() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return logic.Imp(a, b), nil
+	}
+	return a, nil
+}
+
+func (p *parser) parseOr() (logic.Formula, error) {
+	a, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		b, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		a = logic.Disj(a, b)
+	}
+	return a, nil
+}
+
+func (p *parser) parseAnd() (logic.Formula, error) {
+	a, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		b, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		a = logic.Conj(a, b)
+	}
+	return a, nil
+}
+
+func (p *parser) parseUnary() (logic.Formula, error) {
+	if p.accept("!") {
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Neg(f), nil
+	}
+	if p.acceptKw("true") {
+		return logic.True, nil
+	}
+	if p.acceptKw("false") {
+		return logic.False, nil
+	}
+	if p.acceptKw("forall") {
+		return p.parseQuant(true)
+	}
+	if p.acceptKw("exists") {
+		return p.parseQuant(false)
+	}
+	// ?name is a template unknown (a hole to be filled with a conjunction
+	// of predicates).
+	if p.accept("?") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Unknown{Name: name}, nil
+	}
+	// '(' is ambiguous: parenthesized formula or parenthesized term in a
+	// comparison. Try the formula reading first and backtrack on failure or
+	// if the closing paren is followed by a relational/arithmetic operator.
+	if p.peek().kind == tokSym && p.peek().text == "(" {
+		save := p.pos
+		p.pos++
+		f, err := p.parseFormula()
+		if err == nil && p.accept(")") && !p.atComparisonOrArith() {
+			return f, nil
+		}
+		p.pos = save
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseQuant(univ bool) (logic.Formula, error) {
+	var vars []string
+	for {
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, v)
+		if !p.accept(",") {
+			break
+		}
+	}
+	// Accept both "forall x. φ" (input style) and "forall x: φ" (the
+	// formula printer's style) so pretty-printed output re-parses.
+	if !p.accept(".") && !p.accept(":") {
+		return nil, p.errf("expected '.' or ':' after quantified variables")
+	}
+	body, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if univ {
+		return logic.All(vars, body), nil
+	}
+	return logic.Any(vars, body), nil
+}
+
+func (p *parser) atComparisonOrArith() bool {
+	t := p.peek()
+	if t.kind != tokSym {
+		return false
+	}
+	switch t.text {
+	case "=", "==", "!=", "<", "<=", ">", ">=", "+", "-", "*":
+		return true
+	}
+	return false
+}
+
+var relOps = map[string]logic.RelOp{
+	"=": logic.Eq, "==": logic.Eq, "!=": logic.Neq,
+	"<": logic.Lt, "<=": logic.Le, ">": logic.Gt, ">=": logic.Ge,
+}
+
+// parseComparison parses `t1 op t2 [op t3 ...]`, a chain abbreviating the
+// conjunction of adjacent comparisons.
+func (p *parser) parseComparison() (logic.Formula, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	op, ok := relOps[t.text]
+	if t.kind != tokSym || !ok {
+		return nil, p.errf("expected comparison operator, found %q", t.text)
+	}
+	var conj []logic.Formula
+	for {
+		t = p.peek()
+		op, ok = relOps[t.text]
+		if t.kind != tokSym || !ok {
+			break
+		}
+		p.pos++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, logic.Rel(op, left, right))
+		left = right
+	}
+	return logic.Conj(conj...), nil
+}
+
+// Term grammar: additive over primary; primary supports unary minus,
+// constant multiplication, array indexing, and parenthesized terms.
+func (p *parser) parseTerm() (logic.Term, error) {
+	left, err := p.parsePrimaryTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept("+") {
+			r, err := p.parsePrimaryTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = logic.Plus(left, r)
+		} else if p.accept("-") {
+			r, err := p.parsePrimaryTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = logic.Minus(left, r)
+		} else {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimaryTerm() (logic.Term, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNum:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		if p.accept("*") {
+			x, err := p.parsePrimaryTerm()
+			if err != nil {
+				return nil, err
+			}
+			return logic.Times(v, x), nil
+		}
+		return logic.I(v), nil
+	case t.kind == tokSym && t.text == "-":
+		p.pos++
+		x, err := p.parsePrimaryTerm()
+		if err != nil {
+			return nil, err
+		}
+		return logic.Minus(logic.I(0), x), nil
+	case t.kind == tokSym && t.text == "(":
+		p.pos++
+		x, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokIdent:
+		p.pos++
+		if p.accept("[") {
+			idx, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return logic.Sel(logic.AV(t.text), idx), nil
+		}
+		return logic.V(t.text), nil
+	}
+	return nil, p.errf("expected term, found %q", t.text)
+}

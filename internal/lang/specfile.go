@@ -1,0 +1,129 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// SpecFile is a parsed verification-task source: a program followed by
+// template and predicate directives.
+//
+//	program ArrayInit(array A, n) { ... }
+//
+//	template loop: forall j. ?v => A[j] = 0;
+//	template entry: ?pre;                  // optional, enables precondition inference
+//	predicates v: 0 <= j, j < i, j < n;
+type SpecFile struct {
+	Program    *Program
+	Templates  map[string]logic.Formula
+	Predicates map[string][]logic.Formula
+}
+
+// ParseSpecFile parses a program plus its template/predicate directives.
+func ParseSpecFile(src string) (*SpecFile, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram2()
+	if err != nil {
+		return nil, err
+	}
+	out := &SpecFile{
+		Program:    prog,
+		Templates:  map[string]logic.Formula{},
+		Predicates: map[string][]logic.Formula{},
+	}
+	for {
+		switch {
+		case p.acceptKw("template"):
+			cut, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			f, err := p.parseFormula()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			if _, dup := out.Templates[cut]; dup {
+				return nil, fmt.Errorf("duplicate template for cut-point %q", cut)
+			}
+			out.Templates[cut] = f
+		case p.acceptKw("predicates"):
+			u, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			for {
+				f, err := p.parseFormula()
+				if err != nil {
+					return nil, err
+				}
+				out.Predicates[u] = append(out.Predicates[u], f)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		default:
+			if t := p.peek(); t.kind != tokEOF {
+				return nil, p.errf("expected 'template' or 'predicates' directive, found %q", t.text)
+			}
+			return out, nil
+		}
+	}
+}
+
+// parseProgram2 parses a program without requiring EOF afterwards.
+func (p *parser) parseProgram2() (*Program, error) {
+	if !p.acceptKw("program") {
+		return nil, p.errf("expected 'program'")
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name}
+	for !p.accept(")") {
+		if len(prog.IntParams)+len(prog.ArrParams) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		if p.acceptKw("array") {
+			a, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			prog.ArrParams = append(prog.ArrParams, a)
+		} else {
+			v, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			prog.IntParams = append(prog.IntParams, v)
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	return prog, nil
+}

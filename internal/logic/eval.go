@@ -1,0 +1,182 @@
+package logic
+
+import "fmt"
+
+// Env is a concrete valuation: integer variables, arrays (sparse, default
+// 0), and uninterpreted functions (by canonical argument key, default 0).
+// It supports evaluating ground and bounded-quantifier formulas, which the
+// test suite uses to differential-test the SMT solver and to check
+// discovered invariants on concrete program traces.
+type Env struct {
+	Ints map[string]int64
+	Arrs map[string]map[int64]int64
+	Funs map[string]int64
+	// QLo and QHi bound quantified variables: ∀x ranges over [QLo, QHi].
+	QLo, QHi int64
+}
+
+// NewEnv returns an empty environment with quantifier bounds [lo, hi].
+func NewEnv(lo, hi int64) *Env {
+	return &Env{
+		Ints: map[string]int64{},
+		Arrs: map[string]map[int64]int64{},
+		Funs: map[string]int64{},
+		QLo:  lo,
+		QHi:  hi,
+	}
+}
+
+// Clone returns a deep copy.
+func (e *Env) Clone() *Env {
+	c := NewEnv(e.QLo, e.QHi)
+	for k, v := range e.Ints {
+		c.Ints[k] = v
+	}
+	for a, m := range e.Arrs {
+		cm := make(map[int64]int64, len(m))
+		for i, v := range m {
+			cm[i] = v
+		}
+		c.Arrs[a] = cm
+	}
+	for k, v := range e.Funs {
+		c.Funs[k] = v
+	}
+	return c
+}
+
+// SetArr replaces array a with the given cells (indexes 0..len-1).
+func (e *Env) SetArr(a string, cells []int64) {
+	m := make(map[int64]int64, len(cells))
+	for i, v := range cells {
+		m[int64(i)] = v
+	}
+	e.Arrs[a] = m
+}
+
+// ArrSlice reads cells 0..n-1 of array a.
+func (e *Env) ArrSlice(a string, n int64) []int64 {
+	out := make([]int64, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = e.Arrs[a][i]
+	}
+	return out
+}
+
+// EvalTerm evaluates a term; unbound variables and function applications
+// read as 0.
+func (e *Env) EvalTerm(t Term) int64 {
+	switch t := t.(type) {
+	case Var:
+		return e.Ints[t.Name]
+	case IntLit:
+		return t.Val
+	case Add:
+		return e.EvalTerm(t.X) + e.EvalTerm(t.Y)
+	case Sub:
+		return e.EvalTerm(t.X) - e.EvalTerm(t.Y)
+	case Mul:
+		return t.C * e.EvalTerm(t.X)
+	case Select:
+		arr, idx := e.evalArr(t.A), e.EvalTerm(t.Idx)
+		return arr[idx]
+	case Apply:
+		key := t.F
+		for _, a := range t.Args {
+			key += fmt.Sprintf("|%d", e.EvalTerm(a))
+		}
+		return e.Funs[key]
+	}
+	panic(fmt.Sprintf("logic: eval of unknown term %T", t))
+}
+
+// evalArr evaluates an array expression to its cell map (copy-on-store).
+func (e *Env) evalArr(a Arr) map[int64]int64 {
+	switch a := a.(type) {
+	case ArrVar:
+		if m, ok := e.Arrs[a.Name]; ok {
+			return m
+		}
+		return map[int64]int64{}
+	case Store:
+		base := e.evalArr(a.A)
+		out := make(map[int64]int64, len(base)+1)
+		for i, v := range base {
+			out[i] = v
+		}
+		out[e.EvalTerm(a.Idx)] = e.EvalTerm(a.Val)
+		return out
+	}
+	panic(fmt.Sprintf("logic: eval of unknown array %T", a))
+}
+
+// EvalFormula evaluates a formula; quantifiers range over [QLo, QHi], so
+// the result is exact for models whose relevant indices lie in that window
+// and an approximation otherwise. Unknowns are an error.
+func (e *Env) EvalFormula(f Formula) bool {
+	switch f := f.(type) {
+	case Atom:
+		return evalRel(f.Op, e.EvalTerm(f.X), e.EvalTerm(f.Y))
+	case Bool:
+		return f.Val
+	case Not:
+		return !e.EvalFormula(f.F)
+	case And:
+		for _, g := range f.Fs {
+			if !e.EvalFormula(g) {
+				return false
+			}
+		}
+		return true
+	case Or:
+		for _, g := range f.Fs {
+			if e.EvalFormula(g) {
+				return true
+			}
+		}
+		return false
+	case Implies:
+		return !e.EvalFormula(f.A) || e.EvalFormula(f.B)
+	case Forall:
+		return e.evalQuant(f.Vars, f.Body, true)
+	case Exists:
+		return e.evalQuant(f.Vars, f.Body, false)
+	case AEq:
+		l, r := e.evalArr(f.L), e.evalArr(f.R)
+		for i := e.QLo; i <= e.QHi; i++ {
+			if l[i] != r[i] {
+				return false
+			}
+		}
+		return true
+	case Unknown:
+		panic("logic: eval of a template unknown")
+	}
+	panic(fmt.Sprintf("logic: eval of unknown formula %T", f))
+}
+
+func (e *Env) evalQuant(vars []string, body Formula, univ bool) bool {
+	if len(vars) == 0 {
+		return e.EvalFormula(body)
+	}
+	v, rest := vars[0], vars[1:]
+	saved, had := e.Ints[v]
+	defer func() {
+		if had {
+			e.Ints[v] = saved
+		} else {
+			delete(e.Ints, v)
+		}
+	}()
+	for x := e.QLo; x <= e.QHi; x++ {
+		e.Ints[v] = x
+		got := e.evalQuant(rest, body, univ)
+		if univ && !got {
+			return false
+		}
+		if !univ && got {
+			return true
+		}
+	}
+	return univ
+}

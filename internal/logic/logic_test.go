@@ -1,0 +1,282 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermBuilders(t *testing.T) {
+	x, y := V("x"), V("y")
+	cases := []struct {
+		got  Term
+		want string
+	}{
+		{Plus(x, I(0)), "x"},
+		{Plus(I(0), x), "x"},
+		{Plus(I(2), I(3)), "5"},
+		{Minus(x, I(0)), "x"},
+		{Minus(I(7), I(3)), "4"},
+		{Times(0, x), "0"},
+		{Times(1, x), "x"},
+		{Times(3, I(4)), "12"},
+		{Plus(x, y), "(x + y)"},
+		{Sel(AV("A"), x), "A[x]"},
+		{Sel(Upd(AV("A"), x, I(0)), y), "upd(A, x, 0)[y]"},
+		{App("f", x, y), "f(x, y)"},
+	}
+	for _, tc := range cases {
+		if got := tc.got.String(); got != tc.want {
+			t.Errorf("got %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestSubstituteTerm(t *testing.T) {
+	sub := map[string]Term{"x": I(5), "y": V("z")}
+	in := Plus(V("x"), Sel(AV("A"), V("y")))
+	got := SubstituteTerm(in, sub, nil)
+	if got.String() != "(5 + A[z])" {
+		t.Errorf("got %q", got.String())
+	}
+	asub := map[string]Arr{"A": AV("B")}
+	got = SubstituteTerm(in, sub, asub)
+	if got.String() != "(5 + B[z])" {
+		t.Errorf("array substitution: got %q", got.String())
+	}
+}
+
+func TestRelOpNegateFlip(t *testing.T) {
+	for _, op := range []RelOp{Eq, Neq, Lt, Le, Gt, Ge} {
+		if op.Negate().Negate() != op {
+			t.Errorf("%v: double negation", op)
+		}
+		if op.Flip().Flip() != op {
+			t.Errorf("%v: double flip", op)
+		}
+	}
+	if Lt.Negate() != Ge || Le.Negate() != Gt || Eq.Negate() != Neq {
+		t.Error("negation table wrong")
+	}
+	if Lt.Flip() != Gt || Le.Flip() != Ge || Eq.Flip() != Eq {
+		t.Error("flip table wrong")
+	}
+}
+
+func TestConjDisjSimplification(t *testing.T) {
+	x := V("x")
+	a := LtF(x, I(5))
+	if got := Conj(); !FormulaEq(got, True) {
+		t.Errorf("empty Conj = %v", got)
+	}
+	if got := Disj(); !FormulaEq(got, False) {
+		t.Errorf("empty Disj = %v", got)
+	}
+	if got := Conj(a, False); !FormulaEq(got, False) {
+		t.Errorf("Conj with false = %v", got)
+	}
+	if got := Disj(a, True); !FormulaEq(got, True) {
+		t.Errorf("Disj with true = %v", got)
+	}
+	if got := Conj(Conj(a, a), a); strings.Count(got.String(), "x < 5") != 3 {
+		t.Logf("flattening keeps duplicates until Simplify: %v", got)
+	}
+	if got := Simplify(Conj(a, a, a)); got.String() != a.String() {
+		t.Errorf("Simplify should dedupe: %v", got)
+	}
+}
+
+func TestNegPushing(t *testing.T) {
+	x, y := V("x"), V("y")
+	if got := Neg(LtF(x, y)); got.String() != "x >= y" {
+		t.Errorf("Neg(<) = %q", got)
+	}
+	if got := Neg(Neg(LtF(x, y))); got.String() != "x < y" {
+		t.Errorf("double Neg = %q", got)
+	}
+	if !FormulaEq(Neg(True), False) || !FormulaEq(Neg(False), True) {
+		t.Error("constant negation")
+	}
+}
+
+func TestNNF(t *testing.T) {
+	x, y := V("x"), V("y")
+	f := Neg(Imp(LtF(x, y), All([]string{"k"}, EqF(Sel(AV("A"), V("k")), I(0)))))
+	g := NNF(f)
+	// ¬(a ⇒ ∀k: b) = a ∧ ∃k: ¬b.
+	want := "(x < y) && (exists k: (A[k] != 0))"
+	if g.String() != want {
+		t.Errorf("NNF = %q, want %q", g.String(), want)
+	}
+}
+
+func TestNNFNoImplicationOrNot(t *testing.T) {
+	x, y := V("x"), V("y")
+	fs := []Formula{
+		Imp(LtF(x, y), Disj(EqF(x, y), Neg(LeF(y, x)))),
+		Neg(All([]string{"a"}, Imp(LtF(V("a"), x), EqF(V("a"), y)))),
+		Neg(Conj(LtF(x, y), Any([]string{"b"}, LeF(V("b"), x)))),
+	}
+	var check func(f Formula) bool
+	check = func(f Formula) bool {
+		switch f := f.(type) {
+		case Atom, Bool:
+			return true
+		case And:
+			for _, g := range f.Fs {
+				if !check(g) {
+					return false
+				}
+			}
+			return true
+		case Or:
+			for _, g := range f.Fs {
+				if !check(g) {
+					return false
+				}
+			}
+			return true
+		case Forall:
+			return check(f.Body)
+		case Exists:
+			return check(f.Body)
+		}
+		return false // Not, Implies, Unknown, AEq are all banned post-NNF
+	}
+	for _, f := range fs {
+		if !check(NNF(f)) {
+			t.Errorf("NNF(%v) contains banned nodes: %v", f, NNF(f))
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := All([]string{"k"}, Imp(LtF(V("k"), V("n")), EqF(Sel(AV("A"), V("k")), V("x"))))
+	vs, as := FreeVars(f)
+	if vs["k"] {
+		t.Error("bound k reported free")
+	}
+	if !vs["n"] || !vs["x"] {
+		t.Errorf("free vars missing: %v", vs)
+	}
+	if !as["A"] {
+		t.Errorf("array A missing: %v", as)
+	}
+}
+
+func TestSubstituteShadowing(t *testing.T) {
+	// Substituting x inside ∀x must not touch the bound occurrences.
+	f := Conj(LtF(V("x"), I(0)), All([]string{"x"}, LeF(V("x"), I(5))))
+	got := Substitute(f, map[string]Term{"x": V("y")}, nil)
+	want := "(y < 0) && (forall x: (x <= 5))"
+	if got.String() != want {
+		t.Errorf("got %q, want %q", got.String(), want)
+	}
+}
+
+func TestUnknownsAndFill(t *testing.T) {
+	f := Conj(Unknown{Name: "a"}, All([]string{"k"}, Imp(Unknown{Name: "b"}, EqF(V("k"), I(0)))))
+	us := Unknowns(f)
+	if len(us) != 2 || us[0] != "a" || us[1] != "b" {
+		t.Errorf("Unknowns = %v", us)
+	}
+	filled := FillUnknowns(f, map[string]Formula{"a": True, "b": LtF(V("k"), V("n"))})
+	if len(Unknowns(filled)) != 0 {
+		t.Errorf("fill left unknowns: %v", filled)
+	}
+	// Partial fill leaves the other in place.
+	part := FillUnknowns(f, map[string]Formula{"a": True})
+	if got := Unknowns(part); len(got) != 1 || got[0] != "b" {
+		t.Errorf("partial fill: %v", got)
+	}
+}
+
+func TestSimplifyGroundAtoms(t *testing.T) {
+	if got := Simplify(LtF(I(3), I(5))); !FormulaEq(got, True) {
+		t.Errorf("3<5 should simplify to true, got %v", got)
+	}
+	if got := Simplify(EqF(V("x"), V("x"))); !FormulaEq(got, True) {
+		t.Errorf("x=x should simplify to true, got %v", got)
+	}
+	if got := Simplify(NeqF(V("x"), V("x"))); !FormulaEq(got, False) {
+		t.Errorf("x≠x should simplify to false, got %v", got)
+	}
+}
+
+func TestStandardizeApart(t *testing.T) {
+	f := Conj(
+		All([]string{"k"}, LeF(V("k"), V("n"))),
+		Any([]string{"k"}, LtF(V("k"), I(0))),
+	)
+	g := StandardizeApart(f, NewNamer("@b"))
+	fa, ok1 := g.(And)
+	if !ok1 || len(fa.Fs) != 2 {
+		t.Fatalf("shape changed: %v", g)
+	}
+	v1 := fa.Fs[0].(Forall).Vars[0]
+	v2 := fa.Fs[1].(Exists).Vars[0]
+	if v1 == v2 {
+		t.Errorf("bound variables not distinct: %s vs %s", v1, v2)
+	}
+	if v1 == "k" || v2 == "k" {
+		t.Errorf("bound variables not renamed: %s, %s", v1, v2)
+	}
+}
+
+func TestRewriteArrayEq(t *testing.T) {
+	f := ArrEqF(AV("B"), Upd(AV("A"), V("i"), I(0)))
+	g := RewriteArrayEq(f, NewNamer("@q"))
+	fa, ok := g.(Forall)
+	if !ok {
+		t.Fatalf("expected Forall, got %T", g)
+	}
+	if len(fa.Vars) != 1 {
+		t.Fatalf("one bound var expected")
+	}
+	// Trivial array equality simplifies away.
+	if got := RewriteArrayEq(ArrEqF(AV("A"), AV("A")), NewNamer("@q")); !FormulaEq(got, True) {
+		t.Errorf("A = A should rewrite to true, got %v", got)
+	}
+}
+
+func TestEvalRelProperty(t *testing.T) {
+	// Property: Simplify of a ground atom agrees with direct evaluation.
+	f := func(a, b int16, opRaw uint8) bool {
+		op := RelOp(opRaw % 6)
+		g := Simplify(Rel(op, I(int64(a)), I(int64(b))))
+		bo, ok := g.(Bool)
+		if !ok {
+			return false
+		}
+		var want bool
+		switch op {
+		case Eq:
+			want = a == b
+		case Neq:
+			want = a != b
+		case Lt:
+			want = a < b
+		case Le:
+			want = a <= b
+		case Gt:
+			want = a > b
+		case Ge:
+			want = a >= b
+		}
+		return bo.Val == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNamerFresh(t *testing.T) {
+	nm := NewNamer("@x")
+	a, b := nm.Fresh(), nm.Fresh()
+	if a == b {
+		t.Error("Fresh returned duplicates")
+	}
+	if !strings.HasPrefix(a, "@x") {
+		t.Errorf("prefix missing: %s", a)
+	}
+}

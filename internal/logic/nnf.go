@@ -1,0 +1,244 @@
+package logic
+
+import "fmt"
+
+// NNF converts f (which must be unknown-free) to negation normal form:
+// implications are eliminated, and negations are pushed onto atoms where they
+// are absorbed by flipping the relational operator.
+func NNF(f Formula) Formula {
+	return nnf(f, false)
+}
+
+func nnf(f Formula, negate bool) Formula {
+	switch f := f.(type) {
+	case Atom:
+		if negate {
+			return Atom{Op: f.Op.Negate(), X: f.X, Y: f.Y}
+		}
+		return f
+	case Bool:
+		return Bool{Val: f.Val != negate}
+	case Not:
+		return nnf(f.F, !negate)
+	case And:
+		out := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = nnf(g, negate)
+		}
+		if negate {
+			return Disj(out...)
+		}
+		return Conj(out...)
+	case Or:
+		out := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = nnf(g, negate)
+		}
+		if negate {
+			return Conj(out...)
+		}
+		return Disj(out...)
+	case Implies:
+		// a ⇒ b  ≡  ¬a ∨ b
+		if negate {
+			return Conj(nnf(f.A, false), nnf(f.B, true))
+		}
+		return Disj(nnf(f.A, true), nnf(f.B, false))
+	case Forall:
+		if negate {
+			return Any(f.Vars, nnf(f.Body, true))
+		}
+		return All(f.Vars, nnf(f.Body, false))
+	case Exists:
+		if negate {
+			return All(f.Vars, nnf(f.Body, true))
+		}
+		return Any(f.Vars, nnf(f.Body, false))
+	case Unknown:
+		panic("logic: NNF applied to a formula with unresolved unknowns")
+	}
+	panic(fmt.Sprintf("logic: unknown formula %T", f))
+}
+
+// Namer hands out fresh variable names with a common prefix.
+type Namer struct {
+	prefix string
+	n      int
+}
+
+// NewNamer returns a Namer producing prefix0, prefix1, ...
+func NewNamer(prefix string) *Namer { return &Namer{prefix: prefix} }
+
+// Fresh returns the next unused name.
+func (nm *Namer) Fresh() string {
+	nm.n++
+	return fmt.Sprintf("%s%d", nm.prefix, nm.n)
+}
+
+// StandardizeApart renames every bound variable in f to a fresh name from nm,
+// so that no two quantifiers bind the same name and no bound name collides
+// with a free name. The input must be unknown-free.
+func StandardizeApart(f Formula, nm *Namer) Formula {
+	return standardize(f, nm, map[string]Term{})
+}
+
+func standardize(f Formula, nm *Namer, ren map[string]Term) Formula {
+	switch f := f.(type) {
+	case Atom:
+		return Atom{Op: f.Op, X: SubstituteTerm(f.X, ren, nil), Y: SubstituteTerm(f.Y, ren, nil)}
+	case Bool:
+		return f
+	case Not:
+		return Neg(standardize(f.F, nm, ren))
+	case And:
+		out := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = standardize(g, nm, ren)
+		}
+		return Conj(out...)
+	case Or:
+		out := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = standardize(g, nm, ren)
+		}
+		return Disj(out...)
+	case Implies:
+		return Imp(standardize(f.A, nm, ren), standardize(f.B, nm, ren))
+	case Forall:
+		vars, ren2 := renameBound(f.Vars, nm, ren)
+		return All(vars, standardize(f.Body, nm, ren2))
+	case Exists:
+		vars, ren2 := renameBound(f.Vars, nm, ren)
+		return Any(vars, standardize(f.Body, nm, ren2))
+	case Unknown:
+		panic("logic: StandardizeApart applied to a formula with unresolved unknowns")
+	case AEq:
+		return AEq{L: SubstituteArr(f.L, ren, nil), R: SubstituteArr(f.R, ren, nil)}
+	}
+	panic(fmt.Sprintf("logic: unknown formula %T", f))
+}
+
+func renameBound(vars []string, nm *Namer, ren map[string]Term) ([]string, map[string]Term) {
+	out := make([]string, len(vars))
+	ren2 := make(map[string]Term, len(ren)+len(vars))
+	for k, v := range ren {
+		ren2[k] = v
+	}
+	for i, v := range vars {
+		fresh := nm.Fresh()
+		out[i] = fresh
+		ren2[v] = Var{Name: fresh}
+	}
+	return out, ren2
+}
+
+// Simplify performs shallow logical simplification: constant folding,
+// flattening of nested conjunctions/disjunctions, removal of duplicate
+// conjuncts/disjuncts, and evaluation of ground atoms over literals.
+func Simplify(f Formula) Formula {
+	switch f := f.(type) {
+	case Atom:
+		if x, ok := f.X.(IntLit); ok {
+			if y, ok := f.Y.(IntLit); ok {
+				return Bool{Val: evalRel(f.Op, x.Val, y.Val)}
+			}
+		}
+		if TermEq(f.X, f.Y) {
+			switch f.Op {
+			case Eq, Le, Ge:
+				return True
+			case Neq, Lt, Gt:
+				return False
+			}
+		}
+		return f
+	case Bool:
+		return f
+	case Not:
+		return Neg(Simplify(f.F))
+	case And:
+		var out []Formula
+		seen := map[string]bool{}
+		for _, g := range f.Fs {
+			s := Simplify(g)
+			switch s := s.(type) {
+			case Bool:
+				if !s.Val {
+					return False
+				}
+				continue
+			case And:
+				for _, h := range s.Fs {
+					if k := h.String(); !seen[k] {
+						seen[k] = true
+						out = append(out, h)
+					}
+				}
+				continue
+			}
+			if k := s.String(); !seen[k] {
+				seen[k] = true
+				out = append(out, s)
+			}
+		}
+		return Conj(out...)
+	case Or:
+		var out []Formula
+		seen := map[string]bool{}
+		for _, g := range f.Fs {
+			s := Simplify(g)
+			switch s := s.(type) {
+			case Bool:
+				if s.Val {
+					return True
+				}
+				continue
+			case Or:
+				for _, h := range s.Fs {
+					if k := h.String(); !seen[k] {
+						seen[k] = true
+						out = append(out, h)
+					}
+				}
+				continue
+			}
+			if k := s.String(); !seen[k] {
+				seen[k] = true
+				out = append(out, s)
+			}
+		}
+		return Disj(out...)
+	case Implies:
+		return Imp(Simplify(f.A), Simplify(f.B))
+	case Forall:
+		return All(f.Vars, Simplify(f.Body))
+	case Exists:
+		return Any(f.Vars, Simplify(f.Body))
+	case Unknown:
+		return f
+	case AEq:
+		if ArrEq(f.L, f.R) {
+			return True
+		}
+		return f
+	}
+	panic(fmt.Sprintf("logic: unknown formula %T", f))
+}
+
+func evalRel(op RelOp, x, y int64) bool {
+	switch op {
+	case Eq:
+		return x == y
+	case Neq:
+		return x != y
+	case Lt:
+		return x < y
+	case Le:
+		return x <= y
+	case Gt:
+		return x > y
+	case Ge:
+		return x >= y
+	}
+	panic("logic: bad RelOp")
+}

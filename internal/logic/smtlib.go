@@ -1,0 +1,256 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SMTLIB renders a formula as an SMT-LIB 2 script asserting its negation —
+// the conventional encoding for a validity check (unsat ⇔ valid). Integer
+// variables are declared as Int, arrays as (Array Int Int), and
+// uninterpreted functions per their arity. The output lets any external
+// SMT solver cross-check this package's verdicts.
+func SMTLIB(f Formula) string {
+	var b strings.Builder
+	b.WriteString("(set-logic AUFLIA)\n")
+	vs, as := FreeVars(f)
+	for _, v := range SortedKeys(vs) {
+		fmt.Fprintf(&b, "(declare-const %s Int)\n", smtName(v))
+	}
+	for _, a := range SortedKeys(as) {
+		fmt.Fprintf(&b, "(declare-const %s (Array Int Int))\n", smtName(a))
+	}
+	for _, fn := range SortedKeys(collectFuns(f)) {
+		arity := collectFuns(f)[fn]
+		args := strings.TrimSpace(strings.Repeat("Int ", arity))
+		fmt.Fprintf(&b, "(declare-fun %s (%s) Int)\n", smtName(fn), args)
+	}
+	b.WriteString("(assert (not ")
+	writeFormula(&b, f)
+	b.WriteString("))\n(check-sat)\n")
+	return b.String()
+}
+
+// smtName mangles SSA '#' and '@' characters into SMT-LIB-safe symbols.
+func smtName(n string) string {
+	n = strings.ReplaceAll(n, "#", "!")
+	n = strings.ReplaceAll(n, "@", "?")
+	return n
+}
+
+func collectFuns(f Formula) map[string]int {
+	out := map[string]int{}
+	var walkTerm func(Term)
+	var walkArr func(Arr)
+	walkTerm = func(t Term) {
+		switch t := t.(type) {
+		case Var, IntLit:
+		case Add:
+			walkTerm(t.X)
+			walkTerm(t.Y)
+		case Sub:
+			walkTerm(t.X)
+			walkTerm(t.Y)
+		case Mul:
+			walkTerm(t.X)
+		case Select:
+			walkArr(t.A)
+			walkTerm(t.Idx)
+		case Apply:
+			out[t.F] = len(t.Args)
+			for _, a := range t.Args {
+				walkTerm(a)
+			}
+		}
+	}
+	walkArr = func(a Arr) {
+		if s, ok := a.(Store); ok {
+			walkArr(s.A)
+			walkTerm(s.Idx)
+			walkTerm(s.Val)
+		}
+	}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch f := f.(type) {
+		case Atom:
+			walkTerm(f.X)
+			walkTerm(f.Y)
+		case Not:
+			walk(f.F)
+		case And:
+			for _, g := range f.Fs {
+				walk(g)
+			}
+		case Or:
+			for _, g := range f.Fs {
+				walk(g)
+			}
+		case Implies:
+			walk(f.A)
+			walk(f.B)
+		case Forall:
+			walk(f.Body)
+		case Exists:
+			walk(f.Body)
+		case AEq:
+			walkArr(f.L)
+			walkArr(f.R)
+		}
+	}
+	walk(f)
+	return out
+}
+
+func writeTerm(b *strings.Builder, t Term) {
+	switch t := t.(type) {
+	case Var:
+		b.WriteString(smtName(t.Name))
+	case IntLit:
+		if t.Val < 0 {
+			fmt.Fprintf(b, "(- %d)", -t.Val)
+		} else {
+			fmt.Fprintf(b, "%d", t.Val)
+		}
+	case Add:
+		b.WriteString("(+ ")
+		writeTerm(b, t.X)
+		b.WriteString(" ")
+		writeTerm(b, t.Y)
+		b.WriteString(")")
+	case Sub:
+		b.WriteString("(- ")
+		writeTerm(b, t.X)
+		b.WriteString(" ")
+		writeTerm(b, t.Y)
+		b.WriteString(")")
+	case Mul:
+		fmt.Fprintf(b, "(* %d ", t.C)
+		writeTerm(b, t.X)
+		b.WriteString(")")
+	case Select:
+		b.WriteString("(select ")
+		writeArr(b, t.A)
+		b.WriteString(" ")
+		writeTerm(b, t.Idx)
+		b.WriteString(")")
+	case Apply:
+		fmt.Fprintf(b, "(%s", smtName(t.F))
+		for _, a := range t.Args {
+			b.WriteString(" ")
+			writeTerm(b, a)
+		}
+		b.WriteString(")")
+	default:
+		panic(fmt.Sprintf("logic: smtlib of unknown term %T", t))
+	}
+}
+
+func writeArr(b *strings.Builder, a Arr) {
+	switch a := a.(type) {
+	case ArrVar:
+		b.WriteString(smtName(a.Name))
+	case Store:
+		b.WriteString("(store ")
+		writeArr(b, a.A)
+		b.WriteString(" ")
+		writeTerm(b, a.Idx)
+		b.WriteString(" ")
+		writeTerm(b, a.Val)
+		b.WriteString(")")
+	default:
+		panic(fmt.Sprintf("logic: smtlib of unknown array %T", a))
+	}
+}
+
+var smtOps = map[RelOp]string{Eq: "=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+
+func writeFormula(b *strings.Builder, f Formula) {
+	switch f := f.(type) {
+	case Atom:
+		if f.Op == Neq {
+			b.WriteString("(not (= ")
+			writeTerm(b, f.X)
+			b.WriteString(" ")
+			writeTerm(b, f.Y)
+			b.WriteString("))")
+			return
+		}
+		fmt.Fprintf(b, "(%s ", smtOps[f.Op])
+		writeTerm(b, f.X)
+		b.WriteString(" ")
+		writeTerm(b, f.Y)
+		b.WriteString(")")
+	case Bool:
+		if f.Val {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case Not:
+		b.WriteString("(not ")
+		writeFormula(b, f.F)
+		b.WriteString(")")
+	case And:
+		writeNary(b, "and", f.Fs, true)
+	case Or:
+		writeNary(b, "or", f.Fs, false)
+	case Implies:
+		b.WriteString("(=> ")
+		writeFormula(b, f.A)
+		b.WriteString(" ")
+		writeFormula(b, f.B)
+		b.WriteString(")")
+	case Forall:
+		writeQuant(b, "forall", f.Vars, f.Body)
+	case Exists:
+		writeQuant(b, "exists", f.Vars, f.Body)
+	case AEq:
+		b.WriteString("(= ")
+		writeArr(b, f.L)
+		b.WriteString(" ")
+		writeArr(b, f.R)
+		b.WriteString(")")
+	case Unknown:
+		panic("logic: smtlib of a template unknown")
+	default:
+		panic(fmt.Sprintf("logic: smtlib of unknown formula %T", f))
+	}
+}
+
+func writeNary(b *strings.Builder, op string, fs []Formula, emptyVal bool) {
+	switch len(fs) {
+	case 0:
+		if emptyVal {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+		return
+	case 1:
+		writeFormula(b, fs[0])
+		return
+	}
+	fmt.Fprintf(b, "(%s", op)
+	for _, g := range fs {
+		b.WriteString(" ")
+		writeFormula(b, g)
+	}
+	b.WriteString(")")
+}
+
+func writeQuant(b *strings.Builder, q string, vars []string, body Formula) {
+	sorted := append([]string(nil), vars...)
+	sort.Strings(sorted)
+	fmt.Fprintf(b, "(%s (", q)
+	for i, v := range sorted {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(b, "(%s Int)", smtName(v))
+	}
+	b.WriteString(") ")
+	writeFormula(b, body)
+	b.WriteString(")")
+}

@@ -1,0 +1,84 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSMTLIBBasics(t *testing.T) {
+	f := Imp(LtF(V("x"), V("y")), LeF(Plus(V("x"), I(1)), V("y")))
+	out := SMTLIB(f)
+	for _, want := range []string{
+		"(set-logic AUFLIA)",
+		"(declare-const x Int)",
+		"(declare-const y Int)",
+		"(assert (not (=> (< x y) (<= (+ x 1) y))))",
+		"(check-sat)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSMTLIBArraysAndQuantifiers(t *testing.T) {
+	f := All([]string{"k"}, Imp(
+		Conj(LeF(I(0), V("k")), LtF(V("k"), V("n"))),
+		EqF(Sel(Upd(AV("A"), V("i"), I(0)), V("k")), I(0))))
+	out := SMTLIB(f)
+	for _, want := range []string{
+		"(declare-const A (Array Int Int))",
+		"(forall ((k Int))",
+		"(select (store A i 0) k)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSMTLIBNameMangling(t *testing.T) {
+	f := EqF(V("x#1"), App("@sk1", V("y")))
+	out := SMTLIB(f)
+	if !strings.Contains(out, "x!1") || !strings.Contains(out, "?sk1") {
+		t.Errorf("SSA/skolem names not mangled:\n%s", out)
+	}
+	if !strings.Contains(out, "(declare-fun ?sk1 (Int) Int)") {
+		t.Errorf("function declaration missing:\n%s", out)
+	}
+}
+
+func TestSMTLIBNegativeLiterals(t *testing.T) {
+	out := SMTLIB(GeF(V("j"), I(-1)))
+	if !strings.Contains(out, "(- 1)") {
+		t.Errorf("negative literal encoding:\n%s", out)
+	}
+}
+
+func TestSMTLIBNeq(t *testing.T) {
+	out := SMTLIB(NeqF(V("a"), V("b")))
+	if !strings.Contains(out, "(not (= a b))") {
+		t.Errorf("disequality encoding:\n%s", out)
+	}
+}
+
+func TestSMTLIBBalancedParens(t *testing.T) {
+	f := All([]string{"y"}, Imp(LeF(I(0), V("y")),
+		Any([]string{"x"}, Conj(EqF(Sel(AV("A"), V("y")), Sel(AV("B"), V("x"))), NeqF(V("x"), Plus(V("j"), I(1)))))))
+	out := SMTLIB(f)
+	depth := 0
+	for _, r := range out {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth < 0 {
+			t.Fatalf("unbalanced parens:\n%s", out)
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced parens (depth %d):\n%s", depth, out)
+	}
+}

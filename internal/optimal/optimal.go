@@ -1,0 +1,524 @@
+// Package optimal implements the core operation of the paper (§3, Fig. 2):
+// finding all optimal assignments of predicate conjunctions to the unknowns
+// of a template formula so that the formula is valid. Negative unknowns get
+// minimal sets (adding predicates preserves validity), positive unknowns get
+// maximal sets (deleting predicates preserves validity).
+//
+// OptimalNegativeSolutions is a breadth-first search over the subset lattice
+// with subsumption pruning and a configurable depth bound (the paper
+// observed no solution ever needs more than 4 predicates per negative
+// unknown). OptimalSolutions follows Fig. 2: seed with single-predicate
+// choices for the positive unknowns, then grow maximal solutions with
+// MakeOptimal/Merge. Merged candidates are re-verified with the SMT solver,
+// so every returned solution truly validates the formula.
+package optimal
+
+import (
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/smt"
+	"repro/internal/stats"
+	"repro/internal/template"
+)
+
+// Engine runs optimal-solution searches against one SMT solver.
+type Engine struct {
+	// S is the SMT validity oracle.
+	S *smt.Solver
+	// MaxDepth bounds the total number of predicates across all negative
+	// unknowns in one solution (default 4, the paper's observed maximum).
+	MaxDepth int
+	// MaxSolutions bounds how many optimal negative solutions one call
+	// returns (default 16; the paper never observed more than 6).
+	MaxSolutions int
+	// Stop, when non-nil, is polled inside the search loops; returning
+	// true abandons the call with whatever has been found so far.
+	Stop func() bool
+	// Stats optionally records Figure 6/7 histograms.
+	Stats *stats.Collector
+}
+
+// New returns an engine with default bounds.
+func New(s *smt.Solver) *Engine {
+	return &Engine{S: s, MaxDepth: 4, MaxSolutions: 16}
+}
+
+func (e *Engine) maxDepth() int {
+	if e.MaxDepth <= 0 {
+		return 4
+	}
+	return e.MaxDepth
+}
+
+func (e *Engine) maxSolutions() int {
+	if e.MaxSolutions <= 0 {
+		return 16
+	}
+	return e.MaxSolutions
+}
+
+// valid instantiates φ with σ and asks the SMT solver.
+func (e *Engine) valid(phi logic.Formula, sigma template.Solution) bool {
+	return e.S.Valid(sigma.Fill(phi))
+}
+
+// taggedPred is one (unknown, predicate) choice in the BFS space.
+type taggedPred struct {
+	unknown string
+	pred    logic.Formula
+}
+
+// OptimalNegativeSolutions returns all minimal solutions of φ over Q when
+// every unknown of φ is negative. Each returned solution has an entry
+// (possibly empty) for every unknown of φ. The search is truncated at
+// MaxDepth total predicates, matching the paper's bounded BFS.
+//
+// Before searching, φ is split into independent conjuncts (implication and
+// universal quantification distribute over conjunction) and grouped by
+// shared unknowns; the BFS runs per group and the results are combined,
+// which is exact and exponentially cheaper than a joint search.
+func (e *Engine) OptimalNegativeSolutions(phi logic.Formula, q template.Domain) []template.Solution {
+	parts := splitConj(logic.Simplify(phi))
+	groups, fixed := groupByUnknowns(parts)
+	if len(fixed) > 0 && !e.S.Valid(logic.Conj(fixed...)) {
+		return nil
+	}
+	if len(groups) == 0 {
+		return []template.Solution{{}}
+	}
+	combined := []template.Solution{{}}
+	for _, g := range groups {
+		sols := e.negBFS(g, q)
+		if len(sols) == 0 {
+			e.recordNegSizes(nil)
+			return nil
+		}
+		var next []template.Solution
+		for _, c := range combined {
+			for _, s := range sols {
+				next = append(next, c.Merge(s))
+				if len(next) >= e.maxSolutions() {
+					break
+				}
+			}
+			if len(next) >= e.maxSolutions() {
+				break
+			}
+		}
+		combined = next
+	}
+	e.recordNegSizes(combined)
+	return combined
+}
+
+// splitConj distributes implication, universal quantification and
+// conjunction to produce the finest top-level conjunction of φ.
+func splitConj(f logic.Formula) []logic.Formula {
+	switch f := f.(type) {
+	case logic.And:
+		var out []logic.Formula
+		for _, g := range f.Fs {
+			out = append(out, splitConj(g)...)
+		}
+		return out
+	case logic.Implies:
+		cs := splitConj(f.B)
+		if len(cs) == 1 {
+			return []logic.Formula{f}
+		}
+		out := make([]logic.Formula, len(cs))
+		for i, c := range cs {
+			out[i] = logic.Imp(f.A, c)
+		}
+		return out
+	case logic.Forall:
+		cs := splitConj(f.Body)
+		if len(cs) == 1 {
+			return []logic.Formula{f}
+		}
+		out := make([]logic.Formula, len(cs))
+		for i, c := range cs {
+			out[i] = logic.All(f.Vars, c)
+		}
+		return out
+	}
+	return []logic.Formula{f}
+}
+
+// groupByUnknowns partitions conjuncts into connected components by shared
+// unknowns; conjuncts with no unknowns are returned separately.
+func groupByUnknowns(parts []logic.Formula) (groups []logic.Formula, fixed []logic.Formula) {
+	type comp struct {
+		fs       []logic.Formula
+		unknowns map[string]bool
+	}
+	var comps []*comp
+	for _, p := range parts {
+		us := logic.Unknowns(p)
+		if len(us) == 0 {
+			fixed = append(fixed, p)
+			continue
+		}
+		cur := &comp{fs: []logic.Formula{p}, unknowns: map[string]bool{}}
+		for _, u := range us {
+			cur.unknowns[u] = true
+		}
+		var merged []*comp
+		for _, c := range comps {
+			shares := false
+			for u := range c.unknowns {
+				if cur.unknowns[u] {
+					shares = true
+					break
+				}
+			}
+			if shares {
+				cur.fs = append(cur.fs, c.fs...)
+				for u := range c.unknowns {
+					cur.unknowns[u] = true
+				}
+			} else {
+				merged = append(merged, c)
+			}
+		}
+		comps = append(merged, cur)
+	}
+	for _, c := range comps {
+		groups = append(groups, logic.Conj(c.fs...))
+	}
+	return groups, fixed
+}
+
+// negBFS is the bounded breadth-first search over one unknown-connected
+// group.
+func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solution {
+	unknowns := logic.Unknowns(phi)
+	empty := template.Solution{}
+	for _, u := range unknowns {
+		empty[u] = template.NewPredSet()
+	}
+	if len(unknowns) == 0 {
+		if e.S.Valid(phi) {
+			return []template.Solution{{}}
+		}
+		return nil
+	}
+	// The item universe, in deterministic order.
+	var items []taggedPred
+	for _, u := range unknowns {
+		for _, p := range q[u] {
+			items = append(items, taggedPred{unknown: u, pred: p})
+		}
+	}
+	// Monotonicity pre-check: if even the full assignment is not valid, no
+	// subset is.
+	full := empty.Clone()
+	for _, it := range items {
+		full[it.unknown] = full[it.unknown].Add(it.pred)
+	}
+	if !e.valid(phi, full) {
+		return nil
+	}
+	if e.valid(phi, empty) {
+		return []template.Solution{empty}
+	}
+
+	var solutions []template.Solution
+	subsumed := func(sigma template.Solution) bool {
+		for _, s := range solutions {
+			if solutionSubset(s, sigma) {
+				return true
+			}
+		}
+		return false
+	}
+
+	type node struct {
+		sigma template.Solution
+		last  int // last item index used, for canonical extension order
+	}
+	frontier := []node{{sigma: empty, last: -1}}
+	for depth := 1; depth <= e.maxDepth() && len(frontier) > 0 && len(solutions) < e.maxSolutions(); depth++ {
+		var next []node
+		for _, nd := range frontier {
+			if e.Stop != nil && e.Stop() {
+				return solutions
+			}
+			for i := nd.last + 1; i < len(items); i++ {
+				cand := nd.sigma.Clone()
+				cand[items[i].unknown] = cand[items[i].unknown].Add(items[i].pred)
+				if cand[items[i].unknown].Len() == nd.sigma[items[i].unknown].Len() {
+					continue // duplicate predicate
+				}
+				if subsumed(cand) {
+					continue
+				}
+				// Contradictory predicate sets denote the guard "false":
+				// they make the template conjunct vacuous, flood the
+				// solution cap, and never appear in the paper's optimal
+				// sets (Example 4). Prune them and all their supersets.
+				if !e.satisfiableSet(cand[items[i].unknown]) {
+					continue
+				}
+				if e.valid(phi, cand) {
+					solutions = append(solutions, cand)
+					if len(solutions) >= e.maxSolutions() {
+						break
+					}
+					continue
+				}
+				next = append(next, node{sigma: cand, last: i})
+			}
+		}
+		frontier = next
+	}
+	return solutions
+}
+
+// satisfiableSet reports whether the conjunction of a predicate set has a
+// model (answered through the solver's Valid cache).
+func (e *Engine) satisfiableSet(ps template.PredSet) bool {
+	if ps.Len() <= 1 {
+		return true
+	}
+	return !e.S.Valid(logic.Neg(ps.Formula()))
+}
+
+func (e *Engine) recordNegSizes(sols []template.Solution) {
+	if e.Stats == nil {
+		return
+	}
+	for _, s := range sols {
+		n := 0
+		for _, ps := range s {
+			n += ps.Len()
+		}
+		e.Stats.RecordNegSolutionSize(n)
+	}
+}
+
+func solutionSubset(a, b template.Solution) bool {
+	for u, pa := range a {
+		if !pa.SubsetOf(b[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// OptimalSolutions returns optimal solutions of φ over Q (Fig. 2): maximal
+// predicate sets for positive unknowns, minimal for negative. Every returned
+// solution is SMT-verified to make φ valid.
+func (e *Engine) OptimalSolutions(phi logic.Formula, q template.Domain) []template.Solution {
+	pol, err := template.Polarities(phi)
+	if err != nil {
+		panic("optimal: " + err.Error())
+	}
+	pos, neg := template.Split(pol)
+	if len(pos) == 0 {
+		sols := e.OptimalNegativeSolutions(phi, q)
+		e.recordOpt(sols)
+		return sols
+	}
+
+	// Seed S: for each positive unknown and each single predicate choice
+	// (other positives empty), find the optimal negative completions. Also
+	// seed with the all-empty positive assignment.
+	negDomain := template.Domain{}
+	for _, n := range neg {
+		negDomain[n] = q[n]
+	}
+	emptyPos := template.Solution{}
+	for _, p := range pos {
+		emptyPos[p] = template.NewPredSet()
+	}
+
+	var seeds []template.Solution
+	addSeed := func(posPart template.Solution) {
+		phiP := posPart.Fill(phi)
+		for _, t := range e.OptimalNegativeSolutions(phiP, negDomain) {
+			seeds = append(seeds, posPart.Merge(t))
+		}
+	}
+	addSeed(emptyPos)
+	for _, p := range pos {
+		for _, pred := range q[p] {
+			if e.Stop != nil && e.Stop() {
+				break
+			}
+			posPart := emptyPos.Clone()
+			posPart[p] = template.NewPredSet(pred)
+			addSeed(posPart)
+		}
+	}
+	seeds = dedupe(seeds)
+	if len(seeds) == 0 {
+		e.recordOpt(nil)
+		return nil
+	}
+
+	// R := {MakeOptimal(σ, S)}, then close under Merge (Fig. 2 lines 8-13).
+	var r []template.Solution
+	addR := func(sigma template.Solution) {
+		for _, s := range r {
+			if dominates(s, sigma, pos, neg) {
+				return
+			}
+		}
+		r = append(r, sigma)
+	}
+	for _, s := range seeds {
+		addR(e.makeOptimal(phi, s, seeds, pos, neg))
+	}
+	r = dedupe(r)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(r); i++ {
+			for j := 0; j < len(r); j++ {
+				if i == j {
+					continue
+				}
+				m, ok := e.merge(phi, r[i], r[j], seeds, pos, neg)
+				if !ok {
+					continue
+				}
+				if containsKey(r, m) || anyDominates(r, m, pos, neg) {
+					continue
+				}
+				r = append(r, e.makeOptimal(phi, m, seeds, pos, neg))
+				r = dedupe(r)
+				changed = true
+			}
+		}
+	}
+	// Keep only non-dominated, verified solutions.
+	var out []template.Solution
+	for i, s := range r {
+		dominated := false
+		for j, t := range r {
+			if i != j && dominates(t, s, pos, neg) && s.Key() != t.Key() {
+				dominated = true
+				break
+			}
+		}
+		if !dominated && e.valid(phi, s) {
+			out = append(out, s)
+		}
+	}
+	out = dedupe(out)
+	sortSolutions(out)
+	e.recordOpt(out)
+	return out
+}
+
+func (e *Engine) recordOpt(sols []template.Solution) {
+	if e.Stats != nil {
+		e.Stats.RecordOptSolutionCount(len(sols))
+	}
+}
+
+// makeOptimal greedily merges σ with compatible seeds to grow its positive
+// sets (Fig. 2, MakeOptimal).
+func (e *Engine) makeOptimal(phi logic.Formula, sigma template.Solution, seeds []template.Solution, pos, neg []string) template.Solution {
+	for _, sp := range seeds {
+		if !negSubset(sp, sigma, neg) {
+			continue
+		}
+		if m, ok := e.merge(phi, sigma, sp, seeds, pos, neg); ok {
+			sigma = m
+		}
+	}
+	return sigma
+}
+
+// merge unions two solutions (Fig. 2, Merge): positives and negatives are
+// unioned; the union is kept when its single-predicate positive projections
+// are covered by seeds with no-stronger negatives, and the SMT solver
+// confirms validity (the verification step makes the cover test exact).
+func (e *Engine) merge(phi logic.Formula, s1, s2 template.Solution, seeds []template.Solution, pos, neg []string) (template.Solution, bool) {
+	m := s1.Merge(s2)
+	// Cover test: every (positive unknown, predicate) choice of m must be
+	// realized by some seed whose negatives are within m's.
+	for _, p := range pos {
+		for _, pred := range m[p].Preds() {
+			found := false
+			for _, sp := range seeds {
+				if sp[p].Len() == 1 && sp[p].Contains(pred) && negSubset(sp, m, neg) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, false
+			}
+		}
+	}
+	if !e.valid(phi, m) {
+		return nil, false
+	}
+	return m, true
+}
+
+// negSubset reports whether a's negative sets are all within b's.
+func negSubset(a, b template.Solution, neg []string) bool {
+	for _, n := range neg {
+		if !a[n].SubsetOf(b[n]) {
+			return false
+		}
+	}
+	return true
+}
+
+// dominates reports whether a is at least as good as b: positives no
+// smaller, negatives no larger (Fig. 2, line 12).
+func dominates(a, b template.Solution, pos, neg []string) bool {
+	for _, p := range pos {
+		if !b[p].SubsetOf(a[p]) {
+			return false
+		}
+	}
+	for _, n := range neg {
+		if !a[n].SubsetOf(b[n]) {
+			return false
+		}
+	}
+	return true
+}
+
+func anyDominates(rs []template.Solution, s template.Solution, pos, neg []string) bool {
+	for _, r := range rs {
+		if dominates(r, s, pos, neg) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsKey(rs []template.Solution, s template.Solution) bool {
+	key := s.Key()
+	for _, r := range rs {
+		if r.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupe(rs []template.Solution) []template.Solution {
+	seen := map[string]bool{}
+	out := rs[:0:0]
+	for _, r := range rs {
+		k := r.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortSolutions(rs []template.Solution) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Key() < rs[j].Key() })
+}

@@ -1,0 +1,120 @@
+// Package precond implements §6 of the paper: inference of maximally-weak
+// preconditions (and dually, maximally-strong postconditions). A template
+// with unknowns is attached to the program entry (or exit); the greatest
+// (least) fixed-point algorithm is run to exhaustion so that every
+// fixed-point solution is collected, and the entry (exit) instantiations
+// are filtered to the implication-maximal ones using the SMT solver.
+package precond
+
+import (
+	"repro/internal/fixpoint"
+	"repro/internal/logic"
+	"repro/internal/optimal"
+	"repro/internal/spec"
+	"repro/internal/template"
+	"repro/internal/vc"
+)
+
+// Precondition is one maximally-weak precondition with the invariant
+// solution that witnesses it.
+type Precondition struct {
+	// Pre is the instantiated entry template.
+	Pre logic.Formula
+	// Solution is the full invariant solution (including loop invariants).
+	Solution template.Solution
+}
+
+// MaximallyWeak returns the maximally-weak preconditions of the problem's
+// entry template: instantiations σ(τe) such that all assertions hold and no
+// other discovered solution is strictly weaker at entry (Defn. 3). The
+// problem's entry template must contain unknowns.
+func MaximallyWeak(p *spec.Problem, eng *optimal.Engine, opts fixpoint.Options) ([]Precondition, error) {
+	opts.All = true
+	res, err := fixpoint.GreatestFixedPoint(p, eng, opts)
+	if err != nil {
+		return nil, err
+	}
+	entry := p.TemplateAt(vc.Entry)
+	keep := filterExtremal(eng, entry, res.All, weaker)
+	out := make([]Precondition, 0, len(keep))
+	for _, s := range keep {
+		out = append(out, Precondition{Pre: logic.Simplify(s.Fill(entry)), Solution: s})
+	}
+	return out, nil
+}
+
+// Postcondition is one maximally-strong postcondition with its witness.
+type Postcondition struct {
+	// Post is the instantiated exit template.
+	Post logic.Formula
+	// Solution is the full invariant solution.
+	Solution template.Solution
+}
+
+// MaximallyStrong returns the maximally-strong postconditions of the
+// problem's exit template via the least fixed-point algorithm run to
+// exhaustion (the dual of MaximallyWeak, §6).
+func MaximallyStrong(p *spec.Problem, eng *optimal.Engine, opts fixpoint.Options) ([]Postcondition, error) {
+	opts.All = true
+	res, err := fixpoint.LeastFixedPoint(p, eng, opts)
+	if err != nil {
+		return nil, err
+	}
+	exit := p.TemplateAt(vc.Exit)
+	keep := filterExtremal(eng, exit, res.All, stronger)
+	out := make([]Postcondition, 0, len(keep))
+	for _, s := range keep {
+		out = append(out, Postcondition{Post: logic.Simplify(s.Fill(exit)), Solution: s})
+	}
+	return out, nil
+}
+
+// weaker reports whether a is strictly weaker than b (b ⇒ a but not a ⇒ b).
+func weaker(eng *optimal.Engine, a, b logic.Formula) bool {
+	return eng.S.Valid(logic.Imp(b, a)) && !eng.S.Valid(logic.Imp(a, b))
+}
+
+// stronger reports whether a is strictly stronger than b.
+func stronger(eng *optimal.Engine, a, b logic.Formula) bool {
+	return weaker(eng, b, a)
+}
+
+// filterExtremal keeps the solutions whose template instantiation is not
+// strictly beaten by another solution's, deduplicating logically equivalent
+// instantiations.
+func filterExtremal(eng *optimal.Engine, tmpl logic.Formula, sols []template.Solution,
+	beats func(eng *optimal.Engine, a, b logic.Formula) bool) []template.Solution {
+
+	insts := make([]logic.Formula, len(sols))
+	for i, s := range sols {
+		insts[i] = s.Fill(tmpl)
+	}
+	var keep []template.Solution
+	var keptInsts []logic.Formula
+	for i, s := range sols {
+		beaten := false
+		for j := range sols {
+			if i != j && beats(eng, insts[j], insts[i]) {
+				beaten = true
+				break
+			}
+		}
+		if beaten {
+			continue
+		}
+		// Deduplicate logically equivalent instantiations.
+		dup := false
+		for _, k := range keptInsts {
+			if eng.S.Valid(logic.Imp(k, insts[i])) && eng.S.Valid(logic.Imp(insts[i], k)) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		keep = append(keep, s)
+		keptInsts = append(keptInsts, insts[i])
+	}
+	return keep
+}

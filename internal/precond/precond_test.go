@@ -1,0 +1,152 @@
+package precond
+
+import (
+	"testing"
+
+	"repro/internal/fixpoint"
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/optimal"
+	"repro/internal/smt"
+	"repro/internal/spec"
+	"repro/internal/template"
+)
+
+// guardedInit is a tiny precondition-inference task: the loop initializes
+// A[0..n) but the assertion demands A[0..m); the weakest precondition in
+// the template space over {m≤n, n≤m} is m ≤ n.
+func guardedInit() *spec.Problem {
+	prog := lang.MustParse(`
+		program GuardedInit(array A, n, m) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall k. (0 <= k && k < m) => A[k] = 0);
+		}`)
+	mk := lang.MustParseFormula
+	return &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"entry": logic.Unknown{Name: "pre"},
+			"loop":  mk("?v0 && (forall k. ?v1 => A[k] = 0)"),
+		},
+		Q: template.Domain{
+			"pre": {mk("m <= n"), mk("n <= m"), mk("m <= 0")},
+			"v0":  {mk("m <= n"), mk("i <= n"), mk("0 <= i")},
+			"v1":  {mk("0 <= k"), mk("k < i"), mk("k < n"), mk("k < m")},
+		},
+	}
+}
+
+func newEngine() *optimal.Engine { return optimal.New(smt.NewSolver(smt.Options{})) }
+
+func TestMaximallyWeakFindsPre(t *testing.T) {
+	eng := newEngine()
+	pres, err := MaximallyWeak(guardedInit(), eng, fixpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres) == 0 {
+		t.Fatal("no precondition found")
+	}
+	mLeN := lang.MustParseFormula("m <= n")
+	found := false
+	for _, p := range pres {
+		// The reported precondition must be no stronger than m ≤ n and
+		// sufficient (it is, by construction of MaximallyWeak).
+		if eng.S.Valid(logic.Imp(mLeN, p.Pre)) {
+			found = true
+		}
+		// The witness solution must actually validate the program.
+		if ok, fail := guardedInit().CheckAll(eng.S, p.Solution); !ok {
+			t.Errorf("witness solution fails at %v", fail)
+		}
+	}
+	if !found {
+		t.Errorf("no precondition at least as weak as m<=n: %v", pres)
+	}
+	// Maximality: no returned precondition is strictly weaker than another.
+	for i := range pres {
+		for j := range pres {
+			if i != j && weaker(eng, pres[j].Pre, pres[i].Pre) {
+				t.Errorf("precondition %v is beaten by %v", pres[i].Pre, pres[j].Pre)
+			}
+		}
+	}
+}
+
+func TestWeakerStrongerHelpers(t *testing.T) {
+	eng := newEngine()
+	mk := lang.MustParseFormula
+	a, b := mk("x > 0"), mk("x > 1")
+	if !weaker(eng, a, b) {
+		t.Error("x>0 should be strictly weaker than x>1")
+	}
+	if weaker(eng, b, a) {
+		t.Error("x>1 is not weaker than x>0")
+	}
+	if weaker(eng, a, a) {
+		t.Error("a formula is not strictly weaker than itself")
+	}
+	if !stronger(eng, b, a) {
+		t.Error("x>1 should be strictly stronger than x>0")
+	}
+}
+
+func TestFilterExtremalDedupes(t *testing.T) {
+	eng := newEngine()
+	mk := lang.MustParseFormula
+	tmpl := logic.Unknown{Name: "p"}
+	mkSol := func(src string) template.Solution {
+		return template.Solution{"p": template.NewPredSet(mk(src))}
+	}
+	sols := []template.Solution{
+		mkSol("x >= 1"),
+		mkSol("x > 0"), // equivalent over the integers: deduped
+		mkSol("x > 5"), // strictly stronger: beaten for "weaker" extremal
+	}
+	keep := filterExtremal(eng, tmpl, sols, weaker)
+	if len(keep) != 1 {
+		t.Fatalf("kept %d, want 1: %v", len(keep), keep)
+	}
+}
+
+func TestMaximallyStrongPost(t *testing.T) {
+	prog := lang.MustParse(`
+		program Inc(x) {
+			assume(x >= 0);
+			x := x + 1;
+		}`)
+	mk := lang.MustParseFormula
+	p := &spec.Problem{
+		Prog: prog,
+		Templates: map[string]logic.Formula{
+			"exit": logic.Unknown{Name: "post"},
+		},
+		Q: template.Domain{
+			"post": {mk("x >= 0"), mk("x >= 1"), mk("x >= 2"), mk("x <= 0")},
+		},
+	}
+	eng := newEngine()
+	posts, err := MaximallyStrong(p, eng, fixpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) == 0 {
+		t.Fatal("no postcondition")
+	}
+	// The strongest valid postcondition in the space is x ≥ 1 (with x ≥ 0
+	// redundant alongside).
+	want := mk("x >= 1")
+	ok := false
+	for _, post := range posts {
+		if eng.S.Valid(logic.Imp(post.Post, want)) {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("no postcondition as strong as x>=1: %v", posts)
+	}
+}

@@ -1,0 +1,125 @@
+// Package predabs builds predicate vocabularies for templates, implementing
+// the paper's generators: AllPreds(Z, C, R) = {z−z′ op c, z op c}, the
+// inequality family Q_V = {v1 ≤ v2}, and the bound family
+// Q_{j,V} = {j < v, j ≤ v, j > v, j ≥ v}.
+package predabs
+
+import (
+	"repro/internal/logic"
+)
+
+// AllPreds returns {t − t′ op c | t ≠ t′ ∈ terms, c ∈ consts, op ∈ ops} ∪
+// {t op c | t ∈ terms, c ∈ consts, op ∈ ops}, deduplicated by canonical
+// form. This is the generator used throughout the paper's experiments
+// (Figure 1).
+func AllPreds(terms []logic.Term, consts []int64, ops []logic.RelOp) []logic.Formula {
+	var out []logic.Formula
+	seen := map[string]bool{}
+	add := func(f logic.Formula) {
+		f = logic.Simplify(f)
+		if _, isBool := f.(logic.Bool); isBool {
+			return
+		}
+		if k := f.String(); !seen[k] {
+			seen[k] = true
+			out = append(out, f)
+		}
+	}
+	for _, op := range ops {
+		for _, c := range consts {
+			for i, t1 := range terms {
+				add(logic.Rel(op, t1, logic.I(c)))
+				for j, t2 := range terms {
+					if i == j {
+						continue
+					}
+					add(logic.Rel(op, logic.Minus(t1, t2), logic.I(c)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Vars converts variable names into terms for AllPreds.
+func Vars(names ...string) []logic.Term {
+	out := make([]logic.Term, len(names))
+	for i, n := range names {
+		out[i] = logic.V(n)
+	}
+	return out
+}
+
+// Elems returns the array reads arr[idx] for each index variable name.
+func Elems(arr string, idxs ...string) []logic.Term {
+	out := make([]logic.Term, len(idxs))
+	for i, ix := range idxs {
+		out[i] = logic.Sel(logic.AV(arr), logic.V(ix))
+	}
+	return out
+}
+
+// QV returns {v1 ≤ v2 | v1, v2 ∈ vars, v1 ≠ v2} (§2).
+func QV(vars []string) []logic.Formula {
+	var out []logic.Formula
+	for _, a := range vars {
+		for _, b := range vars {
+			if a == b {
+				continue
+			}
+			out = append(out, logic.LeF(logic.V(a), logic.V(b)))
+		}
+	}
+	return out
+}
+
+// QjV returns {j < v, j ≤ v, j > v, j ≥ v | v ∈ vars} (§2).
+func QjV(j string, vars []string) []logic.Formula {
+	var out []logic.Formula
+	for _, v := range vars {
+		t := termOf(v)
+		out = append(out,
+			logic.LtF(logic.V(j), t),
+			logic.LeF(logic.V(j), t),
+			logic.GtF(logic.V(j), t),
+			logic.GeF(logic.V(j), t),
+		)
+	}
+	return out
+}
+
+// termOf interprets a name as an integer literal when possible so QjV can
+// mix variables and constants (e.g. Q_{j,{0,i,n}}).
+func termOf(v string) logic.Term {
+	neg := false
+	s := v
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return logic.V(v)
+	}
+	n := int64(0)
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return logic.V(v)
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return logic.I(n)
+}
+
+// Junk returns n syntactically well-formed but irrelevant predicates over
+// fresh variables, used by the Figure 5 robustness experiment.
+func Junk(n int) []logic.Formula {
+	out := make([]logic.Formula, 0, n)
+	for i := 0; i < n; i++ {
+		v := logic.V("junk" + string(rune('a'+i%26)))
+		out = append(out, logic.Rel(logic.RelOp(i%4), logic.Minus(v, logic.V("junkz")), logic.I(int64(i))))
+	}
+	return out
+}

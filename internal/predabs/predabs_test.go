@@ -1,0 +1,94 @@
+package predabs
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestAllPredsCount(t *testing.T) {
+	// 2 terms, 1 const, 1 op: t1-t2 op c (2 ordered pairs) + t op c (2).
+	ps := AllPreds(Vars("x", "y"), []int64{0}, []logic.RelOp{logic.Le})
+	want := map[string]bool{
+		"x <= 0": true, "y <= 0": true,
+		"(x - y) <= 0": true, "(y - x) <= 0": true,
+	}
+	if len(ps) != len(want) {
+		t.Fatalf("got %d preds: %v", len(ps), ps)
+	}
+	for _, p := range ps {
+		if !want[p.String()] {
+			t.Errorf("unexpected predicate %v", p)
+		}
+	}
+}
+
+func TestAllPredsDedupes(t *testing.T) {
+	// Eq over (x,y) and (y,x) with c=0 yields syntactically distinct but
+	// allowed predicates; duplicates by canonical string are removed.
+	ps := AllPreds(Vars("x"), []int64{0, 0}, []logic.RelOp{logic.Eq, logic.Eq})
+	if len(ps) != 1 {
+		t.Errorf("duplicate consts/ops should dedupe, got %v", ps)
+	}
+}
+
+func TestAllPredsArrayElems(t *testing.T) {
+	ps := AllPreds(Elems("A", "i", "j"), []int64{0}, []logic.RelOp{logic.Le})
+	found := false
+	for _, p := range ps {
+		if p.String() == "(A[i] - A[j]) <= 0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("array element difference predicate missing: %v", ps)
+	}
+}
+
+func TestQV(t *testing.T) {
+	ps := QV([]string{"a", "b"})
+	if len(ps) != 2 {
+		t.Fatalf("QV = %v", ps)
+	}
+}
+
+func TestQjV(t *testing.T) {
+	ps := QjV("j", []string{"0", "i"})
+	if len(ps) != 8 {
+		t.Fatalf("QjV should have 4 ops × 2 bounds, got %v", ps)
+	}
+	// "0" must be parsed as the literal zero, not a variable named "0".
+	sawLit := false
+	for _, p := range ps {
+		if p.String() == "j < 0" {
+			sawLit = true
+		}
+	}
+	if !sawLit {
+		t.Errorf("literal bound missing: %v", ps)
+	}
+}
+
+func TestQjVNegativeConst(t *testing.T) {
+	ps := QjV("j", []string{"-1"})
+	if len(ps) != 4 {
+		t.Fatalf("QjV(-1) = %v", ps)
+	}
+	if ps[0].String() != "j < -1" {
+		t.Errorf("negative constant: %v", ps[0])
+	}
+}
+
+func TestJunk(t *testing.T) {
+	ps := Junk(10)
+	if len(ps) != 10 {
+		t.Fatalf("Junk(10) = %d preds", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.String()] {
+			t.Errorf("duplicate junk predicate %v", p)
+		}
+		seen[p.String()] = true
+	}
+}

@@ -1,0 +1,518 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT solver
+// with two-literal watching, first-UIP conflict analysis, VSIDS-style
+// activity-based branching, phase saving, and geometric restarts.
+//
+// It serves two roles in the verifier: as the propositional core of the lazy
+// SMT solver (package smt), and as the backend that solves the ψ_Prog
+// encoding of the constraint-based fixed-point algorithm (package cbi, §5 of
+// the paper).
+package sat
+
+// Lit is a literal: variable v (0-based) with sign. The positive literal of v
+// is 2v, the negative literal is 2v+1.
+type Lit int32
+
+// MkLit builds a literal from a variable index and a sign.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Status is a solver verdict.
+type Status int
+
+// Solver verdicts.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]watcher // indexed by literal
+	assigns  []value     // indexed by variable
+	level    []int       // decision level per variable
+	reason   []*clause   // antecedent clause per variable
+	activity []float64   // VSIDS score per variable
+	polarity []bool      // saved phase per variable (true = last assigned false)
+	trail    []Lit
+	trailLim []int
+	qhead    int
+	varInc   float64
+	claInc   float64
+	order    *varHeap
+	ok       bool // false once an empty clause is added
+
+	// Stats counts solver work for diagnostics and the paper's figures.
+	Stats struct {
+		Conflicts    int64
+		Decisions    int64
+		Propagations int64
+		Restarts     int64
+	}
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem (non-learnt) clauses added.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, unassigned)
+	s.level = append(s.level, -1)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+func (s *Solver) litValue(l Lit) value {
+	v := s.assigns[l.Var()]
+	if v == unassigned {
+		return unassigned
+	}
+	if l.Neg() {
+		if v == vTrue {
+			return vFalse
+		}
+		return vTrue
+	}
+	return v
+}
+
+// AddClause adds a clause over existing variables. It returns false if the
+// clause makes the formula trivially unsatisfiable. Must be called at
+// decision level 0 (i.e., before Solve or between Solve calls).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		s.cancelUntil(0)
+	}
+	// Normalize: drop duplicate and false literals; detect tautologies.
+	seen := map[Lit]bool{}
+	out := lits[:0:0]
+	for _, l := range lits {
+		if seen[l.Not()] {
+			return true // tautology
+		}
+		if seen[l] {
+			continue
+		}
+		switch s.litValue(l) {
+		case vTrue:
+			return true // already satisfied at level 0
+		case vFalse:
+			continue
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = vFalse
+	} else {
+		s.assigns[v] = vTrue
+	}
+	s.level[v] = len(s.trailLim)
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if confl != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.litValue(w.blocker) == vTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			if c.deleted {
+				continue
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == vTrue {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != vFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			kept = append(kept, watcher{c: c, blocker: first})
+			if s.litValue(first) == vFalse {
+				confl = c
+				s.qhead = len(s.trail)
+			} else {
+				s.uncheckedEnqueue(first, c)
+				s.Stats.Propagations++
+			}
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if len(s.trailLim) <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == vFalse
+		s.assigns[v] = unassigned
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (first literal is the asserting one) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot for the asserting literal
+	seen := make(map[int]bool)
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	curLevel := len(s.trailLim)
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] >= curLevel {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find the next literal on the trail to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Compute backtrack level: second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= 0.95 }
+
+func (s *Solver) pickBranchVar() int {
+	for s.order.size() > 0 {
+		v := s.order.pop()
+		if s.assigns[v] == unassigned {
+			return v
+		}
+	}
+	return -1
+}
+
+// Solve searches for a satisfying assignment under the given assumptions.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	maxConflicts := int64(100)
+	for {
+		st := s.search(maxConflicts, assumptions)
+		if st != Unknown {
+			return st
+		}
+		maxConflicts = maxConflicts * 3 / 2
+		s.Stats.Restarts++
+	}
+}
+
+func (s *Solver) search(maxConflicts int64, assumptions []Lit) Status {
+	conflicts := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if len(s.trailLim) == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, act: s.claInc}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayVar()
+			continue
+		}
+		if conflicts >= maxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		// Re-apply assumptions not yet on the trail.
+		next := Lit(-1)
+		for _, a := range assumptions {
+			switch s.litValue(a) {
+			case vTrue:
+				continue
+			case vFalse:
+				return Unsat // assumption conflicts; coarse but sufficient here
+			default:
+				next = a
+			}
+			break
+		}
+		if next == -1 {
+			v := s.pickBranchVar()
+			if v == -1 {
+				return Sat
+			}
+			s.Stats.Decisions++
+			next = MkLit(v, s.polarity[v])
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Value reports the model value of variable v after Solve returns Sat.
+func (s *Solver) Value(v int) bool { return s.assigns[v] == vTrue }
+
+// Model returns the satisfying assignment after Solve returns Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.assigns))
+	for v := range s.assigns {
+		m[v] = s.assigns[v] == vTrue
+	}
+	return m
+}
+
+// varHeap is a max-heap over variable activities.
+type varHeap struct {
+	act     *[]float64
+	heap    []int
+	indices map[int]int
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act, indices: map[int]int{}}
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[h.heap[a]] > (*h.act)[h.heap[b]] }
+
+func (h *varHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.indices[h.heap[a]] = a
+	h.indices[h.heap[b]] = b
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.heap) && h.less(l, best) {
+			best = l
+		}
+		if r < len(h.heap) && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) insert(v int) {
+	if _, ok := h.indices[v]; ok {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) update(v int) {
+	if i, ok := h.indices[v]; ok {
+		h.up(i)
+		h.down(i)
+	}
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	delete(h.indices, v)
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}

@@ -1,0 +1,296 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func lit(v int) Lit  { return MkLit(v, false) }
+func nlit(v int) Lit { return MkLit(v, true) }
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(5, false)
+	if l.Var() != 5 || l.Neg() {
+		t.Errorf("positive literal of 5: var=%d neg=%v", l.Var(), l.Neg())
+	}
+	n := l.Not()
+	if n.Var() != 5 || !n.Neg() {
+		t.Errorf("negation: var=%d neg=%v", n.Var(), n.Neg())
+	}
+	if n.Not() != l {
+		t.Error("double negation should round-trip")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	if s.Solve() != Sat {
+		t.Fatal("single unit clause should be sat")
+	}
+	if !s.Value(a) {
+		t.Error("a should be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	if !s.AddClause(nlit(a)) {
+		// AddClause may already report the contradiction.
+		return
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("a && !a should be unsat")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Error("empty clause should report failure")
+	}
+	if s.Solve() != Unsat {
+		t.Error("solver with empty clause should be unsat")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a), nlit(a))
+	if s.Solve() != Sat {
+		t.Error("tautological clause should leave the instance sat")
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// x0 && (x0→x1) && ... && (x_{n-1}→x_n) forces all true.
+	s := New()
+	const n = 50
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(lit(vars[0]))
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(nlit(vars[i]), lit(vars[i+1]))
+	}
+	if s.Solve() != Sat {
+		t.Fatal("chain should be sat")
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Fatalf("x%d should be forced true", i)
+		}
+	}
+	// Now force the last variable false: unsat.
+	s.AddClause(nlit(vars[n-1]))
+	if s.Solve() != Unsat {
+		t.Error("contradicted chain should be unsat")
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(4,3): 4 pigeons in 3 holes is unsat; classic CDCL stressor.
+	const pigeons, holes = 4, 3
+	s := New()
+	v := make([][]int, pigeons)
+	for p := range v {
+		v[p] = make([]int, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		clause := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			clause[h] = lit(v[p][h])
+		}
+		s.AddClause(clause...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(nlit(v[p1][h]), nlit(v[p2][h]))
+			}
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Error("PHP(4,3) should be unsat")
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colorable.
+	const n, colors = 5, 3
+	s := New()
+	v := make([][]int, n)
+	for i := range v {
+		v[i] = make([]int, colors)
+		for c := range v[i] {
+			v[i][c] = s.NewVar()
+		}
+		clause := make([]Lit, colors)
+		for c := range v[i] {
+			clause[c] = lit(v[i][c])
+		}
+		s.AddClause(clause...)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		for c := 0; c < colors; c++ {
+			s.AddClause(nlit(v[i][c]), nlit(v[j][c]))
+		}
+	}
+	if s.Solve() != Sat {
+		t.Fatal("5-cycle should be 3-colorable")
+	}
+	// Check the model is a proper coloring.
+	color := make([]int, n)
+	for i := range v {
+		color[i] = -1
+		for c := range v[i] {
+			if s.Value(v[i][c]) {
+				color[i] = c
+				break
+			}
+		}
+		if color[i] == -1 {
+			t.Fatalf("node %d uncolored", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if color[i] == color[(i+1)%n] {
+			t.Errorf("adjacent nodes %d,%d share color %d", i, (i+1)%n, color[i])
+		}
+	}
+}
+
+func TestOddCycleNot2Colorable(t *testing.T) {
+	const n, colors = 5, 2
+	s := New()
+	v := make([][]int, n)
+	for i := range v {
+		v[i] = make([]int, colors)
+		for c := range v[i] {
+			v[i][c] = s.NewVar()
+		}
+		s.AddClause(lit(v[i][0]), lit(v[i][1]))
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		for c := 0; c < colors; c++ {
+			s.AddClause(nlit(v[i][c]), nlit(v[j][c]))
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Error("odd cycle should not be 2-colorable")
+	}
+}
+
+func TestIncrementalBlocking(t *testing.T) {
+	// Enumerate all models of a 3-variable unconstrained instance by
+	// blocking each found model; exactly 8 models.
+	s := New()
+	vars := []int{s.NewVar(), s.NewVar(), s.NewVar()}
+	count := 0
+	for s.Solve() == Sat {
+		count++
+		if count > 8 {
+			t.Fatal("more than 8 models of 3 free variables")
+		}
+		blocking := make([]Lit, len(vars))
+		for i, v := range vars {
+			blocking[i] = MkLit(v, s.Value(v))
+		}
+		if !s.AddClause(blocking...) {
+			break
+		}
+	}
+	if count != 8 {
+		t.Errorf("enumerated %d models, want 8", count)
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver on random small
+// instances against exhaustive enumeration.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		nVars := 3 + rng.Intn(6) // 3..8
+		nClauses := 2 + rng.Intn(30)
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			width := 1 + rng.Intn(3)
+			c := make([]Lit, width)
+			for j := range c {
+				c[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			clauses[i] = c
+		}
+		want := bruteForceSat(nVars, clauses)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				ok = false
+				break
+			}
+		}
+		var got bool
+		if !ok {
+			got = false
+		} else {
+			got = s.Solve() == Sat
+		}
+		if got != want {
+			t.Fatalf("round %d: solver=%v bruteforce=%v clauses=%v", round, got, want, clauses)
+		}
+		if got {
+			// Verify the model satisfies every clause.
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					if s.Value(l.Var()) != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("round %d: model does not satisfy %v", round, c)
+				}
+			}
+		}
+	}
+}
+
+func bruteForceSat(nVars int, clauses [][]Lit) bool {
+	for assign := 0; assign < 1<<nVars; assign++ {
+		ok := true
+		for _, c := range clauses {
+			cs := false
+			for _, l := range c {
+				val := assign>>(l.Var())&1 == 1
+				if val != l.Neg() {
+					cs = true
+					break
+				}
+			}
+			if !cs {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

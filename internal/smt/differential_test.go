@@ -1,0 +1,142 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// genGroundFormula builds a random quantifier-free formula over integer
+// variables {a,b,c} and array A, with literal constants in [-2,2].
+func genGroundFormula(rng *rand.Rand, depth int) logic.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return genAtom(rng)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return logic.Conj(genGroundFormula(rng, depth-1), genGroundFormula(rng, depth-1))
+	case 1:
+		return logic.Disj(genGroundFormula(rng, depth-1), genGroundFormula(rng, depth-1))
+	default:
+		return logic.Neg(genGroundFormula(rng, depth-1))
+	}
+}
+
+func genAtom(rng *rand.Rand) logic.Formula {
+	ops := []logic.RelOp{logic.Eq, logic.Neq, logic.Lt, logic.Le, logic.Gt, logic.Ge}
+	return logic.Rel(ops[rng.Intn(len(ops))], genTerm(rng, 2), genTerm(rng, 2))
+}
+
+func genTerm(rng *rand.Rand, depth int) logic.Term {
+	vars := []string{"a", "b", "c"}
+	if depth == 0 || rng.Intn(2) == 0 {
+		if rng.Intn(2) == 0 {
+			return logic.V(vars[rng.Intn(len(vars))])
+		}
+		return logic.I(int64(rng.Intn(5) - 2))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return logic.Plus(genTerm(rng, depth-1), genTerm(rng, depth-1))
+	case 1:
+		return logic.Minus(genTerm(rng, depth-1), genTerm(rng, depth-1))
+	default:
+		return logic.Sel(logic.AV("A"), genTerm(rng, depth-1))
+	}
+}
+
+// enumerateEnvs yields every valuation of a,b,c over [-2,2] with array A
+// assigned one of a few fixed shapes (the shapes cover constant, identity,
+// and descending contents over the index window [-6,6]).
+func enumerateEnvs(f func(*logic.Env) bool) bool {
+	shapes := []func(i int64) int64{
+		func(i int64) int64 { return 0 },
+		func(i int64) int64 { return i },
+		func(i int64) int64 { return -i },
+		func(i int64) int64 { return 1 },
+	}
+	for _, shape := range shapes {
+		for a := int64(-2); a <= 2; a++ {
+			for b := int64(-2); b <= 2; b++ {
+				for c := int64(-2); c <= 2; c++ {
+					env := logic.NewEnv(-2, 2)
+					env.Ints["a"], env.Ints["b"], env.Ints["c"] = a, b, c
+					cells := map[int64]int64{}
+					for i := int64(-6); i <= 6; i++ {
+						cells[i] = shape(i)
+					}
+					env.Arrs["A"] = cells
+					if f(env) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestDifferentialGroundSat cross-checks the SMT solver against concrete
+// evaluation on random ground formulas: any formula with a model in the
+// enumerated grid must be reported satisfiable, and any formula the solver
+// reports valid must evaluate true on every grid point.
+func TestDifferentialGroundSat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 400; round++ {
+		f := genGroundFormula(rng, 3)
+		s := NewSolver(Options{})
+		sat := s.Satisfiable(f)
+		valid := s.Valid(f)
+		gridModel := enumerateEnvs(func(e *logic.Env) bool { return e.EvalFormula(f) })
+		gridCounter := enumerateEnvs(func(e *logic.Env) bool { return !e.EvalFormula(f) })
+		if gridModel && !sat {
+			t.Fatalf("round %d: grid has a model but solver says unsat: %v", round, f)
+		}
+		if valid && gridCounter {
+			t.Fatalf("round %d: solver says valid but grid has a counterexample: %v", round, f)
+		}
+		if !sat && valid {
+			t.Fatalf("round %d: unsat and valid simultaneously: %v", round, f)
+		}
+	}
+}
+
+// genBoundedQuantFormula builds (∀k: 0 ≤ k ≤ 2 ⇒ body) ⇒ concl where the
+// quantifier is syntactically bounded inside the evaluation window, so
+// concrete evaluation is exact and can audit the solver's "valid" verdicts.
+func genBoundedQuantFormula(rng *rand.Rand) logic.Formula {
+	k := logic.V("k")
+	body := logic.Rel(
+		[]logic.RelOp{logic.Le, logic.Lt, logic.Ge, logic.Eq}[rng.Intn(4)],
+		logic.Sel(logic.AV("A"), k),
+		genTerm(rng, 1),
+	)
+	hyp := logic.All([]string{"k"}, logic.Imp(
+		logic.Conj(logic.LeF(logic.I(0), k), logic.LeF(k, logic.I(2))), body))
+	concl := genGroundFormula(rng, 2)
+	return logic.Imp(hyp, concl)
+}
+
+// TestDifferentialQuantifiedValidity audits "valid" verdicts on quantified
+// formulas: whenever the solver claims validity, every grid point must
+// satisfy the formula (grid evaluation is exact here because the quantifier
+// is explicitly bounded within the window).
+func TestDifferentialQuantifiedValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	validCount := 0
+	for round := 0; round < 300; round++ {
+		f := genBoundedQuantFormula(rng)
+		s := NewSolver(Options{})
+		if !s.Valid(f) {
+			continue
+		}
+		validCount++
+		if enumerateEnvs(func(e *logic.Env) bool { return !e.EvalFormula(f) }) {
+			t.Fatalf("round %d: claimed valid but grid refutes: %v", round, f)
+		}
+	}
+	if validCount == 0 {
+		t.Log("no valid formulas generated; soundness audit vacuous this seed")
+	}
+}

@@ -1,0 +1,403 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lia"
+	"repro/internal/logic"
+)
+
+// prop is a ground propositional formula whose leaves are integer
+// inequalities (indices into grounder.lins).
+type prop interface{ isProp() }
+
+type pLit struct {
+	atom int // index into grounder.lins
+	neg  bool
+}
+type pAnd struct{ ps []prop }
+type pOr struct{ ps []prop }
+type pConst struct{ val bool }
+
+func (pLit) isProp()   {}
+func (pAnd) isProp()   {}
+func (pOr) isProp()    {}
+func (pConst) isProp() {}
+
+func mkAnd(ps ...prop) prop {
+	var out []prop
+	for _, p := range ps {
+		switch p := p.(type) {
+		case pConst:
+			if !p.val {
+				return pConst{false}
+			}
+		case pAnd:
+			out = append(out, p.ps...)
+		default:
+			out = append(out, p)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return pConst{true}
+	case 1:
+		return out[0]
+	}
+	return pAnd{ps: out}
+}
+
+func mkOr(ps ...prop) prop {
+	var out []prop
+	for _, p := range ps {
+		switch p := p.(type) {
+		case pConst:
+			if p.val {
+				return pConst{true}
+			}
+		case pOr:
+			out = append(out, p.ps...)
+		default:
+			out = append(out, p)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return pConst{false}
+	case 1:
+		return out[0]
+	}
+	return pOr{ps: out}
+}
+
+// grounder turns a ground first-order formula into a prop over integer
+// inequalities: it splits reads over writes, replaces array reads and
+// uninterpreted applications with fresh integer variables plus Ackermann
+// functional-consistency constraints, and interns each inequality in a
+// canonical orientation so that an atom and its negation share one index.
+type grounder struct {
+	lins  []lia.Lin
+	byKey map[string]int
+
+	// occurrences of flattened function applications, grouped by symbol.
+	occs map[string][]occurrence
+}
+
+type occurrence struct {
+	args []logic.Term // flattened, pure arithmetic terms
+	v    string       // the fresh variable standing for the application
+}
+
+func newGrounder() *grounder {
+	return &grounder{byKey: map[string]int{}, occs: map[string][]occurrence{}}
+}
+
+// internLeq interns the constraint l ≤ 0, returning a literal in canonical
+// orientation (an inequality and its integer negation map to one atom).
+func (g *grounder) internLeq(l lia.Lin) prop {
+	if l.IsConst() {
+		return pConst{val: l.K <= 0}
+	}
+	neg := l.Negate()
+	key, nkey := l.Key(), neg.Key()
+	if key <= nkey {
+		return pLit{atom: g.intern(key, l)}
+	}
+	return pLit{atom: g.intern(nkey, neg), neg: true}
+}
+
+func (g *grounder) intern(key string, l lia.Lin) int {
+	if i, ok := g.byKey[key]; ok {
+		return i
+	}
+	i := len(g.lins)
+	g.lins = append(g.lins, l)
+	g.byKey[key] = i
+	return i
+}
+
+// linOf converts a pure arithmetic term (no selects/applies) to linear form.
+func linOf(t logic.Term) lia.Lin {
+	switch t := t.(type) {
+	case logic.Var:
+		l := lia.NewLin()
+		l.AddVar(t.Name, 1)
+		return l
+	case logic.IntLit:
+		l := lia.NewLin()
+		l.K = t.Val
+		return l
+	case logic.Add:
+		l := linOf(t.X)
+		l.AddLin(linOf(t.Y), 1)
+		return l
+	case logic.Sub:
+		l := linOf(t.X)
+		l.AddLin(linOf(t.Y), -1)
+		return l
+	case logic.Mul:
+		l := linOf(t.X)
+		l.Scale(t.C)
+		return l
+	}
+	panic(fmt.Sprintf("smt: non-arithmetic term in linOf: %T (%s)", t, t))
+}
+
+// leq builds the literal for x − y + off ≤ 0 over flattened terms.
+func (g *grounder) leq(x, y logic.Term, off int64) prop {
+	l := linOf(x)
+	l.AddLin(linOf(y), -1)
+	l.K += off
+	return g.internLeq(l)
+}
+
+// relProp encodes a relation over flattened terms as a prop. Equalities
+// split into conjunctions of inequalities and disequalities into
+// disjunctions of strict inequalities, so the theory solver sees only ≤.
+func (g *grounder) relProp(op logic.RelOp, x, y logic.Term) prop {
+	switch op {
+	case logic.Le:
+		return g.leq(x, y, 0)
+	case logic.Lt:
+		return g.leq(x, y, 1)
+	case logic.Ge:
+		return g.leq(y, x, 0)
+	case logic.Gt:
+		return g.leq(y, x, 1)
+	case logic.Eq:
+		return mkAnd(g.leq(x, y, 0), g.leq(y, x, 0))
+	case logic.Neq:
+		return mkOr(g.leq(x, y, 1), g.leq(y, x, 1))
+	}
+	panic("smt: bad RelOp")
+}
+
+// termCase is one branch of a read-over-write case split: the pure term Term
+// under the guard conditions Conds (atoms to conjoin).
+type termCase struct {
+	conds []logic.Formula
+	term  logic.Term
+}
+
+// splitStores expands reads over writes in t, producing one case per branch:
+// sel(upd(A,i,v), j) becomes (i=j → v) and (i≠j → sel(A,j)).
+func splitStores(t logic.Term) []termCase {
+	switch t := t.(type) {
+	case logic.Var, logic.IntLit:
+		return []termCase{{term: t}}
+	case logic.Add:
+		return combine2(t.X, t.Y, func(a, b logic.Term) logic.Term { return logic.Add{X: a, Y: b} })
+	case logic.Sub:
+		return combine2(t.X, t.Y, func(a, b logic.Term) logic.Term { return logic.Sub{X: a, Y: b} })
+	case logic.Mul:
+		var out []termCase
+		for _, c := range splitStores(t.X) {
+			out = append(out, termCase{conds: c.conds, term: logic.Mul{C: t.C, X: c.term}})
+		}
+		return out
+	case logic.Apply:
+		cases := []termCase{{term: logic.Apply{F: t.F}}}
+		for _, arg := range t.Args {
+			var next []termCase
+			for _, c := range cases {
+				for _, ac := range splitStores(arg) {
+					app := c.term.(logic.Apply)
+					args := append(append([]logic.Term(nil), app.Args...), ac.term)
+					next = append(next, termCase{
+						conds: append(append([]logic.Formula(nil), c.conds...), ac.conds...),
+						term:  logic.Apply{F: t.F, Args: args},
+					})
+				}
+			}
+			cases = next
+		}
+		return cases
+	case logic.Select:
+		var out []termCase
+		for _, ic := range splitStores(t.Idx) {
+			out = append(out, selectCases(t.A, ic.term, ic.conds)...)
+		}
+		return out
+	}
+	panic(fmt.Sprintf("smt: unknown term %T", t))
+}
+
+// selectCases expands sel(a, idx) for a possibly-stored array a.
+func selectCases(a logic.Arr, idx logic.Term, conds []logic.Formula) []termCase {
+	switch a := a.(type) {
+	case logic.ArrVar:
+		return []termCase{{conds: conds, term: logic.Sel(a, idx)}}
+	case logic.Store:
+		var out []termCase
+		for _, sc := range splitStores(a.Idx) {
+			// Hit: idx = store index → value.
+			for _, vc := range splitStores(a.Val) {
+				cs := concatConds(conds, sc.conds, vc.conds, logic.EqF(idx, sc.term))
+				out = append(out, termCase{conds: cs, term: vc.term})
+			}
+			// Miss: idx ≠ store index → read the inner array.
+			cs := concatConds(conds, sc.conds, nil, logic.NeqF(idx, sc.term))
+			out = append(out, selectCases(a.A, idx, cs)...)
+		}
+		return out
+	}
+	panic(fmt.Sprintf("smt: unknown array term %T", a))
+}
+
+func combine2(x, y logic.Term, mk func(a, b logic.Term) logic.Term) []termCase {
+	var out []termCase
+	for _, cx := range splitStores(x) {
+		for _, cy := range splitStores(y) {
+			out = append(out, termCase{
+				conds: append(append([]logic.Formula(nil), cx.conds...), cy.conds...),
+				term:  mk(cx.term, cy.term),
+			})
+		}
+	}
+	return out
+}
+
+func concatConds(base, a, b []logic.Formula, extra logic.Formula) []logic.Formula {
+	out := make([]logic.Formula, 0, len(base)+len(a)+len(b)+1)
+	out = append(out, base...)
+	out = append(out, a...)
+	out = append(out, b...)
+	out = append(out, extra)
+	return out
+}
+
+// flattenTerm replaces array reads and applications in a store-free term
+// with fresh integer variables, recording each occurrence for Ackermann
+// constraints, and returns a pure arithmetic term.
+func (g *grounder) flattenTerm(t logic.Term) logic.Term {
+	switch t := t.(type) {
+	case logic.Var, logic.IntLit:
+		return t
+	case logic.Add:
+		return logic.Add{X: g.flattenTerm(t.X), Y: g.flattenTerm(t.Y)}
+	case logic.Sub:
+		return logic.Sub{X: g.flattenTerm(t.X), Y: g.flattenTerm(t.Y)}
+	case logic.Mul:
+		return logic.Mul{C: t.C, X: g.flattenTerm(t.X)}
+	case logic.Select:
+		av, ok := t.A.(logic.ArrVar)
+		if !ok {
+			panic("smt: store survived splitStores")
+		}
+		idx := g.flattenTerm(t.Idx)
+		return g.registerApp("sel$"+av.Name, []logic.Term{idx})
+	case logic.Apply:
+		args := make([]logic.Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = g.flattenTerm(a)
+		}
+		return g.registerApp("app$"+t.F, args)
+	}
+	panic(fmt.Sprintf("smt: unknown term %T", t))
+}
+
+func (g *grounder) registerApp(sym string, args []logic.Term) logic.Term {
+	keys := make([]string, len(args))
+	for i, a := range args {
+		keys[i] = linOf(a).Key()
+	}
+	name := sym + "(" + strings.Join(keys, ";") + ")"
+	for _, o := range g.occs[sym] {
+		if o.v == name {
+			return logic.V(name)
+		}
+	}
+	g.occs[sym] = append(g.occs[sym], occurrence{args: args, v: name})
+	return logic.V(name)
+}
+
+// atomProp encodes a ground atom, splitting stores and flattening reads.
+func (g *grounder) atomProp(a logic.Atom) prop {
+	var branches []prop
+	for _, cx := range splitStores(a.X) {
+		for _, cy := range splitStores(a.Y) {
+			var conj []prop
+			for _, cond := range append(append([]logic.Formula(nil), cx.conds...), cy.conds...) {
+				conj = append(conj, g.formulaProp(cond))
+			}
+			x := g.flattenTerm(cx.term)
+			y := g.flattenTerm(cy.term)
+			conj = append(conj, g.relProp(a.Op, x, y))
+			branches = append(branches, mkAnd(conj...))
+		}
+	}
+	return mkOr(branches...)
+}
+
+// formulaProp converts a ground, quantifier-free formula to a prop.
+func (g *grounder) formulaProp(f logic.Formula) prop {
+	switch f := f.(type) {
+	case logic.Atom:
+		return g.atomProp(f)
+	case logic.Bool:
+		return pConst{val: f.Val}
+	case logic.Not:
+		a, ok := f.F.(logic.Atom)
+		if !ok {
+			panic("smt: non-atomic negation in ground formula")
+		}
+		return g.atomProp(logic.Atom{Op: a.Op.Negate(), X: a.X, Y: a.Y})
+	case logic.And:
+		out := make([]prop, len(f.Fs))
+		for i, h := range f.Fs {
+			out[i] = g.formulaProp(h)
+		}
+		return mkAnd(out...)
+	case logic.Or:
+		out := make([]prop, len(f.Fs))
+		for i, h := range f.Fs {
+			out[i] = g.formulaProp(h)
+		}
+		return mkOr(out...)
+	case logic.Implies:
+		a, ok1 := f.A.(logic.Atom)
+		b, ok2 := f.B.(logic.Atom)
+		if !ok1 || !ok2 {
+			panic("smt: implication survived NNF")
+		}
+		return mkOr(g.atomProp(logic.Atom{Op: a.Op.Negate(), X: a.X, Y: a.Y}), g.atomProp(b))
+	}
+	panic(fmt.Sprintf("smt: unexpected ground formula %T (%s)", f, f))
+}
+
+// ackermann returns the functional-consistency constraints for all recorded
+// application occurrences: same symbol + equal arguments ⇒ equal values.
+// The number of pairs is capped; dropped constraints only weaken the formula
+// (making a "satisfiable" answer more likely), preserving soundness of
+// validity answers.
+func (g *grounder) ackermann(maxPairs int) prop {
+	syms := make([]string, 0, len(g.occs))
+	for s := range g.occs {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	var out []prop
+	pairs := 0
+	for _, s := range syms {
+		os := g.occs[s]
+		for i := 0; i < len(os); i++ {
+			for j := i + 1; j < len(os); j++ {
+				if pairs >= maxPairs {
+					return mkAnd(out...)
+				}
+				pairs++
+				// (args_i = args_j) ⇒ v_i = v_j encoded as
+				// ∨_k args_i[k] ≠ args_j[k]  ∨  v_i = v_j.
+				var disj []prop
+				for k := range os[i].args {
+					disj = append(disj, g.relProp(logic.Neq, os[i].args[k], os[j].args[k]))
+				}
+				disj = append(disj, g.relProp(logic.Eq, logic.V(os[i].v), logic.V(os[j].v)))
+				out = append(out, mkOr(disj...))
+			}
+		}
+	}
+	return mkAnd(out...)
+}

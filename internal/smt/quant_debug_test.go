@@ -1,0 +1,49 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// The ghost-copy entry VC of insertion-sort preservation, minimized:
+// (∀k: A0[k]=A[k]) ⇒ (∀y: 0≤y<1 ⇒ ∃x: A0[y]=A[x] ∧ 0≤x<1).
+func TestGhostCopyEntryVC(t *testing.T) {
+	s := NewSolver(Options{})
+	a, a0 := logic.AV("A"), logic.AV("A0")
+	ghost := logic.All([]string{"k"}, logic.EqF(logic.Sel(a0, logic.V("k")), logic.Sel(a, logic.V("k"))))
+	concl := logic.All([]string{"y"}, logic.Imp(
+		logic.Conj(logic.LeF(logic.I(0), logic.V("y")), logic.LtF(logic.V("y"), logic.I(1))),
+		logic.Any([]string{"x"}, logic.Conj(
+			logic.EqF(logic.Sel(a0, logic.V("y")), logic.Sel(a, logic.V("x"))),
+			logic.LeF(logic.I(0), logic.V("x")), logic.LtF(logic.V("x"), logic.I(1))))))
+	f := logic.Imp(ghost, concl)
+	if !s.Valid(f) {
+		t.Error("ghost-copy entry VC should be valid")
+	}
+}
+
+// Swap preserves the ∀∃ permutation fact.
+func TestSwapPreservesPermutation(t *testing.T) {
+	s := NewSolver(Options{})
+	a, a0, a1, a2 := logic.AV("A"), logic.AV("A0"), logic.AV("A#1"), logic.AV("A#2")
+	i, min, n := logic.V("i"), logic.V("min"), logic.V("n")
+	perm := func(dst logic.Arr) logic.Formula {
+		return logic.All([]string{"y"}, logic.Imp(
+			logic.Conj(logic.LeF(logic.I(0), logic.V("y")), logic.LtF(logic.V("y"), n)),
+			logic.Any([]string{"x"}, logic.Conj(
+				logic.EqF(logic.Sel(a0, logic.V("y")), logic.Sel(dst, logic.V("x"))),
+				logic.LeF(logic.I(0), logic.V("x")), logic.LtF(logic.V("x"), n)))))
+	}
+	hyp := logic.Conj(
+		perm(a),
+		logic.LeF(logic.I(0), i), logic.LtF(i, n),
+		logic.LeF(logic.I(0), min), logic.LtF(min, n),
+		logic.ArrEqF(a1, logic.Upd(a, i, logic.Sel(a, min))),
+		logic.ArrEqF(a2, logic.Upd(a1, min, logic.Sel(a, i))),
+	)
+	f := logic.Imp(hyp, perm(a2))
+	if !s.Valid(f) {
+		t.Error("swap should preserve the permutation fact")
+	}
+}

@@ -1,0 +1,114 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func newTestSolver() *Solver { return NewSolver(Options{}) }
+
+func TestValidGroundArithmetic(t *testing.T) {
+	s := newTestSolver()
+	x, y, z := logic.V("x"), logic.V("y"), logic.V("z")
+	cases := []struct {
+		name string
+		f    logic.Formula
+		want bool
+	}{
+		{"le-refl", logic.LeF(x, x), true},
+		{"lt-irrefl", logic.LtF(x, x), false},
+		{"transitivity", logic.Imp(logic.Conj(logic.LeF(x, y), logic.LeF(y, z)), logic.LeF(x, z)), true},
+		{"no-transitivity-strict-from-nonstrict", logic.Imp(logic.LeF(x, y), logic.LtF(x, z)), false},
+		{"int-tightness", logic.Imp(logic.Conj(logic.LtF(x, y), logic.LtF(y, logic.Plus(x, logic.I(2)))), logic.EqF(y, logic.Plus(x, logic.I(1)))), true},
+		{"eq-sym", logic.Imp(logic.EqF(x, y), logic.EqF(y, x)), true},
+		{"neq-excluded", logic.Disj(logic.EqF(x, y), logic.NeqF(x, y)), true},
+		{"const-fold", logic.LtF(logic.I(3), logic.I(5)), true},
+		{"contradiction", logic.Conj(logic.LtF(x, y), logic.LtF(y, x)), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.Valid(tc.f); got != tc.want {
+				t.Errorf("Valid(%s) = %v, want %v", tc.f, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidArrays(t *testing.T) {
+	s := newTestSolver()
+	a := logic.AV("A")
+	i, j, v := logic.V("i"), logic.V("j"), logic.V("v")
+	// Read over write, hit: upd(A,i,v)[i] = v.
+	if !s.Valid(logic.EqF(logic.Sel(logic.Upd(a, i, v), i), v)) {
+		t.Error("read-over-write hit should be valid")
+	}
+	// Read over write, miss: i≠j ⇒ upd(A,i,v)[j] = A[j].
+	miss := logic.Imp(logic.NeqF(i, j), logic.EqF(logic.Sel(logic.Upd(a, i, v), j), logic.Sel(a, j)))
+	if !s.Valid(miss) {
+		t.Error("read-over-write miss should be valid")
+	}
+	// Unconditional miss is not valid.
+	if s.Valid(logic.EqF(logic.Sel(logic.Upd(a, i, v), j), logic.Sel(a, j))) {
+		t.Error("unconditional read-over-write miss should not be valid")
+	}
+	// Functional consistency: i=j ⇒ A[i]=A[j].
+	if !s.Valid(logic.Imp(logic.EqF(i, j), logic.EqF(logic.Sel(a, i), logic.Sel(a, j)))) {
+		t.Error("array congruence should be valid")
+	}
+}
+
+func TestValidQuantified(t *testing.T) {
+	s := newTestSolver()
+	a := logic.AV("A")
+	i, n := logic.V("i"), logic.V("n")
+	y := "y"
+	zeroed := func(arr logic.Arr, lo, hi logic.Term) logic.Formula {
+		return logic.All([]string{y}, logic.Imp(
+			logic.Conj(logic.LeF(lo, logic.V(y)), logic.LtF(logic.V(y), hi)),
+			logic.EqF(logic.Sel(arr, logic.V(y)), logic.I(0))))
+	}
+	// Entry VC of ArrayInit with the known invariant 0 ≤ y < i:
+	// i = 0 ⇒ ∀y: 0 ≤ y < i ⇒ A[y] = 0  (vacuous).
+	entry := logic.Imp(logic.EqF(i, logic.I(0)), zeroed(a, logic.I(0), i))
+	if !s.Valid(entry) {
+		t.Error("vacuous quantified entry VC should be valid")
+	}
+	// Exit VC: i ≥ n ∧ inv ⇒ post.
+	exit := logic.Imp(logic.Conj(logic.GeF(i, n), zeroed(a, logic.I(0), i)), zeroed(a, logic.I(0), n))
+	if !s.Valid(exit) {
+		t.Error("exit VC should be valid")
+	}
+	// Inductive VC: i < n ∧ inv ∧ A' = upd(A,i,0) ⇒ inv[i+1/i, A'/A].
+	a2 := logic.AV("A2")
+	ind := logic.Imp(
+		logic.Conj(logic.LtF(i, n), zeroed(a, logic.I(0), i), logic.ArrEqF(a2, logic.Upd(a, i, logic.I(0)))),
+		zeroed(a2, logic.I(0), logic.Plus(i, logic.I(1))))
+	if !s.Valid(ind) {
+		t.Error("inductive VC should be valid")
+	}
+	// A wrong inductive VC (invariant not re-established at i itself).
+	bad := logic.Imp(
+		logic.Conj(logic.LtF(i, n), zeroed(a, logic.I(0), i)),
+		zeroed(a, logic.I(0), logic.Plus(i, logic.I(1))))
+	if s.Valid(bad) {
+		t.Error("unsound inductive VC should not be valid")
+	}
+}
+
+func TestValidForallExists(t *testing.T) {
+	s := newTestSolver()
+	a, b := logic.AV("A"), logic.AV("B")
+	n := logic.V("n")
+	// (∀y∃x: 0≤y<n ⇒ A[y]=B[x]) holds trivially if ∀y: A[y]=B[y].
+	pre := logic.All([]string{"y"}, logic.EqF(logic.Sel(a, logic.V("y")), logic.Sel(b, logic.V("y"))))
+	post := logic.All([]string{"y"}, logic.Any([]string{"x"}, logic.Imp(
+		logic.Conj(logic.LeF(logic.I(0), logic.V("y")), logic.LtF(logic.V("y"), n)),
+		logic.EqF(logic.Sel(a, logic.V("y")), logic.Sel(b, logic.V("x"))))))
+	if !s.Valid(logic.Imp(pre, post)) {
+		t.Error("∀∃ consequence should be valid")
+	}
+	if s.Valid(post) {
+		t.Error("∀∃ claim without premise should not be valid")
+	}
+}

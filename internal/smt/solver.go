@@ -1,0 +1,251 @@
+package smt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/lia"
+	"repro/internal/logic"
+	"repro/internal/sat"
+	"repro/internal/stats"
+)
+
+// Options configures the solver's quantifier instantiation and resource
+// bounds. The zero value is usable; Normalize fills in defaults.
+type Options struct {
+	// InstRounds is how many times the instantiation set is re-derived from
+	// the previous round's ground formula, so skolem witnesses produced in
+	// round k become instantiation candidates in round k+1. Default 3.
+	InstRounds int
+	// MaxInstances caps the number of tuples one universal is expanded to.
+	// Default 4096.
+	MaxInstances int
+	// MaxAckermannPairs caps functional-consistency constraints. Default 20000.
+	MaxAckermannPairs int
+	// MaxTheoryIterations caps DPLL(T) model-repair rounds. Default 100000.
+	MaxTheoryIterations int
+	// CacheSize caps the validity memo table (0 = unlimited).
+	CacheSize int
+	// Stop, when non-nil, is polled inside the DPLL(T) loop; returning
+	// true abandons the query with a conservative "satisfiable" answer
+	// (Valid reports false), releasing the CPU promptly after a timeout.
+	Stop func() bool
+}
+
+// Normalize returns o with defaults applied.
+func (o Options) Normalize() Options {
+	if o.InstRounds == 0 {
+		o.InstRounds = 3
+	}
+	if o.MaxInstances == 0 {
+		o.MaxInstances = 4096
+	}
+	if o.MaxAckermannPairs == 0 {
+		o.MaxAckermannPairs = 20000
+	}
+	if o.MaxTheoryIterations == 0 {
+		o.MaxTheoryIterations = 100000
+	}
+	return o
+}
+
+// Solver checks validity of quantified formulas over integers + arrays +
+// uninterpreted functions. It memoizes results and reports per-query
+// latencies to an optional stats collector. Not safe for concurrent use.
+type Solver struct {
+	opts  Options
+	cache map[string]bool
+	stats *stats.Collector
+
+	// Queries counts validity checks actually decided (cache misses).
+	Queries int64
+	// CacheHits counts validity checks answered from the memo table.
+	CacheHits int64
+}
+
+// NewSolver returns a solver with the given options.
+func NewSolver(opts Options) *Solver {
+	return &Solver{opts: opts.Normalize(), cache: map[string]bool{}}
+}
+
+// SetStats attaches a collector that receives per-query latencies (Figure 4).
+func (s *Solver) SetStats(c *stats.Collector) { s.stats = c }
+
+// Valid reports whether f is valid (true in every model). The answer true is
+// always sound; false may also mean "not provable within the instantiation
+// bounds", which client algorithms treat conservatively.
+func (s *Solver) Valid(f logic.Formula) bool {
+	f = logic.Simplify(f)
+	if b, ok := f.(logic.Bool); ok {
+		return b.Val
+	}
+	key := f.String()
+	if v, ok := s.cache[key]; ok {
+		s.CacheHits++
+		return v
+	}
+	start := time.Now()
+	v := !s.Satisfiable(logic.Neg(f))
+	s.stats.RecordQuery(time.Since(start))
+	s.Queries++
+	if s.opts.Stop != nil && s.opts.Stop() {
+		// The run was abandoned mid-query; the conservative answer must
+		// not be memoized as a real verdict.
+		return v
+	}
+	if s.opts.CacheSize > 0 && len(s.cache) >= s.opts.CacheSize {
+		s.cache = map[string]bool{}
+	}
+	s.cache[key] = v
+	return v
+}
+
+// Satisfiable reports whether f has a model, modulo bounded quantifier
+// instantiation: "false" (unsat) is sound; "true" is exact for ground
+// formulas and best-effort for quantified ones.
+func (s *Solver) Satisfiable(f logic.Formula) bool {
+	nm := logic.NewNamer("@q")
+	f = logic.RewriteArrayEq(f, nm)
+	f = logic.Simplify(f)
+	if b, ok := f.(logic.Bool); ok {
+		return b.Val
+	}
+	f = logic.NNF(f)
+	f = logic.StandardizeApart(f, logic.NewNamer("@b"))
+	f = skolemize(f, nil, logic.NewNamer("@sk"))
+
+	bound := boundVarNames(f)
+	ground := f
+	if len(bound) > 0 {
+		prevKey := ""
+		for round := 0; round < s.opts.InstRounds; round++ {
+			// Candidates come from both the quantified formula (guard
+			// boundary terms, original index terms) and the previous ground
+			// round (skolem witnesses that appeared as array indices).
+			both := logic.And{Fs: []logic.Formula{f, ground}}
+			env := &instEnv{
+				fallback:     collectInstTerms(both, bound),
+				arrIndices:   groundArrayIndices(both, bound),
+				maxInstances: s.opts.MaxInstances,
+			}
+			key := fmt.Sprintf("%d|%v", len(env.fallback), env.arrIndices)
+			if key == prevKey {
+				break
+			}
+			prevKey = key
+			ground = instantiate(f, env)
+		}
+		ground = logic.Simplify(ground)
+	}
+	return s.decideGround(ground)
+}
+
+// decideGround decides a ground (quantifier-free, store-possible) formula by
+// lazy DPLL(T).
+func (s *Solver) decideGround(f logic.Formula) bool {
+	g := newGrounder()
+	p := g.formulaProp(f)
+	p = mkAnd(p, g.ackermann(s.opts.MaxAckermannPairs))
+	switch p := p.(type) {
+	case pConst:
+		return p.val
+	default:
+	}
+
+	solver := sat.New()
+	enc := &encoder{s: solver, atomVar: map[int]int{}}
+	root := enc.encode(p)
+	if !solver.AddClause(root) {
+		return false
+	}
+
+	// Parallel arrays mapping atom index → SAT variable, built on demand by
+	// the encoder; iterate deterministically over atom indices.
+	for iter := 0; iter < s.opts.MaxTheoryIterations; iter++ {
+		if s.opts.Stop != nil && s.opts.Stop() {
+			return true // conservative: Valid() reports false
+		}
+		if solver.Solve() == sat.Unsat {
+			return false
+		}
+		var cons []lia.Lin
+		var lits []sat.Lit
+		for atom, v := range enc.atomVar {
+			if solver.Value(v) {
+				cons = append(cons, g.lins[atom])
+				lits = append(lits, sat.MkLit(v, false))
+			} else {
+				cons = append(cons, g.lins[atom].Negate())
+				lits = append(lits, sat.MkLit(v, true))
+			}
+		}
+		res := lia.Check(cons)
+		if res.Sat {
+			return true
+		}
+		blocking := make([]sat.Lit, 0, len(res.Conflict))
+		for _, ci := range res.Conflict {
+			blocking = append(blocking, lits[ci].Not())
+		}
+		if !solver.AddClause(blocking...) {
+			return false
+		}
+	}
+	// Resource bound hit: report "satisfiable", i.e. Valid() answers false,
+	// the conservative direction for every client algorithm.
+	return true
+}
+
+// encoder performs one-sided (NNF/plaisted-greenbaum) Tseitin encoding of a
+// prop into the SAT solver.
+type encoder struct {
+	s        *sat.Solver
+	atomVar  map[int]int // theory atom index → SAT variable
+	trueVar  int
+	haveTrue bool
+}
+
+func (e *encoder) constTrue() sat.Lit {
+	if !e.haveTrue {
+		e.trueVar = e.s.NewVar()
+		e.s.AddClause(sat.MkLit(e.trueVar, false))
+		e.haveTrue = true
+	}
+	return sat.MkLit(e.trueVar, false)
+}
+
+func (e *encoder) encode(p prop) sat.Lit {
+	switch p := p.(type) {
+	case pConst:
+		if p.val {
+			return e.constTrue()
+		}
+		return e.constTrue().Not()
+	case pLit:
+		v, ok := e.atomVar[p.atom]
+		if !ok {
+			v = e.s.NewVar()
+			e.atomVar[p.atom] = v
+		}
+		return sat.MkLit(v, p.neg)
+	case pAnd:
+		gv := e.s.NewVar()
+		gl := sat.MkLit(gv, false)
+		for _, child := range p.ps {
+			cl := e.encode(child)
+			e.s.AddClause(gl.Not(), cl)
+		}
+		return gl
+	case pOr:
+		gv := e.s.NewVar()
+		gl := sat.MkLit(gv, false)
+		clause := make([]sat.Lit, 0, len(p.ps)+1)
+		clause = append(clause, gl.Not())
+		for _, child := range p.ps {
+			clause = append(clause, e.encode(child))
+		}
+		e.s.AddClause(clause...)
+		return gl
+	}
+	panic("smt: unknown prop")
+}

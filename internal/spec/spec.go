@@ -1,0 +1,178 @@
+// Package spec ties a program to its verification problem: the invariant
+// template attached to each cut-point and the predicate vocabulary of each
+// unknown (the paper's inputs, §2.2–2.3). It provides the pieces every
+// fixed-point algorithm shares: Paths(Prog), per-path verification
+// conditions, and the whole-program check VC(Prog, σ).
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/smt"
+	"repro/internal/template"
+	"repro/internal/vc"
+)
+
+// Problem is one verification task.
+type Problem struct {
+	// Prog is the program to verify.
+	Prog *lang.Program
+	// Templates maps cut-point names (loop labels, vc.Entry, vc.Exit) to
+	// template formulas. Missing entries default to true. An entry template
+	// with unknowns turns the task into precondition inference (§6).
+	Templates map[string]logic.Formula
+	// Q is the predicate vocabulary of each unknown.
+	Q template.Domain
+
+	paths []vc.Path
+}
+
+// Paths returns Paths(Prog), computed once.
+func (p *Problem) Paths() []vc.Path {
+	if p.paths == nil {
+		p.paths = vc.PathsOf(p.Prog)
+	}
+	return p.paths
+}
+
+// TemplateAt returns the template attached to a cut-point (true when none).
+func (p *Problem) TemplateAt(cut string) logic.Formula {
+	if t, ok := p.Templates[cut]; ok {
+		return t
+	}
+	return logic.True
+}
+
+// Unknowns returns every unknown across all templates, sorted.
+func (p *Problem) Unknowns() []string {
+	set := map[string]bool{}
+	for _, t := range p.Templates {
+		for _, u := range logic.Unknowns(t) {
+			set[u] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Polarities classifies every unknown by its polarity within its own
+// template (each unknown belongs to exactly one template).
+func (p *Problem) Polarities() (map[string]template.Polarity, error) {
+	out := map[string]template.Polarity{}
+	for cut, t := range p.Templates {
+		pol, err := template.Polarities(t)
+		if err != nil {
+			return nil, fmt.Errorf("template at %s: %w", cut, err)
+		}
+		for u, q := range pol {
+			if prev, dup := out[u]; dup && prev != q {
+				return nil, fmt.Errorf("unknown %s used in multiple templates with conflicting polarity", u)
+			}
+			out[u] = q
+		}
+	}
+	return out, nil
+}
+
+// PathVC builds VC(⟨τ1σ, δ, τ2σ·σt⟩) for one path with both templates fully
+// instantiated by σ.
+func (p *Problem) PathVC(path vc.Path, sigma template.Solution) logic.Formula {
+	pre := sigma.Fill(p.TemplateAt(path.From))
+	post := path.Sigma.Apply(sigma.Fill(p.TemplateAt(path.To)))
+	return path.VC(pre, post)
+}
+
+// CheckAll reports whether VC(Prog, σ) is valid, and if not returns the
+// first failing path.
+func (p *Problem) CheckAll(s *smt.Solver, sigma template.Solution) (bool, *vc.Path) {
+	for i, path := range p.Paths() {
+		if !s.Valid(p.PathVC(path, sigma)) {
+			return false, &p.Paths()[i]
+		}
+	}
+	return true, nil
+}
+
+// SolveVC builds the partially instantiated VC used by the iterative
+// algorithms: the source template instantiated (fillFrom) while the target
+// keeps its unknowns, or vice versa.
+//
+// ForwardVC (LFP step): VC(⟨τ1σ, δ, τ2⟩) where τ2's unknowns remain and its
+// eventual predicates live over the path's SSA exit variables (domain Qσt).
+func (p *Problem) ForwardVC(path vc.Path, sigma template.Solution) logic.Formula {
+	pre := sigma.Fill(p.TemplateAt(path.From))
+	post := path.Sigma.Apply(p.TemplateAt(path.To)) // unknowns untouched by renaming
+	return path.VC(pre, post)
+}
+
+// BackwardVC (GFP step): VC(⟨τ1, δ, τ2σ·σt⟩) where τ1's unknowns remain
+// over the original program variables (domain Q).
+func (p *Problem) BackwardVC(path vc.Path, sigma template.Solution) logic.Formula {
+	pre := p.TemplateAt(path.From)
+	post := path.Sigma.Apply(sigma.Fill(p.TemplateAt(path.To)))
+	return path.VC(pre, post)
+}
+
+// InitialLFP returns σ0 for the least fixed-point algorithm: negative
+// unknowns ↦ ∅ and positive unknowns ↦ Q(v), the strongest instantiation of
+// every template.
+func (p *Problem) InitialLFP() (template.Solution, error) {
+	return p.initial(true)
+}
+
+// InitialGFP returns σ0 for the greatest fixed-point algorithm: positive
+// unknowns ↦ ∅ and negative unknowns ↦ Q(v), the weakest instantiation.
+func (p *Problem) InitialGFP() (template.Solution, error) {
+	return p.initial(false)
+}
+
+func (p *Problem) initial(strongest bool) (template.Solution, error) {
+	pol, err := p.Polarities()
+	if err != nil {
+		return nil, err
+	}
+	sigma := template.Solution{}
+	for u, q := range pol {
+		fullWhenPositive := strongest
+		if (q == template.Positive) == fullWhenPositive {
+			sigma[u] = template.NewPredSet(p.Q[u]...)
+		} else {
+			sigma[u] = template.NewPredSet()
+		}
+	}
+	return sigma, nil
+}
+
+// Validate performs basic well-formedness checks: every unknown has a
+// predicate vocabulary, entry/exit defaults are sane, and templates have
+// consistent polarity. It is cheap and intended to run before solving.
+func (p *Problem) Validate() error {
+	if p.Prog == nil {
+		return fmt.Errorf("spec: nil program")
+	}
+	if _, err := p.Polarities(); err != nil {
+		return err
+	}
+	cuts := map[string]bool{vc.Entry: true, vc.Exit: true}
+	for _, c := range p.Prog.CutPoints() {
+		cuts[c] = true
+	}
+	for cut := range p.Templates {
+		if !cuts[cut] {
+			return fmt.Errorf("spec: template attached to unknown cut-point %q", cut)
+		}
+	}
+	for _, u := range p.Unknowns() {
+		if len(p.Q[u]) == 0 {
+			return fmt.Errorf("spec: unknown %s has an empty predicate vocabulary", u)
+		}
+	}
+	return nil
+}

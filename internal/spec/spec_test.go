@@ -1,0 +1,132 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/smt"
+	"repro/internal/template"
+	"repro/internal/vc"
+)
+
+func arrayInit() *Problem {
+	prog := lang.MustParse(`
+		program ArrayInit(array A, n) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := 0;
+				i := i + 1;
+			}
+			assert(forall j. (0 <= j && j < n) => A[j] = 0);
+		}`)
+	return &Problem{
+		Prog:      prog,
+		Templates: map[string]logic.Formula{"loop": lang.MustParseFormula("forall j. ?v => A[j] = 0")},
+		Q:         template.Domain{"v": {lang.MustParseFormula("j >= 0"), lang.MustParseFormula("j < i")}},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := arrayInit().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateBadCutPoint(t *testing.T) {
+	p := arrayInit()
+	p.Templates["nosuch"] = logic.True
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateEmptyVocabulary(t *testing.T) {
+	p := arrayInit()
+	p.Q = template.Domain{}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "empty predicate vocabulary") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateConflictingPolarity(t *testing.T) {
+	p := arrayInit()
+	p.Templates["loop"] = logic.Imp(logic.Unknown{Name: "v"}, logic.Unknown{Name: "v"})
+	if err := p.Validate(); err == nil {
+		t.Error("conflicting polarity should fail validation")
+	}
+}
+
+func TestInitialSolutions(t *testing.T) {
+	p := arrayInit()
+	lfp, err := p.InitialLFP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v is negative (guard): LFP starts it empty (strongest template).
+	if lfp["v"].Len() != 0 {
+		t.Errorf("LFP initial for negative unknown = %v", lfp["v"])
+	}
+	gfp, err := p.InitialGFP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gfp["v"].Len() != 2 {
+		t.Errorf("GFP initial for negative unknown = %v", gfp["v"])
+	}
+}
+
+func TestCheckAllAcceptsAndRejects(t *testing.T) {
+	p := arrayInit()
+	s := smt.NewSolver(smt.Options{})
+	good := template.Solution{"v": template.NewPredSet(
+		lang.MustParseFormula("j >= 0"), lang.MustParseFormula("j < i"))}
+	if ok, fail := p.CheckAll(s, good); !ok {
+		t.Errorf("good solution rejected at %v", fail)
+	}
+	bad := template.Solution{"v": template.NewPredSet()}
+	ok, fail := p.CheckAll(s, bad)
+	if ok {
+		t.Error("bad solution accepted")
+	}
+	if fail == nil || fail.From != vc.Entry {
+		t.Errorf("expected failure at the entry path, got %v", fail)
+	}
+}
+
+func TestForwardBackwardVCShape(t *testing.T) {
+	p := arrayInit()
+	sigma := template.Solution{"v": template.NewPredSet()}
+	for _, path := range p.Paths() {
+		if path.From != "loop" || path.To != "loop" {
+			continue
+		}
+		fwd := p.ForwardVC(path, sigma)
+		if got := logic.Unknowns(fwd); len(got) != 1 || got[0] != "v" {
+			t.Errorf("forward VC unknowns = %v", got)
+		}
+		bwd := p.BackwardVC(path, sigma)
+		if got := logic.Unknowns(bwd); len(got) != 1 || got[0] != "v" {
+			t.Errorf("backward VC unknowns = %v", got)
+		}
+		// Forward keeps the target's unknowns: they appear on the right of
+		// the implication; the instantiated side must not have unknowns.
+		imp, ok := fwd.(logic.Implies)
+		if !ok {
+			t.Fatalf("VC not an implication: %T", fwd)
+		}
+		if len(logic.Unknowns(imp.A)) != 0 {
+			t.Errorf("forward VC premise should be instantiated: %v", imp.A)
+		}
+	}
+}
+
+func TestUnknownsSorted(t *testing.T) {
+	p := arrayInit()
+	p.Templates["entry"] = logic.Conj(logic.Unknown{Name: "z"}, logic.Unknown{Name: "a"})
+	us := p.Unknowns()
+	if len(us) != 3 || us[0] != "a" || us[2] != "z" {
+		t.Errorf("unknowns = %v", us)
+	}
+}

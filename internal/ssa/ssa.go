@@ -1,0 +1,163 @@
+// Package ssa converts straight-line program paths to static single
+// assignment form. The paper's verification-condition generation (§2.3)
+// requires paths in SSA form so that the weakest precondition of an
+// assignment can be the implication (x = e) ⇒ φ rather than a substitution —
+// essential because φ may still contain template unknowns that cannot be
+// substituted into.
+package ssa
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+// Stmt is a statement of a straight-line SSA path.
+type Stmt interface{ isStmt() }
+
+// Assign binds the fresh scalar X to E.
+type Assign struct {
+	X string
+	E logic.Term
+}
+
+// ArrAssign binds the fresh array A to upd(Prev, Idx, E).
+type ArrAssign struct {
+	A      string
+	Prev   string
+	Idx, E logic.Term
+}
+
+// Assume constrains the path.
+type Assume struct{ F logic.Formula }
+
+// Assert is an obligation on the path.
+type Assert struct{ F logic.Formula }
+
+func (Assign) isStmt()    {}
+func (ArrAssign) isStmt() {}
+func (Assume) isStmt()    {}
+func (Assert) isStmt()    {}
+
+func (s Assign) String() string { return fmt.Sprintf("%s := %s", s.X, s.E) }
+func (s ArrAssign) String() string {
+	return fmt.Sprintf("%s := upd(%s, %s, %s)", s.A, s.Prev, s.Idx, s.E)
+}
+func (s Assume) String() string { return fmt.Sprintf("assume(%s)", s.F) }
+func (s Assert) String() string { return fmt.Sprintf("assert(%s)", s.F) }
+
+// Renaming is the paper's σt: a map from original variable names to their
+// live SSA versions at the end of a path. Identity entries are omitted.
+type Renaming struct {
+	Int map[string]string
+	Arr map[string]string
+}
+
+// NewRenaming returns an empty (identity) renaming.
+func NewRenaming() Renaming {
+	return Renaming{Int: map[string]string{}, Arr: map[string]string{}}
+}
+
+// IsIdentity reports whether the renaming maps every variable to itself.
+func (r Renaming) IsIdentity() bool { return len(r.Int) == 0 && len(r.Arr) == 0 }
+
+// Inverse returns σt⁻¹.
+func (r Renaming) Inverse() Renaming {
+	inv := NewRenaming()
+	for k, v := range r.Int {
+		inv.Int[v] = k
+	}
+	for k, v := range r.Arr {
+		inv.Arr[v] = k
+	}
+	return inv
+}
+
+// Maps returns the renaming as substitution maps for logic.Substitute.
+func (r Renaming) Maps() (map[string]logic.Term, map[string]logic.Arr) {
+	sub := make(map[string]logic.Term, len(r.Int))
+	for k, v := range r.Int {
+		sub[k] = logic.V(v)
+	}
+	asub := make(map[string]logic.Arr, len(r.Arr))
+	for k, v := range r.Arr {
+		asub[k] = logic.AV(v)
+	}
+	return sub, asub
+}
+
+// Apply renames the free variables of f per the renaming.
+func (r Renaming) Apply(f logic.Formula) logic.Formula {
+	if r.IsIdentity() {
+		return f
+	}
+	sub, asub := r.Maps()
+	return logic.Substitute(f, sub, asub)
+}
+
+// ApplyTerm renames the variables of t per the renaming.
+func (r Renaming) ApplyTerm(t logic.Term) logic.Term {
+	if r.IsIdentity() {
+		return t
+	}
+	sub, asub := r.Maps()
+	return logic.SubstituteTerm(t, sub, asub)
+}
+
+// Converter renames a sequence of simple statements into SSA form.
+type Converter struct {
+	versions map[string]int
+	cur      Renaming
+	stmts    []Stmt
+}
+
+// NewConverter returns a converter whose initial state maps every variable
+// to itself (the paper's convention: variables live at the start of a path
+// are the original program variables).
+func NewConverter() *Converter {
+	return &Converter{versions: map[string]int{}, cur: NewRenaming()}
+}
+
+func (c *Converter) fresh(name string) string {
+	c.versions[name]++
+	return fmt.Sprintf("%s#%d", name, c.versions[name])
+}
+
+func (c *Converter) renameTerm(t logic.Term) logic.Term { return c.cur.ApplyTerm(t) }
+
+func (c *Converter) renameFormula(f logic.Formula) logic.Formula { return c.cur.Apply(f) }
+
+// Simple appends one simple (non-control) statement, renaming its reads to
+// current versions and giving its write a fresh version.
+func (c *Converter) Simple(s lang.Stmt) {
+	switch s := s.(type) {
+	case lang.Assign:
+		e := c.renameTerm(s.E)
+		x := c.fresh(s.X)
+		c.stmts = append(c.stmts, Assign{X: x, E: e})
+		c.cur.Int[s.X] = x
+	case lang.ArrAssign:
+		idx := c.renameTerm(s.Idx)
+		e := c.renameTerm(s.E)
+		prev := s.A
+		if v, ok := c.cur.Arr[s.A]; ok {
+			prev = v
+		}
+		a := c.fresh(s.A)
+		c.stmts = append(c.stmts, ArrAssign{A: a, Prev: prev, Idx: idx, E: e})
+		c.cur.Arr[s.A] = a
+	case lang.Havoc:
+		// A fresh, unconstrained version models the arbitrary value.
+		c.cur.Int[s.X] = c.fresh(s.X)
+	case lang.Assume:
+		c.stmts = append(c.stmts, Assume{F: c.renameFormula(s.F)})
+	case lang.Assert:
+		c.stmts = append(c.stmts, Assert{F: c.renameFormula(s.F)})
+	default:
+		panic(fmt.Sprintf("ssa: non-simple statement %T on path", s))
+	}
+}
+
+// Result returns the SSA statements and the final renaming σt.
+func (c *Converter) Result() ([]Stmt, Renaming) { return c.stmts, c.cur }

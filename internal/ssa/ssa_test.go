@@ -1,0 +1,106 @@
+package ssa
+
+import (
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+)
+
+func TestScalarAssignments(t *testing.T) {
+	c := NewConverter()
+	// x := x + 1; y := x
+	c.Simple(lang.Assign{X: "x", E: logic.Plus(logic.V("x"), logic.I(1))})
+	c.Simple(lang.Assign{X: "y", E: logic.V("x")})
+	stmts, sigma := c.Result()
+	if len(stmts) != 2 {
+		t.Fatalf("got %d stmts", len(stmts))
+	}
+	a0 := stmts[0].(Assign)
+	if a0.X != "x#1" || a0.E.String() != "(x + 1)" {
+		t.Errorf("first assign: %v", a0)
+	}
+	a1 := stmts[1].(Assign)
+	if a1.E.String() != "x#1" {
+		t.Errorf("second assign must read the new version: %v", a1)
+	}
+	if sigma.Int["x"] != "x#1" || sigma.Int["y"] != "y#1" {
+		t.Errorf("sigma = %v", sigma.Int)
+	}
+}
+
+func TestArrayAssignments(t *testing.T) {
+	c := NewConverter()
+	c.Simple(lang.ArrAssign{A: "A", Idx: logic.V("i"), E: logic.I(0)})
+	c.Simple(lang.ArrAssign{A: "A", Idx: logic.V("j"), E: logic.Sel(logic.AV("A"), logic.V("i"))})
+	stmts, sigma := c.Result()
+	s0 := stmts[0].(ArrAssign)
+	if s0.A != "A#1" || s0.Prev != "A" {
+		t.Errorf("first store: %+v", s0)
+	}
+	s1 := stmts[1].(ArrAssign)
+	if s1.A != "A#2" || s1.Prev != "A#1" {
+		t.Errorf("second store: %+v", s1)
+	}
+	if s1.E.String() != "A#1[i]" {
+		t.Errorf("read in second store must use the new version: %v", s1.E)
+	}
+	if sigma.Arr["A"] != "A#2" {
+		t.Errorf("sigma arr = %v", sigma.Arr)
+	}
+}
+
+func TestHavoc(t *testing.T) {
+	c := NewConverter()
+	c.Simple(lang.Havoc{X: "mid"})
+	c.Simple(lang.Assume{F: logic.LeF(logic.V("low"), logic.V("mid"))})
+	stmts, sigma := c.Result()
+	if len(stmts) != 1 {
+		t.Fatalf("havoc should emit no statement, got %d", len(stmts))
+	}
+	as := stmts[0].(Assume)
+	if as.F.String() != "low <= mid#1" {
+		t.Errorf("assume should read the fresh havoc version: %v", as.F)
+	}
+	if sigma.Int["mid"] != "mid#1" {
+		t.Errorf("sigma = %v", sigma.Int)
+	}
+}
+
+func TestAssertRenaming(t *testing.T) {
+	c := NewConverter()
+	c.Simple(lang.Assign{X: "i", E: logic.I(0)})
+	c.Simple(lang.Assert{F: logic.EqF(logic.V("i"), logic.I(0))})
+	stmts, _ := c.Result()
+	a := stmts[1].(Assert)
+	if a.F.String() != "i#1 = 0" {
+		t.Errorf("assert should be renamed: %v", a.F)
+	}
+}
+
+func TestRenamingInverse(t *testing.T) {
+	r := NewRenaming()
+	r.Int["x"] = "x#3"
+	r.Arr["A"] = "A#1"
+	inv := r.Inverse()
+	if inv.Int["x#3"] != "x" || inv.Arr["A#1"] != "A" {
+		t.Errorf("inverse = %v %v", inv.Int, inv.Arr)
+	}
+	// Applying r then inv is identity on formulas over the renamed vars.
+	f := logic.LtF(logic.V("x"), logic.Sel(logic.AV("A"), logic.V("x")))
+	round := inv.Apply(r.Apply(f))
+	if !logic.FormulaEq(round, f) {
+		t.Errorf("round trip: %v", round)
+	}
+}
+
+func TestIdentityRenaming(t *testing.T) {
+	r := NewRenaming()
+	if !r.IsIdentity() {
+		t.Error("fresh renaming should be identity")
+	}
+	f := logic.LtF(logic.V("x"), logic.I(0))
+	if got := r.Apply(f); !logic.FormulaEq(got, f) {
+		t.Errorf("identity apply changed formula: %v", got)
+	}
+}

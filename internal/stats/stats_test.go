@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	c.RecordQuery(time.Millisecond)
+	c.RecordNegSolutionSize(1)
+	c.RecordOptSolutionCount(2)
+	c.RecordCandidates(3)
+	c.RecordSATSize(4, 5)
+	// No panic = pass.
+}
+
+func TestRecordAndRead(t *testing.T) {
+	c := New()
+	c.RecordQuery(2 * time.Millisecond)
+	c.RecordQuery(20 * time.Millisecond)
+	c.RecordNegSolutionSize(1)
+	c.RecordNegSolutionSize(3)
+	c.RecordOptSolutionCount(1)
+	c.RecordCandidates(8)
+	c.RecordSATSize(100, 40)
+	if got := len(c.QueryDurations()); got != 2 {
+		t.Errorf("queries = %d", got)
+	}
+	if got := c.NegSolutionSizes(); len(got) != 2 || got[1] != 3 {
+		t.Errorf("neg sizes = %v", got)
+	}
+	clauses, vars := c.SATSizes()
+	if clauses[0] != 100 || vars[0] != 40 {
+		t.Errorf("sat sizes = %v %v", clauses, vars)
+	}
+}
+
+func TestDurationHistogram(t *testing.T) {
+	ds := []time.Duration{
+		500 * time.Microsecond,
+		5 * time.Millisecond,
+		50 * time.Millisecond,
+		500 * time.Millisecond,
+		5 * time.Second,
+	}
+	h := DurationHistogram(ds)
+	if len(h) != 5 {
+		t.Fatalf("buckets = %d", len(h))
+	}
+	for i, b := range h {
+		if b.Count != 1 {
+			t.Errorf("bucket %d (%s) = %d, want 1", i, b.Label, b.Count)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{0, 1, 1, 2, 9}, []int{0, 1, 2})
+	if h["<=0"] != 1 || h["<=1"] != 2 || h["<=2"] != 1 || h[">2"] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestMedianMax(t *testing.T) {
+	if Median(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty stats")
+	}
+	if Median([]int{5, 1, 3}) != 3 {
+		t.Errorf("median = %d", Median([]int{5, 1, 3}))
+	}
+	if Max([]int{5, 1, 3}) != 5 {
+		t.Error("max")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	c := New()
+	c.RecordQuery(time.Millisecond)
+	c.RecordCandidates(4)
+	var b strings.Builder
+	c.WriteSummary(&b)
+	out := b.String()
+	for _, want := range []string{"SMT queries: 1", "candidate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.RecordQuery(time.Microsecond)
+				c.RecordCandidates(j)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(c.QueryDurations()); got != 800 {
+		t.Errorf("queries = %d, want 800", got)
+	}
+}

@@ -1,0 +1,249 @@
+// Package vc turns a program into verification conditions. It builds the
+// control-flow graph, takes the cut-set to be the loop headers plus the
+// implicit entry and exit points, enumerates all straight-line paths between
+// neighbouring cut-points in SSA form (Paths(Prog) of §2.2), and computes
+// weakest preconditions over those paths (§2.3).
+package vc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/ssa"
+)
+
+// Reserved cut-point names for the program entry and exit.
+const (
+	Entry = "entry"
+	Exit  = "exit"
+)
+
+// Path is one element of Paths(Prog): a straight-line SSA path δ between the
+// cut-points From and To, with exit renaming σt.
+type Path struct {
+	From, To string
+	Stmts    []ssa.Stmt
+	Sigma    ssa.Renaming
+}
+
+func (p Path) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s -> %s:", p.From, p.To)
+	for _, s := range p.Stmts {
+		fmt.Fprintf(&b, " %v;", s)
+	}
+	return b.String()
+}
+
+// WP computes the weakest precondition of post over the SSA statements,
+// using the paper's SSA-form rules (Eq. 1): assignments become implications
+// from defining equalities, so template unknowns in post survive untouched.
+func WP(stmts []ssa.Stmt, post logic.Formula) logic.Formula {
+	f := post
+	for i := len(stmts) - 1; i >= 0; i-- {
+		switch s := stmts[i].(type) {
+		case ssa.Assign:
+			f = logic.Imp(logic.EqF(logic.V(s.X), s.E), f)
+		case ssa.ArrAssign:
+			f = logic.Imp(logic.ArrEqF(logic.AV(s.A), logic.Upd(logic.AV(s.Prev), s.Idx, s.E)), f)
+		case ssa.Assume:
+			f = logic.Imp(s.F, f)
+		case ssa.Assert:
+			f = logic.Conj(s.F, f)
+		}
+	}
+	return f
+}
+
+// VC returns the verification condition pre ⇒ WP(δ, post) for this path.
+// post must already be expressed over the path's SSA exit versions (i.e.,
+// the caller applies σt to the target cut-point's formula first).
+func (p Path) VC(pre, post logic.Formula) logic.Formula {
+	return logic.Imp(pre, WP(p.Stmts, post))
+}
+
+// block is a CFG node. Cut-point blocks carry no statements; they are pure
+// markers where invariant templates attach.
+type block struct {
+	id    int
+	cut   string // nonempty for cut-point blocks
+	stmts []lang.Stmt
+	succs []int
+}
+
+type builder struct {
+	blocks []*block
+}
+
+func (b *builder) newBlock(cut string) *block {
+	blk := &block{id: len(b.blocks), cut: cut}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *block) {
+	from.succs = append(from.succs, to.id)
+}
+
+// ensurePlain returns cur if statements may be appended to it, or a fresh
+// plain successor when cur is a cut-point marker or already has successors.
+func (b *builder) ensurePlain(cur *block) *block {
+	if cur.cut == "" && len(cur.succs) == 0 {
+		return cur
+	}
+	nb := b.newBlock("")
+	b.link(cur, nb)
+	return nb
+}
+
+// buildStmts lowers stmts starting at cur and returns the block where
+// control continues.
+func (b *builder) buildStmts(stmts []lang.Stmt, cur *block) *block {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case lang.Assign, lang.ArrAssign, lang.Havoc, lang.Assume, lang.Assert:
+			cur = b.ensurePlain(cur)
+			cur.stmts = append(cur.stmts, s)
+		case lang.If:
+			thenB := b.newBlock("")
+			elseB := b.newBlock("")
+			if s.Cond != nil {
+				thenB.stmts = append(thenB.stmts, lang.Assume{F: s.Cond})
+				elseB.stmts = append(elseB.stmts, lang.Assume{F: logic.Neg(s.Cond)})
+			}
+			b.link(cur, thenB)
+			b.link(cur, elseB)
+			thenEnd := b.buildStmts(s.Then, thenB)
+			elseEnd := b.buildStmts(s.Else, elseB)
+			join := b.newBlock("")
+			b.link(thenEnd, join)
+			b.link(elseEnd, join)
+			cur = join
+		case lang.While:
+			header := b.newBlock(s.Label)
+			b.link(cur, header)
+			bodyB := b.newBlock("")
+			afterB := b.newBlock("")
+			if s.Cond != nil {
+				bodyB.stmts = append(bodyB.stmts, lang.Assume{F: s.Cond})
+				afterB.stmts = append(afterB.stmts, lang.Assume{F: logic.Neg(s.Cond)})
+			}
+			b.link(header, bodyB)
+			b.link(header, afterB)
+			bodyEnd := b.buildStmts(s.Body, bodyB)
+			b.link(bodyEnd, header)
+			cur = afterB
+		default:
+			panic(fmt.Sprintf("vc: unknown statement %T", s))
+		}
+	}
+	return cur
+}
+
+// PathsOf computes Paths(Prog): every straight-line path between
+// neighbouring cut-points, in SSA form with exit renaming σt. Cut-points are
+// the loop labels plus Entry and Exit.
+func PathsOf(p *lang.Program) []Path {
+	b := &builder{}
+	entry := b.newBlock(Entry)
+	end := b.buildStmts(p.Body, entry)
+	exit := b.newBlock(Exit)
+	b.link(end, exit)
+
+	var paths []Path
+	for _, blk := range b.blocks {
+		if blk.cut == "" {
+			continue
+		}
+		// DFS from each cut-point through plain blocks, stopping at the
+		// next cut-point. Every CFG cycle passes through a loop header, so
+		// the traversal is finite.
+		var walk func(cur *block, acc []lang.Stmt)
+		walk = func(cur *block, acc []lang.Stmt) {
+			if cur.cut != "" {
+				conv := ssa.NewConverter()
+				for _, s := range acc {
+					conv.Simple(s)
+				}
+				stmts, sigma := conv.Result()
+				paths = append(paths, Path{From: blk.cut, To: cur.cut, Stmts: stmts, Sigma: sigma})
+				return
+			}
+			acc2 := append(append([]lang.Stmt(nil), acc...), cur.stmts...)
+			for _, succ := range cur.succs {
+				walk(b.blocks[succ], acc2)
+			}
+		}
+		for _, succ := range blk.succs {
+			nb := b.blocks[succ]
+			if nb.cut != "" {
+				// Direct cut-to-cut edge (e.g. nested loop exit straight
+				// into the outer header): an empty path.
+				paths = append(paths, Path{From: blk.cut, To: nb.cut, Sigma: ssa.NewRenaming()})
+				continue
+			}
+			walk(nb, nil)
+		}
+	}
+	return paths
+}
+
+// Vars returns all integer and array variable names mentioned by the
+// program (parameters, assignment targets, and free variables of its
+// expressions), sorted.
+func Vars(p *lang.Program) (ints, arrs []string) {
+	iv, av := map[string]bool{}, map[string]bool{}
+	for _, v := range p.IntParams {
+		iv[v] = true
+	}
+	for _, a := range p.ArrParams {
+		av[a] = true
+	}
+	addTerm := func(t logic.Term) {
+		logic.TermVars(t, iv, av)
+	}
+	addFormula := func(f logic.Formula) {
+		fv, fa := logic.FreeVars(f)
+		for v := range fv {
+			iv[v] = true
+		}
+		for a := range fa {
+			av[a] = true
+		}
+	}
+	var walk func([]lang.Stmt)
+	walk = func(stmts []lang.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case lang.Assign:
+				iv[s.X] = true
+				addTerm(s.E)
+			case lang.Havoc:
+				iv[s.X] = true
+			case lang.ArrAssign:
+				av[s.A] = true
+				addTerm(s.Idx)
+				addTerm(s.E)
+			case lang.Assume:
+				addFormula(s.F)
+			case lang.Assert:
+				addFormula(s.F)
+			case lang.If:
+				if s.Cond != nil {
+					addFormula(s.Cond)
+				}
+				walk(s.Then)
+				walk(s.Else)
+			case lang.While:
+				if s.Cond != nil {
+					addFormula(s.Cond)
+				}
+				walk(s.Body)
+			}
+		}
+	}
+	walk(p.Body)
+	return logic.SortedKeys(iv), logic.SortedKeys(av)
+}

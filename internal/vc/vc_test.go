@@ -1,0 +1,188 @@
+package vc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/logic"
+	"repro/internal/ssa"
+)
+
+func pathSet(paths []Path) map[string]int {
+	out := map[string]int{}
+	for _, p := range paths {
+		out[p.From+"->"+p.To]++
+	}
+	return out
+}
+
+func TestStraightLineProgram(t *testing.T) {
+	p := lang.MustParse(`
+		program P(n) {
+			x := 1;
+			assert(x >= 1);
+		}`)
+	paths := PathsOf(p)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	if paths[0].From != Entry || paths[0].To != Exit {
+		t.Errorf("path endpoints: %v", paths[0])
+	}
+	f := paths[0].VC(logic.True, logic.True)
+	// (x#1 = 1) ⇒ (x#1 ≥ 1 ∧ true)
+	if !strings.Contains(f.String(), "x#1 = 1") || !strings.Contains(f.String(), "x#1 >= 1") {
+		t.Errorf("VC = %v", f)
+	}
+}
+
+func TestIfCreatesTwoPaths(t *testing.T) {
+	p := lang.MustParse(`
+		program P(n) {
+			if (n > 0) {
+				x := 1;
+			} else {
+				x := 2;
+			}
+		}`)
+	paths := PathsOf(p)
+	if got := pathSet(paths)["entry->exit"]; got != 2 {
+		t.Errorf("if should yield 2 entry->exit paths, got %d", got)
+	}
+}
+
+func TestNestedLoopPaths(t *testing.T) {
+	p := lang.MustParse(`
+		program P(n) {
+			i := 0;
+			while outer (i < n) {
+				j := 0;
+				while inner (j < n) {
+					j := j + 1;
+				}
+				i := i + 1;
+			}
+		}`)
+	got := pathSet(PathsOf(p))
+	want := map[string]int{
+		"entry->outer": 1,
+		"outer->inner": 1, // enter the inner loop
+		"inner->inner": 1, // inner body
+		"inner->outer": 1, // inner exit back to outer header
+		"outer->exit":  1,
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("path %s: got %d, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+}
+
+func TestNondetBranchesNoAssume(t *testing.T) {
+	p := lang.MustParse(`
+		program P(n) {
+			if (*) {
+				x := 1;
+			} else {
+				x := 2;
+			}
+		}`)
+	for _, path := range PathsOf(p) {
+		for _, s := range path.Stmts {
+			if _, ok := s.(ssa.Assume); ok {
+				t.Errorf("nondeterministic branch should carry no assume: %v", path)
+			}
+		}
+	}
+}
+
+func TestWPRules(t *testing.T) {
+	post := logic.LtF(logic.V("x#1"), logic.V("n"))
+	stmts := []ssa.Stmt{
+		ssa.Assume{F: logic.GtF(logic.V("n"), logic.I(0))},
+		ssa.Assign{X: "x#1", E: logic.I(0)},
+		ssa.Assert{F: logic.GeF(logic.V("x#1"), logic.I(0))},
+	}
+	f := WP(stmts, post)
+	want := "(n > 0) => ((x#1 = 0) => ((x#1 >= 0) && (x#1 < n)))"
+	if f.String() != want {
+		t.Errorf("WP = %q, want %q", f.String(), want)
+	}
+}
+
+func TestWPArrayAssign(t *testing.T) {
+	stmts := []ssa.Stmt{
+		ssa.ArrAssign{A: "A#1", Prev: "A", Idx: logic.V("i"), E: logic.I(0)},
+	}
+	f := WP(stmts, logic.EqF(logic.Sel(logic.AV("A#1"), logic.V("i")), logic.I(0)))
+	if !strings.Contains(f.String(), "A#1 = upd(A, i, 0)") {
+		t.Errorf("WP = %v", f)
+	}
+}
+
+func TestLoopSigma(t *testing.T) {
+	p := lang.MustParse(`
+		program P(n) {
+			i := 0;
+			while loop (i < n) {
+				i := i + 1;
+			}
+		}`)
+	for _, path := range PathsOf(p) {
+		if path.From == "loop" && path.To == "loop" {
+			if path.Sigma.Int["i"] != "i#1" {
+				t.Errorf("loop path sigma = %v", path.Sigma.Int)
+			}
+		}
+		if path.From == "loop" && path.To == Exit {
+			// No assignments on the exit path: identity renaming.
+			if !path.Sigma.IsIdentity() {
+				t.Errorf("exit path sigma should be identity: %v", path.Sigma)
+			}
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	p := lang.MustParse(`
+		program P(array A, n) {
+			i := 0;
+			while loop (i < n) {
+				A[i] := q;
+				i := i + 1;
+			}
+			assert(forall j. (0 <= j && j < n) => A[j] = q);
+		}`)
+	ints, arrs := Vars(p)
+	wantInts := []string{"i", "n", "q"}
+	if len(ints) != len(wantInts) {
+		t.Fatalf("ints = %v", ints)
+	}
+	for i := range wantInts {
+		if ints[i] != wantInts[i] {
+			t.Errorf("ints = %v, want %v", ints, wantInts)
+		}
+	}
+	if len(arrs) != 1 || arrs[0] != "A" {
+		t.Errorf("arrs = %v", arrs)
+	}
+}
+
+func TestSequentialLoopsDirectEdge(t *testing.T) {
+	p := lang.MustParse(`
+		program P(n) {
+			while a (n > 0) {
+				n := n - 1;
+			}
+			while b (n < 10) {
+				n := n + 1;
+			}
+		}`)
+	got := pathSet(PathsOf(p))
+	for _, k := range []string{"entry->a", "a->a", "a->b", "b->b", "b->exit"} {
+		if got[k] != 1 {
+			t.Errorf("path %s: got %d (all: %v)", k, got[k], got)
+		}
+	}
+}
