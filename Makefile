@@ -1,0 +1,42 @@
+# Build/test targets. The tier-1 flow is `make check`: build, vet, and the
+# default test suite. `make test-short` is the <60s developer loop;
+# `make test-race` exercises the parallel solving engine under the race
+# detector; `make bench` runs the parallel-engine benchmarks.
+
+GO ?= go
+
+.PHONY: all build vet test test-short test-race bench check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full default suite (the bench package runs its representative search
+# subset; the exhaustive sweep needs VS3_SEARCH=1).
+test: build vet
+	$(GO) test ./...
+
+# Fast unit tests only: skips the search, cross-check, and table-rendering
+# integration tests (see README "Test suites").
+test-short: build vet
+	$(GO) test -short ./...
+
+# Race-detector pass over the concurrent engine: the shared SMT solver,
+# the parallel fixed-point worklist, the parallel ψ_Prog encoder, and the
+# parallel benchmark runner.
+test-race:
+	$(GO) test -race -short ./internal/par/ ./internal/smt/ ./internal/fixpoint/ ./internal/cbi/ ./internal/bench/ ./internal/spec/
+
+# Parallel-engine benchmarks (compare *Sequential vs *Parallel per-op times).
+bench:
+	$(GO) test -bench 'Valid(Sequential|Parallel)' -benchtime 2x -run - ./internal/smt/
+	$(GO) test -bench 'LFP(Sequential|Parallel)' -benchtime 2x -run - ./internal/fixpoint/
+
+check: build vet test
+
+clean:
+	$(GO) clean ./...

@@ -33,15 +33,21 @@ func TestArrayInitAllMethods(t *testing.T) {
 }
 
 // Consumer-Producer and Partition Array must be provable by at least one
-// algorithm in the quick suite (LFP and GFP respectively fail or time out
-// on them under tight budgets — see EXPERIMENTS.md Table 4 notes); the
-// all-methods sweep runs under VS3_SEARCH=1 via search_test.go.
+// algorithm in the quick suite. The default run checks GFP only — the
+// method that proves both quickly; LFP and CFP either take minutes or time
+// out on these two (see EXPERIMENTS.md Table 4 notes), which on a one-core
+// box pushes the package past go test's 10-minute default. The all-methods
+// sweep runs under VS3_SEARCH=1 via search_test.go.
 func TestConsumerProducer(t *testing.T) {
-	runTask(t, ArrayListTasks()[0], 100*time.Second)
+	task := ArrayListTasks()[0]
+	task.Methods = []core.Method{core.GFP}
+	runTask(t, task, 100*time.Second)
 }
 
 func TestPartitionArray(t *testing.T) {
-	runTask(t, ArrayListTasks()[1], 100*time.Second)
+	task := ArrayListTasks()[1]
+	task.Methods = []core.Method{core.GFP}
+	runTask(t, task, 100*time.Second)
 }
 
 func TestTaskMethodDefaults(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/par"
 	"repro/internal/spec"
 	"repro/internal/stats"
 )
@@ -80,16 +81,61 @@ type Runner struct {
 	// Config is the base verifier configuration (Stats is attached
 	// automatically).
 	Config core.Config
+	// Parallel is the number of (task, method) cells executed concurrently
+	// (0 or 1 = sequential, matching the pre-parallel runner). Each cell is
+	// a fresh Verifier with a cold SMT cache either way, and results are
+	// returned in task/method order regardless of scheduling.
+	Parallel int
+
+	// cellNanos accumulates the summed wall-clock of every cell run, for
+	// reporting parallel speedup (sum of cell times / elapsed wall-clock).
+	cellNanos atomic.Int64
+}
+
+func (r *Runner) parallel() int {
+	if r.Parallel < 1 {
+		return 1
+	}
+	return r.Parallel
+}
+
+// CellTime returns the summed wall-clock of every (task, method) cell run
+// so far. Dividing it by the elapsed wall-clock of a parallel session gives
+// the achieved speedup over a sequential run of the same cells.
+func (r *Runner) CellTime() time.Duration {
+	return time.Duration(r.cellNanos.Load())
 }
 
 // Run executes one task with each of its methods, returning one measurement
 // per method. A fresh Verifier (hence a cold SMT cache) is used per run so
-// timings are comparable.
+// timings are comparable; with Parallel > 1 the methods run concurrently.
 func (r *Runner) Run(t Task) []Measurement {
-	var out []Measurement
-	for _, m := range t.methods() {
-		out = append(out, r.runOne(t, m))
+	ms := t.methods()
+	out := make([]Measurement, len(ms))
+	par.ForEach(len(ms), r.parallel(), func(i int) {
+		out[i] = r.runOne(t, ms[i])
+	})
+	return out
+}
+
+// RunAll executes every (task, method) cell of a task list, fanning the
+// cells — not just the methods of one task — across the runner's worker
+// budget. Results are indexed by task in input order, each holding one
+// measurement per method in reporting order.
+func (r *Runner) RunAll(tasks []Task) [][]Measurement {
+	type cell struct{ task, method int }
+	var cells []cell
+	out := make([][]Measurement, len(tasks))
+	for ti, t := range tasks {
+		out[ti] = make([]Measurement, len(t.methods()))
+		for mi := range t.methods() {
+			cells = append(cells, cell{task: ti, method: mi})
+		}
 	}
+	par.ForEach(len(cells), r.parallel(), func(i int) {
+		c := cells[i]
+		out[c.task][c.method] = r.runOne(tasks[c.task], tasks[c.task].methods()[c.method])
+	})
 	return out
 }
 
@@ -103,14 +149,16 @@ func (r *Runner) runOne(t Task, m core.Method) Measurement {
 	cfg.Fixpoint.Stop = stop
 	cfg.CBI.Stop = stop
 	v := core.New(cfg)
-	meas := Measurement{Task: t.Name, Property: t.Property, Method: m}
 
 	type result struct {
 		meas Measurement
 	}
 	done := make(chan result, 1)
 	go func() {
-		mm := meas
+		// Build the measurement locally: sharing a variable with the timeout
+		// branch below would race when the timeout fires before this
+		// goroutine is scheduled.
+		mm := Measurement{Task: t.Name, Property: t.Property, Method: m}
 		start := time.Now()
 		p := t.Build()
 		switch t.Kind {
@@ -130,15 +178,22 @@ func (r *Runner) runOne(t Task, m core.Method) Measurement {
 		done <- result{meas: mm}
 	}()
 	if r.Timeout <= 0 {
-		return (<-done).meas
+		res := (<-done).meas
+		r.cellNanos.Add(int64(res.Duration))
+		return res
 	}
 	select {
 	case res := <-done:
+		r.cellNanos.Add(int64(res.meas.Duration))
 		return res.meas
 	case <-time.After(r.Timeout):
 		stopped.Store(true)
-		meas.Err = fmt.Errorf("timeout after %v", r.Timeout)
-		meas.Duration = r.Timeout
+		meas := Measurement{
+			Task: t.Name, Property: t.Property, Method: m,
+			Err:      fmt.Errorf("timeout after %v", r.Timeout),
+			Duration: r.Timeout,
+		}
+		r.cellNanos.Add(int64(meas.Duration))
 		return meas
 	}
 }

@@ -15,6 +15,9 @@ import (
 // with the discovered solution, executes the program on random inputs, and
 // evaluates the invariant at every recorded loop-header state.
 func TestDiscoveredInvariantsHoldOnTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end cross-check skipped in -short mode")
+	}
 	p := QuickSortInnerSorted()
 	v := core.New(core.Config{})
 	out, err := v.Verify(p, core.LFP)
@@ -55,6 +58,9 @@ func TestDiscoveredInvariantsHoldOnTraces(t *testing.T) {
 // swap happens in every iteration (the in-program assert never fails); and
 // on an input violating it, the assert can fail.
 func TestWorstCasePreconditionForcesWorstCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end cross-check skipped in -short mode")
+	}
 	p := QuickSortInnerWorstCase()
 	v := core.New(core.Config{})
 	pres, err := v.InferPreconditions(p)

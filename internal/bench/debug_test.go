@@ -34,5 +34,5 @@ func TestDebugListInitKnown(t *testing.T) {
 	if ok, fail := p.CheckAll(eng.S, sol); !ok {
 		t.Fatalf("known ListInit solution rejected; failing path %v", fail)
 	}
-	t.Logf("SMT queries: %d, cache hits: %d", eng.S.Queries, eng.S.CacheHits)
+	t.Logf("SMT queries: %d, cache hits: %d", eng.S.NumQueries(), eng.S.NumCacheHits())
 }

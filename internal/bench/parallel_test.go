@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// fastSuite is a small all-methods task list used to exercise the parallel
+// runner quickly: the running example plus the two fastest list programs.
+func fastSuite() []Task {
+	return []Task{
+		{Name: "Array Init", Build: ArrayInit},
+		ArrayListTasks()[3], // List Delete
+		ArrayListTasks()[4], // List Insert
+	}
+}
+
+// TestRunAllMatchesRun checks that the parallel cell pool returns exactly
+// the measurements of per-task Run calls: same shape, same task/method
+// order, same proved outcomes.
+func TestRunAllMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner integration test skipped in -short mode")
+	}
+	tasks := fastSuite()
+	seq := &Runner{Timeout: 90 * time.Second}
+	var want [][]Measurement
+	for _, task := range tasks {
+		want = append(want, seq.Run(task))
+	}
+	par := &Runner{Timeout: 90 * time.Second, Parallel: 4}
+	got := par.RunAll(tasks)
+	if len(got) != len(want) {
+		t.Fatalf("RunAll returned %d rows, want %d", len(got), len(want))
+	}
+	for ti := range want {
+		if len(got[ti]) != len(want[ti]) {
+			t.Fatalf("task %d: %d cells, want %d", ti, len(got[ti]), len(want[ti]))
+		}
+		for mi := range want[ti] {
+			g, w := got[ti][mi], want[ti][mi]
+			if g.Task != w.Task || g.Method != w.Method {
+				t.Errorf("cell (%d,%d) is %s/%s, want %s/%s", ti, mi, g.Task, g.Method, w.Task, w.Method)
+			}
+			if g.Proved != w.Proved {
+				t.Errorf("%s/%s: parallel proved=%v, sequential proved=%v", g.Task, g.Method, g.Proved, w.Proved)
+			}
+		}
+	}
+	if par.CellTime() <= 0 {
+		t.Error("parallel runner recorded no cell time")
+	}
+}
+
+// TestParallelRunnerDeterministic re-runs the same parallel suite and
+// requires identical proved/not-proved outcomes each time.
+func TestParallelRunnerDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner integration test skipped in -short mode")
+	}
+	tasks := fastSuite()
+	outcome := func() []bool {
+		r := &Runner{Timeout: 90 * time.Second, Parallel: 4}
+		var out []bool
+		for _, row := range r.RunAll(tasks) {
+			for _, m := range row {
+				out = append(out, m.Proved)
+			}
+		}
+		return out
+	}
+	first := outcome()
+	for round := 1; round < 3; round++ {
+		got := outcome()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("round %d cell %d: proved=%v, round 0 proved=%v", round, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+// TestParallelRunnerSpeedup measures the wall-clock speedup of the parallel
+// cell pool against the sequential runner on the same suite and requires
+// ≥2x on ≥4-core machines with identical proved outcomes. On smaller boxes
+// there is no parallelism to measure, so the test skips.
+func TestParallelRunnerSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		t.Skipf("speedup measurement needs >=4 cores, have GOMAXPROCS=%d", workers)
+	}
+	tasks := fastSuite()
+
+	run := func(parallel int) (time.Duration, []bool) {
+		r := &Runner{Timeout: 90 * time.Second, Stats: stats.New(), Parallel: parallel}
+		start := time.Now()
+		var proved []bool
+		for _, row := range r.RunAll(tasks) {
+			for _, m := range row {
+				proved = append(proved, m.Proved)
+			}
+		}
+		return time.Since(start), proved
+	}
+	seqWall, seqProved := run(1)
+	parWall, parProved := run(workers)
+	for i := range seqProved {
+		if seqProved[i] != parProved[i] {
+			t.Fatalf("cell %d: parallel proved=%v, sequential proved=%v", i, parProved[i], seqProved[i])
+		}
+	}
+	ratio := float64(seqWall) / float64(parWall)
+	t.Logf("sequential %v, parallel(%d) %v, speedup %.2fx", seqWall, workers, parWall, ratio)
+	if ratio < 2 {
+		t.Errorf("expected >=2x speedup on %d cores, got %.2fx", workers, ratio)
+	}
+}
+
+// TestRunnerConfigIsolation checks that concurrent cells do not share
+// mutable verifier state: each runOne builds its own Verifier and stop
+// flag, so a timeout in one cell must not stop its neighbors.
+func TestRunnerConfigIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner integration test skipped in -short mode")
+	}
+	r := &Runner{Timeout: 60 * time.Second, Parallel: 3}
+	tasks := []Task{
+		{Name: "doomed", Build: MergeSortInnerSorted, Methods: []core.Method{core.CFP}},
+		{Name: "fine", Build: ArrayInit, Methods: []core.Method{core.GFP}},
+	}
+	// Shrink the doomed cell's budget via a dedicated runner so it times
+	// out while the healthy cell runs concurrently on the shared pool.
+	doomed := &Runner{Timeout: 1 * time.Millisecond, Parallel: 1}
+	dm := doomed.Run(tasks[0])
+	res := r.RunAll(tasks[1:])
+	if dm[0].Err == nil {
+		t.Skip("doomed cell finished within 1ms (!?)")
+	}
+	if res[0][0].Err != nil || !res[0][0].Proved {
+		t.Errorf("healthy cell: err=%v proved=%v", res[0][0].Err, res[0][0].Proved)
+	}
+}

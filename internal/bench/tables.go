@@ -41,9 +41,10 @@ func Table1(w io.Writer) {
 // preconditions found (Table 2).
 func Table2(w io.Writer, r *Runner) {
 	fmt.Fprintln(w, "Table 2: preconditions for worst-case upper bounds")
-	for _, task := range WorstCaseTasks() {
-		for _, m := range r.Run(task) {
-			fmt.Fprintf(w, "  %-22s [%s, %s]\n", task.Name, m.Method, fmtDur(m))
+	tasks := WorstCaseTasks()
+	for ti, ms := range r.RunAll(tasks) {
+		for _, m := range ms {
+			fmt.Fprintf(w, "  %-22s [%s, %s]\n", tasks[ti].Name, m.Method, fmtDur(m))
 			for _, pre := range m.Preconditions {
 				fmt.Fprintf(w, "    pre: %s\n", pre)
 			}
@@ -62,10 +63,11 @@ func Table3And5(w io.Writer, r *Runner) {
 		m    Measurement
 	}
 	var rows []row
-	for _, task := range FunctionalTasks() {
-		for _, m := range r.Run(task) {
-			rows = append(rows, row{name: task.Name, m: m})
-			fmt.Fprintf(w, "  %-16s\n", task.Name)
+	tasks := FunctionalTasks()
+	for ti, ms := range r.RunAll(tasks) {
+		for _, m := range ms {
+			rows = append(rows, row{name: tasks[ti].Name, m: m})
+			fmt.Fprintf(w, "  %-16s\n", tasks[ti].Name)
 			for _, pre := range m.Preconditions {
 				fmt.Fprintf(w, "    pre: %s\n", pre)
 			}
@@ -82,13 +84,14 @@ func Table3And5(w io.Writer, r *Runner) {
 func Table4(w io.Writer, r *Runner) {
 	fmt.Fprintln(w, "Table 4: time (secs) for data-sensitive array/list programs")
 	fmt.Fprintf(w, "  %-20s %-10s %-10s %-10s\n", "Benchmark", "LFP", "GFP", "CFP")
-	for _, task := range ArrayListTasks() {
+	tasks := ArrayListTasks()
+	for ti, ms := range r.RunAll(tasks) {
 		times := map[core.Method]string{}
-		for _, m := range r.Run(task) {
+		for _, m := range ms {
 			times[m.Method] = fmtDur(m)
 		}
 		fmt.Fprintf(w, "  %-20s %-10s %-10s %-10s\n",
-			task.Name, times[core.LFP], times[core.GFP], times[core.CFP])
+			tasks[ti].Name, times[core.LFP], times[core.GFP], times[core.CFP])
 	}
 }
 
@@ -98,32 +101,37 @@ func Table6(w io.Writer, r *Runner) {
 	fmt.Fprintln(w, "Table 6: time (secs) for sorting programs")
 	fmt.Fprintf(w, "  %-20s | %-8s %-8s %-8s | %-8s %-8s %-8s | %-8s\n",
 		"Benchmark", "sort-LFP", "sort-GFP", "sort-CFP", "pres-LFP", "pres-GFP", "pres-CFP", "bound")
+	// All three sub-suites fan out as one big cell pool so a parallel
+	// runner never idles between suites; the rows print in suite order.
+	worst, presTasks, sorts := WorstCaseTasks(), PreservationTasks(), SortednessTasks()
+	all := append(append(append([]Task(nil), worst...), presTasks...), sorts...)
+	res := r.RunAll(all)
 	bounds := map[string]string{}
-	for _, task := range WorstCaseTasks() {
-		for _, m := range r.Run(task) {
-			bounds[task.Name] = fmtDur(m)
+	for ti := range worst {
+		for _, m := range res[ti] {
+			bounds[worst[ti].Name] = fmtDur(m)
 		}
 	}
 	bounds["Bubble Sort (n2)"] = "0.00"
 	bounds["Merge Sort (inner)"] = "0.00"
 	pres := map[string]map[core.Method]string{}
-	for _, task := range PreservationTasks() {
-		pres[task.Name] = map[core.Method]string{}
-		for _, m := range r.Run(task) {
-			pres[task.Name][m.Method] = fmtDur(m)
+	for ti := range presTasks {
+		pres[presTasks[ti].Name] = map[core.Method]string{}
+		for _, m := range res[len(worst)+ti] {
+			pres[presTasks[ti].Name][m.Method] = fmtDur(m)
 		}
 	}
-	for _, task := range SortednessTasks() {
+	for ti := range sorts {
 		sorted := map[core.Method]string{}
-		for _, m := range r.Run(task) {
+		for _, m := range res[len(worst)+len(presTasks)+ti] {
 			sorted[m.Method] = fmtDur(m)
 		}
-		p := pres[task.Name]
+		p := pres[sorts[ti].Name]
 		fmt.Fprintf(w, "  %-20s | %-8s %-8s %-8s | %-8s %-8s %-8s | %-8s\n",
-			task.Name,
+			sorts[ti].Name,
 			sorted[core.LFP], sorted[core.GFP], sorted[core.CFP],
 			p[core.LFP], p[core.GFP], p[core.CFP],
-			bounds[task.Name])
+			bounds[sorts[ti].Name])
 	}
 }
 

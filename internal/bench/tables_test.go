@@ -27,7 +27,7 @@ func TestTable4Renders(t *testing.T) {
 	// A tight per-run budget: this test checks the table renders and the
 	// collector populates, not which cells succeed.
 	c := stats.New()
-	r := &Runner{Timeout: 15 * time.Second, Stats: c}
+	r := &Runner{Timeout: 8 * time.Second, Stats: c}
 	var b strings.Builder
 	Table4(&b, r)
 	out := b.String()

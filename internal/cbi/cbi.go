@@ -14,8 +14,10 @@ import (
 
 	"repro/internal/logic"
 	"repro/internal/optimal"
+	"repro/internal/par"
 	"repro/internal/sat"
 	"repro/internal/spec"
+	"repro/internal/ssa"
 	"repro/internal/stats"
 	"repro/internal/template"
 	"repro/internal/vc"
@@ -31,12 +33,19 @@ type Options struct {
 	Stop func() bool
 	// Stats optionally records Figure 9 SAT formula sizes.
 	Stats *stats.Collector
+	// Parallel is the number of paths whose ψ_{δ,τ1,τ2,σt} contributions
+	// (the OptimalNegativeSolutions calls that dominate encoding time) are
+	// computed concurrently (default runtime.GOMAXPROCS(0)). Clauses are
+	// always assembled sequentially in path order, so the SAT instance is
+	// identical regardless of scheduling.
+	Parallel int
 }
 
 func (o Options) normalize() Options {
 	if o.MaxModels == 0 {
 		o.MaxModels = 64
 	}
+	o.Parallel = par.Workers(o.Parallel)
 	return o
 }
 
@@ -86,13 +95,31 @@ func Solve(p *spec.Problem, eng *optimal.Engine, opts Options) (Result, error) {
 	}
 	enc := &encoder{s: sat.New(), vars: map[bvar]int{}, preds: map[bvar]logic.Formula{}}
 
-	for _, path := range p.Paths() {
+	// Phase 1 (parallel): per-path planning — the independent
+	// OptimalNegativeSolutions calls that dominate encoding time fan out
+	// across a worker pool.
+	paths := p.Paths()
+	plans := make([]*pathPlan, len(paths))
+	par.ForEach(len(paths), opts.Parallel, func(i int) {
 		if opts.Stop != nil && opts.Stop() {
-			return Result{}, nil
+			return
 		}
-		if err := encodePath(p, eng, enc, path); err != nil {
-			return Result{}, err
+		plans[i] = planPath(p, eng, paths[i], opts.Stop)
+	})
+	if opts.Stop != nil && opts.Stop() {
+		return Result{}, nil
+	}
+	// Phase 2 (sequential, path order): emit clauses. Assembly order is
+	// fixed by the path order, so the SAT instance — variable numbering
+	// included — is byte-identical to a sequential encoding.
+	for i, plan := range plans {
+		if plan == nil {
+			return Result{}, nil // stopped mid-planning
 		}
+		if plan.err != nil {
+			return Result{}, fmt.Errorf("cbi: path %s->%s: %w", paths[i].From, paths[i].To, plan.err)
+		}
+		emitPath(enc, plan)
 	}
 	res := Result{Clauses: enc.s.NumClauses(), Vars: enc.s.NumVars()}
 	opts.Stats.RecordSATSize(res.Clauses, res.Vars)
@@ -133,8 +160,33 @@ func sortedVarIdxs(enc *encoder) []int {
 	return out
 }
 
-// encodePath adds ψ_{δ,τ1,τ2,σt} to the SAT instance (§5.2).
-func encodePath(p *spec.Problem, eng *optimal.Engine, enc *encoder, path vc.Path) error {
+// pathPlan holds everything one path contributes to ψ_Prog, computed
+// without touching the shared encoder so paths can be planned in parallel.
+type pathPlan struct {
+	err error
+	// t1Unknowns / orig / inv translate φ-level solutions back to original
+	// unknowns and original-variable predicates during emission.
+	t1Unknowns map[string]bool
+	orig       map[string]string
+	inv        ssa.Renaming
+	// base is S_{δ,τ1,τ2}: the optimal negative supports with every
+	// positive unknown empty.
+	base []template.Solution
+	// posCases holds one cover per (positive unknown, predicate) choice.
+	posCases []posCase
+}
+
+// posCase is one b_{v,q} ⇒ ∨ BC(S^{ρ,q}) implication awaiting emission.
+type posCase struct {
+	ou   string        // original unknown name
+	oq   logic.Formula // original-variable predicate (the b_{v,q} guard)
+	sols []template.Solution
+}
+
+// planPath computes ψ_{δ,τ1,τ2,σt}'s ingredients for one path (§5.2): the
+// base and per-(unknown, predicate) optimal negative supports, plus the
+// renaming data needed to translate them back to original unknowns.
+func planPath(p *spec.Problem, eng *optimal.Engine, path vc.Path, stop func() bool) *pathPlan {
 	t1 := p.TemplateAt(path.From)
 	t2 := p.TemplateAt(path.To)
 
@@ -165,7 +217,7 @@ func encodePath(p *spec.Problem, eng *optimal.Engine, enc *encoder, path vc.Path
 
 	pol, err := template.Polarities(phi)
 	if err != nil {
-		return fmt.Errorf("cbi: path %s->%s: %w", path.From, path.To, err)
+		return &pathPlan{err: err}
 	}
 	pos, neg := template.Split(pol)
 
@@ -196,18 +248,46 @@ func encodePath(p *spec.Problem, eng *optimal.Engine, enc *encoder, path vc.Path
 		negDomain[n] = qp[n]
 	}
 
-	// backToOriginal maps a solution over φ's unknowns to original unknowns
-	// and original-variable predicates.
-	backToOriginal := func(u string, ps template.PredSet) (string, template.PredSet) {
-		if t1Unknowns[u] {
-			return orig[u], ps
-		}
-		return orig[u], ps.Rename(inv)
+	emptyPos := template.Solution{}
+	for _, r := range pos {
+		emptyPos[r] = template.NewPredSet()
 	}
+	plan := &pathPlan{t1Unknowns: t1Unknowns, orig: orig, inv: inv}
+
+	// Base case: S_{δ,τ1,τ2} with every positive unknown empty; at least one
+	// optimal negative support must be chosen.
+	plan.base = eng.OptimalNegativeSolutions(emptyPos.Fill(phi), negDomain)
+
+	// Positive cases: b_{orig(ρ),q·σt⁻¹} ⇒ ∨ BC(S^{ρ,q}).
+	for _, r := range pos {
+		for qi, q := range qp[r] {
+			if stop != nil && stop() {
+				return plan
+			}
+			posPart := emptyPos.Clone()
+			posPart[r] = template.NewPredSet(q)
+			plan.posCases = append(plan.posCases, posCase{
+				ou:   orig[r],
+				oq:   p.Q[orig[r]][qi],
+				sols: eng.OptimalNegativeSolutions(posPart.Fill(phi), negDomain),
+			})
+		}
+	}
+	return plan
+}
+
+// emitPath adds a planned path's clauses to the SAT instance. Only this
+// phase touches the shared encoder; it runs sequentially in path order.
+func emitPath(enc *encoder, plan *pathPlan) {
+	// bc maps a solution over φ's unknowns to blocking literals over
+	// original unknowns and original-variable predicates.
 	bc := func(sol template.Solution) []sat.Lit {
 		var lits []sat.Lit
 		for u, ps := range sol {
-			ou, ops := backToOriginal(u, ps)
+			ou, ops := plan.orig[u], ps
+			if !plan.t1Unknowns[u] {
+				ops = ps.Rename(plan.inv)
+			}
 			for _, q := range ops.Preds() {
 				lits = append(lits, sat.MkLit(enc.vidx(ou, q), false))
 			}
@@ -215,47 +295,25 @@ func encodePath(p *spec.Problem, eng *optimal.Engine, enc *encoder, path vc.Path
 		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
 		return lits
 	}
-
-	emptyPos := template.Solution{}
-	for _, r := range pos {
-		emptyPos[r] = template.NewPredSet()
+	addCover(enc, nil, plan.base, bc)
+	for _, pc := range plan.posCases {
+		guard := sat.MkLit(enc.vidx(pc.ou, pc.oq), true) // ¬b ∨ cover
+		addCover(enc, []sat.Lit{guard}, pc.sols, bc)
 	}
-
-	// Base case: S_{δ,τ1,τ2} with every positive unknown empty; at least one
-	// optimal negative support must be chosen.
-	base := eng.OptimalNegativeSolutions(emptyPos.Fill(phi), negDomain)
-	if err := addCover(enc, nil, base, bc); err != nil {
-		return fmt.Errorf("cbi: path %s->%s: %w", path.From, path.To, err)
-	}
-
-	// Positive cases: b_{orig(ρ),q·σt⁻¹} ⇒ ∨ BC(S^{ρ,q}).
-	for _, r := range pos {
-		for qi, q := range qp[r] {
-			posPart := emptyPos.Clone()
-			posPart[r] = template.NewPredSet(q)
-			sols := eng.OptimalNegativeSolutions(posPart.Fill(phi), negDomain)
-			ou, oq := orig[r], p.Q[orig[r]][qi]
-			guard := sat.MkLit(enc.vidx(ou, oq), true) // ¬b ∨ cover
-			if err := addCover(enc, []sat.Lit{guard}, sols, bc); err != nil {
-				return fmt.Errorf("cbi: path %s->%s: %w", path.From, path.To, err)
-			}
-		}
-	}
-	return nil
 }
 
 // addCover encodes guard ⇒ (∨_{t∈sols} BC(t)) by introducing one selector
 // variable per disjunct.
-func addCover(enc *encoder, guard []sat.Lit, sols []template.Solution, bc func(template.Solution) []sat.Lit) error {
+func addCover(enc *encoder, guard []sat.Lit, sols []template.Solution, bc func(template.Solution) []sat.Lit) {
 	if len(sols) == 0 {
 		// No support: the guard must be false (or, with no guard, the whole
 		// instance is unsatisfiable).
 		if len(guard) == 0 {
 			enc.s.AddClause() // empty clause
-			return nil
+			return
 		}
 		enc.s.AddClause(guard...)
-		return nil
+		return
 	}
 	clause := append([]sat.Lit(nil), guard...)
 	for _, sol := range sols {
@@ -263,7 +321,7 @@ func addCover(enc *encoder, guard []sat.Lit, sols []template.Solution, bc func(t
 		if len(lits) == 0 {
 			// An empty support (σ maps every negative to ∅) is trivially
 			// chosen: the implication is satisfied outright.
-			return nil
+			return
 		}
 		if len(lits) == 1 {
 			clause = append(clause, lits[0])
@@ -277,7 +335,6 @@ func addCover(enc *encoder, guard []sat.Lit, sols []template.Solution, bc func(t
 		clause = append(clause, selLit)
 	}
 	enc.s.AddClause(clause...)
-	return nil
 }
 
 // decode reads the model into a solution over the original unknowns.

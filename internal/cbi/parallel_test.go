@@ -1,0 +1,68 @@
+package cbi
+
+import (
+	"testing"
+)
+
+// TestParallelEncodingMatchesSequential requires the parallel ψ_Prog
+// encoder to produce the exact SAT instance of the sequential one — same
+// clause and variable counts, same decoded solution — since clauses are
+// assembled in path order no matter how the planning phase is scheduled.
+func TestParallelEncodingMatchesSequential(t *testing.T) {
+	seq, err := Solve(arrayInitProblem(), newEngine(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{2, 4, 8} {
+		par, err := Solve(arrayInitProblem(), newEngine(), Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Clauses != seq.Clauses || par.Vars != seq.Vars {
+			t.Errorf("parallel=%d: SAT instance %d clauses/%d vars, sequential %d/%d",
+				parallel, par.Clauses, par.Vars, seq.Clauses, seq.Vars)
+		}
+		if par.Found() != seq.Found() {
+			t.Errorf("parallel=%d: found=%v, sequential found=%v", parallel, par.Found(), seq.Found())
+		}
+		if seq.Found() && par.Solution.Key() != seq.Solution.Key() {
+			t.Errorf("parallel=%d: solution %s, sequential %s", parallel, par.Solution, seq.Solution)
+		}
+	}
+}
+
+// TestParallelEncodingDeterministic re-runs the parallel encoder and
+// requires byte-identical instances across repetitions.
+func TestParallelEncodingDeterministic(t *testing.T) {
+	var clauses, vars int
+	var key string
+	for round := 0; round < 3; round++ {
+		res, err := Solve(arrayInitProblem(), newEngine(), Options{Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found() {
+			t.Fatal("no solution found")
+		}
+		if round == 0 {
+			clauses, vars, key = res.Clauses, res.Vars, res.Solution.Key()
+			continue
+		}
+		if res.Clauses != clauses || res.Vars != vars || res.Solution.Key() != key {
+			t.Errorf("round %d: (%d clauses, %d vars, %s) differs from round 0 (%d, %d, %s)",
+				round, res.Clauses, res.Vars, res.Solution.Key(), clauses, vars, key)
+		}
+	}
+}
+
+// TestParallelStopReturnsCleanly checks the Stop contract through the
+// parallel planning phase.
+func TestParallelStopReturnsCleanly(t *testing.T) {
+	res, err := Solve(arrayInitProblem(), newEngine(), Options{Parallel: 4, Stop: func() bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() {
+		t.Error("stopped run claimed a solution")
+	}
+}

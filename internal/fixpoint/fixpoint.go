@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/logic"
 	"repro/internal/optimal"
+	"repro/internal/par"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/template"
@@ -38,6 +39,13 @@ type Options struct {
 	// abandons the run (used by timeout-bounded harnesses so abandoned
 	// runs stop consuming CPU).
 	Stop func() bool
+	// Parallel is the number of worklist candidates repaired and scored
+	// concurrently per round (default runtime.GOMAXPROCS(0); 1 forces the
+	// sequential engine). Each candidate's failing-VC check and
+	// OptimalSolutions repair is independent; results are merged in
+	// deterministic batch order, so runs are reproducible for a fixed
+	// Parallel regardless of goroutine scheduling.
+	Parallel int
 	// Trace, when non-nil, receives a line per worklist event (debugging).
 	Trace func(format string, args ...any)
 }
@@ -55,6 +63,7 @@ func (o Options) normalize() Options {
 	if o.MaxCandidates == 0 {
 		o.MaxCandidates = 64
 	}
+	o.Parallel = par.Workers(o.Parallel)
 	return o
 }
 
@@ -143,22 +152,22 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 	seen := map[string]bool{sigma0.Key(): true}
 	seq := 1
 	var res Result
-	for step := 0; step < opts.MaxSteps && len(cands) > 0; step++ {
+	for step := 0; step < opts.MaxSteps && len(cands) > 0; {
 		if opts.Stop != nil && opts.Stop() {
 			break
 		}
-		res.Steps = step + 1
-		opts.Stats.RecordCandidates(len(cands))
-
 		sort.SliceStable(cands, func(i, j int) bool {
 			if cands[i].fails != cands[j].fails {
 				return cands[i].fails < cands[j].fails
 			}
 			return cands[i].seq < cands[j].seq
 		})
-		best := cands[0]
-		cands = cands[1:]
-		if best.fails == 0 {
+		if cands[0].fails == 0 {
+			step++
+			res.Steps = step
+			opts.Stats.RecordCandidates(len(cands))
+			best := cands[0]
+			cands = cands[1:]
 			if !opts.All {
 				res.Solution = best.sigma
 				return res, nil
@@ -169,22 +178,64 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 			res.All = append(res.All, best.sigma)
 			continue
 		}
-		opts.trace("step %d: candidates=%d, resolving (%d failing) %s on path %s->%s",
-			step, len(cands)+1, best.fails, best.sigma, best.fail.From, best.fail.To)
 
-		for _, next := range step1(p, eng, best.sigma, *best.fail, dir) {
-			k := next.Key()
-			if seen[k] {
-				continue
+		// Repair a deterministic batch of the best failing candidates
+		// concurrently: after the sort every candidate in the batch is
+		// failing, and each repair (an OptimalSolutions call on the failing
+		// path's VC) is independent of the others.
+		batch := opts.Parallel
+		if batch > len(cands) {
+			batch = len(cands)
+		}
+		if rem := opts.MaxSteps - step; batch > rem {
+			batch = rem
+		}
+		take := cands[:batch:batch]
+		cands = cands[batch:]
+		for i := range take {
+			opts.Stats.RecordCandidates(len(cands) + batch - i)
+			opts.trace("step %d: candidates=%d, resolving (%d failing) %s on path %s->%s",
+				step+i, len(cands)+batch-i, take[i].fails, take[i].sigma, take[i].fail.From, take[i].fail.To)
+		}
+		step += batch
+		res.Steps = step
+
+		repaired := make([][]template.Solution, batch)
+		par.ForEach(batch, opts.Parallel, func(i int) {
+			if opts.Stop != nil && opts.Stop() {
+				return
 			}
-			seen[k] = true
-			if len(cands) >= opts.MaxCandidates {
-				opts.trace("step %d: candidate cap reached, dropping %s", step, next)
-				break
+			repaired[i] = step1(p, eng, take[i].sigma, *take[i].fail, dir)
+		})
+
+		// Merge the repair results in batch order — a deterministic,
+		// scheduling-independent order (step1 already returns solutions
+		// stably sorted by canonical key) — then score the fresh candidates
+		// concurrently and append them in that same order.
+		var fresh []template.Solution
+		for i := range take {
+			for _, next := range repaired[i] {
+				k := next.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if len(cands)+len(fresh) >= opts.MaxCandidates {
+					opts.trace("step %d: candidate cap reached, dropping %s", step, next)
+					continue
+				}
+				opts.trace("step %d: new candidate %s", step, next)
+				fresh = append(fresh, next)
 			}
-			opts.trace("step %d: new candidate %s", step, next)
-			cands = append(cands, score(next, seq))
+		}
+		newScored := make([]scored, len(fresh))
+		par.ForEach(len(fresh), opts.Parallel, func(i int) {
+			newScored[i] = score(fresh[i], 0)
+		})
+		for i := range newScored {
+			newScored[i].seq = seq
 			seq++
+			cands = append(cands, newScored[i])
 		}
 	}
 	res.Exhausted = len(cands) == 0

@@ -1,0 +1,149 @@
+package fixpoint
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/template"
+)
+
+// solutionsKey canonically renders a result's solution set for comparison
+// across runs (the All list is already deduped; sort by Key to ignore
+// discovery order).
+func solutionsKey(res Result) string {
+	keys := make([]string, 0, len(res.All)+1)
+	if res.Solution != nil {
+		keys = append(keys, "first:"+res.Solution.Key())
+	}
+	all := append([]template.Solution(nil), res.All...)
+	for _, s := range all {
+		keys = append(keys, s.Key())
+	}
+	out := ""
+	for _, k := range sortedStrings(keys) {
+		out += k + "\n"
+	}
+	return out
+}
+
+func sortedStrings(ss []string) []string {
+	out := append([]string(nil), ss...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestParallelMatchesSequential checks that the parallel worklist proves
+// the same problems as the sequential engine, and that every solution it
+// returns is a genuine invariant.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, parallel := range []int{2, 4, 8} {
+		p1, p2 := arrayInitProblem(), arrayInitProblem()
+		seq, err := LeastFixedPoint(p1, newEngine(), Options{Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := LeastFixedPoint(p2, newEngine(), Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Found() != par.Found() {
+			t.Fatalf("parallel=%d: proved=%v, sequential proved=%v", parallel, par.Found(), seq.Found())
+		}
+		if ok, fail := p2.CheckAll(newEngine().S, par.Solution); !ok {
+			t.Fatalf("parallel=%d returned non-invariant; failing path %v", parallel, fail)
+		}
+	}
+}
+
+// TestParallelDeterministic re-runs LFP and GFP with Parallel > 1 and
+// requires identical solutions every time: batch selection is a stable
+// sort, repair results merge in batch order, so scheduling cannot leak into
+// the outcome.
+func TestParallelDeterministic(t *testing.T) {
+	for _, dir := range []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"LFP", func() (Result, error) {
+			return LeastFixedPoint(arrayInitProblem(), newEngine(), Options{Parallel: 4, All: true})
+		}},
+		{"GFP", func() (Result, error) {
+			return GreatestFixedPoint(arrayInitProblem(), newEngine(), Options{Parallel: 4, All: true})
+		}},
+	} {
+		first := ""
+		for round := 0; round < 3; round++ {
+			res, err := dir.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := solutionsKey(res)
+			if round == 0 {
+				first = key
+				if !res.Found() {
+					t.Fatalf("%s: no solution found", dir.name)
+				}
+				continue
+			}
+			if key != first {
+				t.Errorf("%s round %d: solutions differ from round 0:\n%s\nvs\n%s", dir.name, round, key, first)
+			}
+		}
+	}
+}
+
+// BenchmarkLFPSequential runs the paper's running example to a solution on
+// one worker (the pre-parallel engine).
+func BenchmarkLFPSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := LeastFixedPoint(arrayInitProblem(), newEngine(), Options{Parallel: 1})
+		if err != nil || !res.Found() {
+			b.Fatalf("err=%v found=%v", err, res.Found())
+		}
+	}
+}
+
+// BenchmarkLFPParallel runs the same search with the worklist fanned over
+// GOMAXPROCS workers. On a ≥4-core box the candidate repairs and scoring
+// dominate and the speedup approaches the worker count; per-op time here is
+// the headline number to compare against BenchmarkLFPSequential.
+func BenchmarkLFPParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := LeastFixedPoint(arrayInitProblem(), newEngine(), Options{Parallel: runtime.GOMAXPROCS(0)})
+		if err != nil || !res.Found() {
+			b.Fatalf("err=%v found=%v", err, res.Found())
+		}
+	}
+}
+
+// TestParallelStopAbandons checks the cooperative-stop contract under the
+// parallel engine: a Stop that fires immediately must end the run quickly
+// with no solution claimed.
+func TestParallelStopAbandons(t *testing.T) {
+	stopped := make(chan struct{})
+	close(stopped)
+	stop := func() bool {
+		select {
+		case <-stopped:
+			return true
+		default:
+			return false
+		}
+	}
+	start := time.Now()
+	res, err := LeastFixedPoint(arrayInitProblem(), newEngine(), Options{Parallel: 4, Stop: stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() {
+		t.Error("stopped run claimed a solution")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("stopped run took %v", elapsed)
+	}
+}

@@ -1,0 +1,122 @@
+package smt
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// validityCache is a sharded, bounded memo table for validity verdicts with
+// singleflight deduplication: when several goroutines ask about the same
+// formula concurrently, exactly one performs the decision procedure and the
+// rest wait for its verdict. The sharding keeps lock contention low when a
+// solver is hammered from many goroutines.
+const cacheShards = 32
+
+type validityCache struct {
+	// maxPerShard bounds each shard's entry count (0 = unlimited). When a
+	// shard is full, completed entries are evicted one at a time (bounded
+	// eviction) instead of wiping the whole memo.
+	maxPerShard int
+	shards      [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+// cacheEntry is one in-flight or settled verdict. done is closed once val is
+// set; waiters block on it (singleflight).
+type cacheEntry struct {
+	done chan struct{}
+	val  bool
+}
+
+func (e *cacheEntry) settled() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// newValidityCache sizes the per-shard bound from the solver-level CacheSize
+// option (total entries across shards ≈ size).
+func newValidityCache(size int) *validityCache {
+	c := &validityCache{}
+	if size > 0 {
+		c.maxPerShard = size / cacheShards
+		if c.maxPerShard < 1 {
+			c.maxPerShard = 1
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*cacheEntry{}
+	}
+	return c
+}
+
+func (c *validityCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// lookupOrClaim returns (entry, true) when the key is already present —
+// settled or in flight — and the caller should wait on it; otherwise it
+// installs a fresh in-flight entry owned by the caller and returns
+// (entry, false). The owner must call settle (and optionally forget) on it.
+func (c *validityCache) lookupOrClaim(key string) (*cacheEntry, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.m[key]; ok {
+		return e, true
+	}
+	if c.maxPerShard > 0 && len(sh.m) >= c.maxPerShard {
+		// Bounded eviction: drop settled entries until there is room,
+		// never touching in-flight entries other goroutines wait on.
+		for k, e := range sh.m {
+			if !e.settled() {
+				continue
+			}
+			delete(sh.m, k)
+			if len(sh.m) < c.maxPerShard {
+				break
+			}
+		}
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	sh.m[key] = e
+	return e, false
+}
+
+// settle publishes the owner's verdict, releasing every waiter.
+func (e *cacheEntry) settle(v bool) {
+	e.val = v
+	close(e.done)
+}
+
+// forget removes a settled entry the owner does not want memoized (an
+// abandoned, conservative verdict). Waiters that already hold the entry
+// still receive its value.
+func (c *validityCache) forget(key string, e *cacheEntry) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if sh.m[key] == e {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+}
+
+// size returns the total number of entries across shards (testing aid).
+func (c *validityCache) size() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

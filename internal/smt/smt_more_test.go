@@ -119,16 +119,25 @@ func TestCacheBehaviour(t *testing.T) {
 	if !s.Valid(f) || !s.Valid(f) {
 		t.Fatal("validity")
 	}
-	if s.Queries != 1 || s.CacheHits != 1 {
-		t.Errorf("queries=%d hits=%d, want 1/1", s.Queries, s.CacheHits)
+	if s.NumQueries() != 1 || s.NumCacheHits() != 1 {
+		t.Errorf("queries=%d hits=%d, want 1/1", s.NumQueries(), s.NumCacheHits())
 	}
 	// Cache eviction under CacheSize.
 	s2 := NewSolver(Options{CacheSize: 1})
 	s2.Valid(mustF("a < a + 1"))
 	s2.Valid(mustF("b < b + 1"))
 	s2.Valid(mustF("a < a + 1"))
-	if s2.Queries < 2 {
-		t.Errorf("bounded cache should have evicted: queries=%d", s2.Queries)
+	if s2.NumQueries() < 2 {
+		t.Errorf("bounded cache should have evicted: queries=%d", s2.NumQueries())
+	}
+	// Eviction is bounded, not a full wipe: with a larger cap, filling past
+	// the bound must not discard every earlier verdict at once.
+	s3 := NewSolver(Options{CacheSize: cacheShards * 2})
+	for _, v := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		s3.Valid(mustF(v + " < " + v + " + 1"))
+	}
+	if got := s3.cache.size(); got == 0 {
+		t.Error("bounded eviction wiped the whole cache")
 	}
 }
 

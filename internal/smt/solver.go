@@ -2,6 +2,8 @@ package smt
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lia"
@@ -24,7 +26,10 @@ type Options struct {
 	MaxAckermannPairs int
 	// MaxTheoryIterations caps DPLL(T) model-repair rounds. Default 100000.
 	MaxTheoryIterations int
-	// CacheSize caps the validity memo table (0 = unlimited).
+	// CacheSize caps the validity memo table (0 = unlimited). The cap is
+	// approximate: it is split across the cache's shards, each of which
+	// holds at least one entry, and eviction is per-shard and bounded
+	// (completed entries are dropped one at a time, never a full wipe).
 	CacheSize int
 	// Stop, when non-nil, is polled inside the DPLL(T) loop; returning
 	// true abandons the query with a conservative "satisfiable" answer
@@ -51,25 +56,36 @@ func (o Options) Normalize() Options {
 
 // Solver checks validity of quantified formulas over integers + arrays +
 // uninterpreted functions. It memoizes results and reports per-query
-// latencies to an optional stats collector. Not safe for concurrent use.
+// latencies to an optional stats collector. Safe for concurrent use: the
+// memo table is sharded with singleflight deduplication (two goroutines
+// never decide the same VC twice) and the counters are atomic.
 type Solver struct {
 	opts  Options
-	cache map[string]bool
+	cache *validityCache
 	stats *stats.Collector
 
-	// Queries counts validity checks actually decided (cache misses).
-	Queries int64
-	// CacheHits counts validity checks answered from the memo table.
-	CacheHits int64
+	queries   atomic.Int64 // validity checks actually decided (cache misses)
+	cacheHits atomic.Int64 // validity checks answered from the memo table
 }
 
 // NewSolver returns a solver with the given options.
 func NewSolver(opts Options) *Solver {
-	return &Solver{opts: opts.Normalize(), cache: map[string]bool{}}
+	opts = opts.Normalize()
+	return &Solver{opts: opts, cache: newValidityCache(opts.CacheSize)}
 }
 
 // SetStats attaches a collector that receives per-query latencies (Figure 4).
+// It must be called before the solver is shared across goroutines.
 func (s *Solver) SetStats(c *stats.Collector) { s.stats = c }
+
+// NumQueries returns how many validity checks were actually decided (cache
+// misses). Every Valid call on a non-trivial formula increments exactly one
+// of NumQueries and NumCacheHits.
+func (s *Solver) NumQueries() int64 { return s.queries.Load() }
+
+// NumCacheHits returns how many validity checks were answered from the memo
+// table, including singleflight waiters that rode on a concurrent decision.
+func (s *Solver) NumCacheHits() int64 { return s.cacheHits.Load() }
 
 // Valid reports whether f is valid (true in every model). The answer true is
 // always sound; false may also mean "not provable within the instantiation
@@ -80,23 +96,23 @@ func (s *Solver) Valid(f logic.Formula) bool {
 		return b.Val
 	}
 	key := f.String()
-	if v, ok := s.cache[key]; ok {
-		s.CacheHits++
-		return v
+	e, hit := s.cache.lookupOrClaim(key)
+	if hit {
+		<-e.done
+		s.cacheHits.Add(1)
+		return e.val
 	}
 	start := time.Now()
 	v := !s.Satisfiable(logic.Neg(f))
 	s.stats.RecordQuery(time.Since(start))
-	s.Queries++
+	s.queries.Add(1)
+	e.settle(v)
 	if s.opts.Stop != nil && s.opts.Stop() {
 		// The run was abandoned mid-query; the conservative answer must
-		// not be memoized as a real verdict.
-		return v
+		// not be memoized as a real verdict. Waiters already holding the
+		// entry still get the (conservative) value.
+		s.cache.forget(key, e)
 	}
-	if s.opts.CacheSize > 0 && len(s.cache) >= s.opts.CacheSize {
-		s.cache = map[string]bool{}
-	}
-	s.cache[key] = v
 	return v
 }
 
@@ -160,7 +176,13 @@ func (s *Solver) decideGround(f logic.Formula) bool {
 	}
 
 	// Parallel arrays mapping atom index → SAT variable, built on demand by
-	// the encoder; iterate deterministically over atom indices.
+	// the encoder; iterate deterministically over atom indices so conflict
+	// clauses (and hence iteration counts) are reproducible run to run.
+	atoms := make([]int, 0, len(enc.atomVar))
+	for atom := range enc.atomVar {
+		atoms = append(atoms, atom)
+	}
+	sort.Ints(atoms)
 	for iter := 0; iter < s.opts.MaxTheoryIterations; iter++ {
 		if s.opts.Stop != nil && s.opts.Stop() {
 			return true // conservative: Valid() reports false
@@ -170,7 +192,8 @@ func (s *Solver) decideGround(f logic.Formula) bool {
 		}
 		var cons []lia.Lin
 		var lits []sat.Lit
-		for atom, v := range enc.atomVar {
+		for _, atom := range atoms {
+			v := enc.atomVar[atom]
 			if solver.Value(v) {
 				cons = append(cons, g.lins[atom])
 				lits = append(lits, sat.MkLit(v, false))

@@ -8,6 +8,7 @@ package spec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/lang"
 	"repro/internal/logic"
@@ -27,14 +28,15 @@ type Problem struct {
 	// Q is the predicate vocabulary of each unknown.
 	Q template.Domain
 
-	paths []vc.Path
+	pathsOnce sync.Once
+	paths     []vc.Path
 }
 
-// Paths returns Paths(Prog), computed once.
+// Paths returns Paths(Prog), computed once. Safe for concurrent use: the
+// parallel fixed-point workers and the parallel ψ_Prog encoder all read the
+// same slice.
 func (p *Problem) Paths() []vc.Path {
-	if p.paths == nil {
-		p.paths = vc.PathsOf(p.Prog)
-	}
+	p.pathsOnce.Do(func() { p.paths = vc.PathsOf(p.Prog) })
 	return p.paths
 }
 
