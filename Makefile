@@ -1,11 +1,17 @@
-# Build/test targets. The tier-1 flow is `make check`: build, vet, and the
-# default test suite. `make test-short` is the <60s developer loop;
-# `make test-race` exercises the parallel solving engine under the race
-# detector; `make bench` runs the parallel-engine benchmarks.
+# Build/test targets. The tier-1 flow is `make check`: build, vet, the
+# default test suite, and a short race-detector pass over every package
+# (exercising the interner's and the parallel engine's concurrency claims).
+# `make test-short` is the <60s developer loop; `make bench` runs the
+# engine microbenchmarks; `make bench-json` writes a machine-readable
+# BENCH_$(BENCH_N).json report; `make profile` captures CPU/heap profiles
+# of the default benchmark suite.
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench check clean
+# Report number for bench-json output (BENCH_2.json, BENCH_3.json, ...).
+BENCH_N ?= 2
+
+.PHONY: all build vet test test-short test-race bench bench-json profile check clean
 
 all: check
 
@@ -25,18 +31,35 @@ test: build vet
 test-short: build vet
 	$(GO) test -short ./...
 
-# Race-detector pass over the concurrent engine: the shared SMT solver,
-# the parallel fixed-point worklist, the parallel ψ_Prog encoder, and the
-# parallel benchmark runner.
+# Race-detector pass over every package: the shared SMT solver, the formula
+# interner, the parallel fixed-point worklist, the parallel ψ_Prog encoder,
+# and the parallel benchmark runner.
 test-race:
-	$(GO) test -race -short ./internal/par/ ./internal/smt/ ./internal/fixpoint/ ./internal/cbi/ ./internal/bench/ ./internal/spec/
+	$(GO) test -short -race ./...
 
-# Parallel-engine benchmarks (compare *Sequential vs *Parallel per-op times).
+# Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
+# interning/hot-path benchmarks (cache-hit keying, structural equality,
+# compiled fills, lattice search).
 bench:
 	$(GO) test -bench 'Valid(Sequential|Parallel)' -benchtime 2x -run - ./internal/smt/
 	$(GO) test -bench 'LFP(Sequential|Parallel)' -benchtime 2x -run - ./internal/fixpoint/
+	$(GO) test -bench 'FormulaEq|HashFormula|StringKey|Intern' -run - ./internal/logic/
+	$(GO) test -bench 'ValidCacheHit' -run - ./internal/smt/
+	$(GO) test -bench 'Fill|NegativeSolutions' -run - ./internal/optimal/ ./internal/template/
 
-check: build vet test
+# Machine-readable benchmark report: runs the default representative suite
+# and writes BENCH_$(BENCH_N).json (per-cell wall time, SMT queries, cache
+# hits) for tracking the perf trajectory across PRs.
+bench-json:
+	$(GO) run ./cmd/benchtab -json BENCH_$(BENCH_N).json
+
+# CPU/heap profiles of the default suite (sequential, so the profile is not
+# dominated by scheduler noise). Inspect with `go tool pprof cpu.prof`.
+profile:
+	$(GO) run ./cmd/benchtab -json /dev/null -parallel 1 -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; inspect with: $(GO) tool pprof cpu.prof"
+
+check: build vet test test-race
 
 clean:
 	$(GO) clean ./...

@@ -4,11 +4,18 @@
 // Usage:
 //
 //	benchtab [-table 1|2|3|4|5|6] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
+//	         [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -parallel N > 1 the (task, method) cells of each table run
 // concurrently on N workers (default: the number of CPUs); the printed
 // tables are identical to a sequential run, and a trailing line reports the
 // achieved wall-clock speedup (sum of per-cell times / elapsed).
+//
+// -json FILE runs the default representative suite and writes a
+// machine-readable report (wall time plus per-cell timings and SMT
+// query/cache-hit counters) to FILE — the BENCH_N.json format tracked by
+// `make bench-json`. -cpuprofile/-memprofile write runtime/pprof profiles
+// covering whatever work the other flags request.
 //
 // Figures 4 and 6–9 are histograms over the statistics collected while the
 // requested tables run; asking for them alone runs the Table 4 suite to
@@ -21,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -34,7 +42,40 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	junk := flag.String("junk", "10,20,30", "comma-separated junk-predicate counts for figure 5")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of (task,method) cells run concurrently (1 = sequential)")
+	jsonOut := flag.String("json", "", "run the default suite and write a JSON report (BENCH_N.json format) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			}
+		}()
+	}
 
 	c := stats.New()
 	r := &bench.Runner{Timeout: *timeout, Stats: c, Parallel: *parallel}
@@ -47,6 +88,27 @@ func main() {
 				*parallel, cell.Seconds(), wall.Seconds(), cell.Seconds()/wall.Seconds())
 		}
 	}()
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.RunJSON(f, r, "default", bench.DefaultSuite()); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *jsonOut)
+		if *table == 0 && *figure == 0 && !*all {
+			return
+		}
+	}
 
 	if *all {
 		runTable(w, r, 1)
@@ -73,7 +135,7 @@ func main() {
 		runFigure(w, r, c, *figure, *junk)
 	}
 	if *table == 0 && *figure == 0 {
-		fmt.Fprintln(os.Stderr, "benchtab: pass -table N, -figure N, or -all")
+		fmt.Fprintln(os.Stderr, "benchtab: pass -table N, -figure N, -json FILE, or -all")
 		os.Exit(2)
 	}
 }

@@ -66,6 +66,10 @@ type Measurement struct {
 	Method   core.Method
 	Proved   bool
 	Duration time.Duration
+	// Queries and CacheHits snapshot the run's SMT validity counters (each
+	// cell uses a fresh solver, so these are per-cell, not cumulative).
+	Queries   int64
+	CacheHits int64
 	// Preconditions holds the inferred formulas for Precondition tasks.
 	Preconditions []logic.Formula
 	// Err records a failure to run (distinct from "no invariant found").
@@ -175,6 +179,8 @@ func (r *Runner) runOne(t Task, m core.Method) Measurement {
 			}
 		}
 		mm.Duration = time.Since(start)
+		mm.Queries = v.Engine().S.NumQueries()
+		mm.CacheHits = v.Engine().S.NumCacheHits()
 		done <- result{meas: mm}
 	}()
 	if r.Timeout <= 0 {

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// DefaultSuite returns the fast representative benchmark subset (the same
+// tasks the always-on search tests run): one sortedness, one preservation,
+// two functional-correctness preconditions, one worst-case bound, and the
+// two fast list tasks. It is the suite behind `make bench-json` and
+// `benchtab -json`, sized to finish in minutes rather than the tens of
+// minutes the full Table 6 sweep takes.
+func DefaultSuite() []Task {
+	return []Task{
+		SortednessTasks()[4],    // quick sort (inner)
+		PreservationTasks()[4],  // insertion sort
+		FunctionalTasks()[0],    // partial init precondition
+		FunctionalTasks()[1],    // init synthesis precondition
+		WorstCaseTasks()[2],     // quick sort (inner) bound
+		ArrayListTasks()[3],     // list delete
+		ArrayListTasks()[4],     // list insert
+	}
+}
+
+// CellReport is one (task, method) entry of a JSON benchmark report.
+type CellReport struct {
+	Task      string  `json:"task"`
+	Property  string  `json:"property"`
+	Method    string  `json:"method"`
+	Proved    bool    `json:"proved"`
+	Seconds   float64 `json:"seconds"`
+	Queries   int64   `json:"queries"`
+	CacheHits int64   `json:"cache_hits"`
+	Err       string  `json:"error,omitempty"`
+}
+
+// Report is the machine-readable result of a benchmark run (BENCH_N.json).
+type Report struct {
+	// Suite labels the task set ("default").
+	Suite string `json:"suite"`
+	// Parallel is the runner's worker count.
+	Parallel int `json:"parallel"`
+	// WallSeconds is the elapsed wall-clock of the whole run.
+	WallSeconds float64 `json:"wall_seconds"`
+	// CellSeconds is the summed per-cell wall-clock (wall × speedup).
+	CellSeconds float64 `json:"cell_seconds"`
+	// Queries and CacheHits are summed over all cells.
+	Queries   int64        `json:"queries"`
+	CacheHits int64        `json:"cache_hits"`
+	Cells     []CellReport `json:"cells"`
+}
+
+// RunJSON executes the tasks with the runner and writes a Report to w.
+// Cells appear in task/method order regardless of the runner's parallelism.
+func RunJSON(w io.Writer, r *Runner, suite string, tasks []Task) error {
+	start := time.Now()
+	results := r.RunAll(tasks)
+	rep := Report{
+		Suite:       suite,
+		Parallel:    r.parallel(),
+		WallSeconds: time.Since(start).Seconds(),
+		CellSeconds: r.CellTime().Seconds(),
+	}
+	for _, ms := range results {
+		for _, m := range ms {
+			cell := CellReport{
+				Task:      m.Task,
+				Property:  m.Property,
+				Method:    m.Method.String(),
+				Proved:    m.Proved,
+				Seconds:   m.Duration.Seconds(),
+				Queries:   m.Queries,
+				CacheHits: m.CacheHits,
+			}
+			if m.Err != nil {
+				cell.Err = m.Err.Error()
+			}
+			rep.Queries += m.Queries
+			rep.CacheHits += m.CacheHits
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

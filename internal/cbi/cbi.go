@@ -20,7 +20,6 @@ import (
 	"repro/internal/ssa"
 	"repro/internal/stats"
 	"repro/internal/template"
-	"repro/internal/vc"
 )
 
 // Options bounds a constraint-based run.
@@ -63,10 +62,12 @@ type Result struct {
 func (r Result) Found() bool { return r.Solution != nil }
 
 // bvar identifies an indicator variable b_{v,q} by unknown name and the
-// canonical form of the (original-variable) predicate.
+// interned identity of the (original-variable) predicate. Interned handles
+// are pointer-unique per structure, so this keys exactly like the canonical
+// string form did, without serializing the predicate on every lookup.
 type bvar struct {
 	unknown string
-	predKey string
+	pred    *logic.IFormula
 }
 
 // encoder accumulates ψ_Prog.
@@ -77,7 +78,7 @@ type encoder struct {
 }
 
 func (e *encoder) vidx(u string, p logic.Formula) int {
-	k := bvar{unknown: u, predKey: p.String()}
+	k := bvar{unknown: u, pred: logic.Intern(p)}
 	if v, ok := e.vars[k]; ok {
 		return v
 	}
@@ -104,7 +105,7 @@ func Solve(p *spec.Problem, eng *optimal.Engine, opts Options) (Result, error) {
 		if opts.Stop != nil && opts.Stop() {
 			return
 		}
-		plans[i] = planPath(p, eng, paths[i], opts.Stop)
+		plans[i] = planPath(p, eng, i, opts.Stop)
 	})
 	if opts.Stop != nil && opts.Stop() {
 		return Result{}, nil
@@ -185,8 +186,11 @@ type posCase struct {
 
 // planPath computes ψ_{δ,τ1,τ2,σt}'s ingredients for one path (§5.2): the
 // base and per-(unknown, predicate) optimal negative supports, plus the
-// renaming data needed to translate them back to original unknowns.
-func planPath(p *spec.Problem, eng *optimal.Engine, path vc.Path, stop func() bool) *pathPlan {
+// renaming data needed to translate them back to original unknowns. It is
+// index-based so the VC is built through the problem's compiled skeleton and
+// the positive-case fills reuse the engine's compiled filler for φ.
+func planPath(p *spec.Problem, eng *optimal.Engine, pi int, stop func() bool) *pathPlan {
+	path := p.Paths()[pi]
 	t1 := p.TemplateAt(path.From)
 	t2 := p.TemplateAt(path.To)
 
@@ -213,7 +217,7 @@ func planPath(p *spec.Problem, eng *optimal.Engine, path vc.Path, stop func() bo
 	}
 	// τ2 lives over the path's SSA exit variables.
 	t2ssa := path.Sigma.Apply(t2r)
-	phi := path.VC(t1, t2ssa)
+	phi := p.VCAt(pi, t1, t2ssa)
 
 	pol, err := template.Polarities(phi)
 	if err != nil {
@@ -254,9 +258,13 @@ func planPath(p *spec.Problem, eng *optimal.Engine, path vc.Path, stop func() bo
 	}
 	plan := &pathPlan{t1Unknowns: t1Unknowns, orig: orig, inv: inv}
 
+	// All positive-case fills instantiate the same φ, so they share the
+	// engine's compiled filler for it.
+	fl := eng.Filler(phi)
+
 	// Base case: S_{δ,τ1,τ2} with every positive unknown empty; at least one
 	// optimal negative support must be chosen.
-	plan.base = eng.OptimalNegativeSolutions(emptyPos.Fill(phi), negDomain)
+	plan.base = eng.OptimalNegativeSolutions(fl.FillSolution(emptyPos), negDomain)
 
 	// Positive cases: b_{orig(ρ),q·σt⁻¹} ⇒ ∨ BC(S^{ρ,q}).
 	for _, r := range pos {
@@ -269,7 +277,7 @@ func planPath(p *spec.Problem, eng *optimal.Engine, path vc.Path, stop func() bo
 			plan.posCases = append(plan.posCases, posCase{
 				ou:   orig[r],
 				oq:   p.Q[orig[r]][qi],
-				sols: eng.OptimalNegativeSolutions(posPart.Fill(phi), negDomain),
+				sols: eng.OptimalNegativeSolutions(fl.FillSolution(posPart), negDomain),
 			})
 		}
 	}

@@ -131,18 +131,21 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 		return len(logic.Unknowns(p.TemplateAt(path.From))) > 0
 	}
 	type scored struct {
-		sigma template.Solution
-		fails int
-		fail  *vc.Path
-		seq   int
+		sigma   template.Solution
+		fails   int
+		fail    *vc.Path
+		failIdx int
+		seq     int
 	}
 	score := func(sigma template.Solution, seq int) scored {
-		s := scored{sigma: sigma, seq: seq}
-		for i, path := range p.Paths() {
-			if !eng.S.Valid(p.PathVC(path, sigma)) {
+		s := scored{sigma: sigma, seq: seq, failIdx: -1}
+		for i := range p.Paths() {
+			if !eng.S.Valid(p.PathVCAt(i, sigma)) {
+				path := p.Paths()[i]
 				s.fails++
 				if s.fail == nil || (!progressable(*s.fail) && progressable(path)) {
 					s.fail = &p.Paths()[i]
+					s.failIdx = i
 				}
 			}
 		}
@@ -205,7 +208,7 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 			if opts.Stop != nil && opts.Stop() {
 				return
 			}
-			repaired[i] = step1(p, eng, take[i].sigma, *take[i].fail, dir)
+			repaired[i] = step1(p, eng, take[i].sigma, take[i].failIdx, dir)
 		})
 
 		// Merge the repair results in batch order — a deterministic,
@@ -246,24 +249,26 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 }
 
 // step1 performs one worklist update (Fig. 3, lines 6-7): replace sigma by
-// the optimal re-solutions of the failing path's VC.
-func step1(p *spec.Problem, eng *optimal.Engine, sigma template.Solution, path vc.Path, dir direction) []template.Solution {
+// the optimal re-solutions of the failing path's VC (by path index, so the
+// problem's compiled skeletons are reused).
+func step1(p *spec.Problem, eng *optimal.Engine, sigma template.Solution, pathIdx int, dir direction) []template.Solution {
 	if dir == forward {
-		return stepForward(p, eng, sigma, path)
+		return stepForward(p, eng, sigma, pathIdx)
 	}
-	return stepBackward(p, eng, sigma, path)
+	return stepBackward(p, eng, sigma, pathIdx)
 }
 
-func stepForward(p *spec.Problem, eng *optimal.Engine, sigma template.Solution, path vc.Path) []template.Solution {
+func stepForward(p *spec.Problem, eng *optimal.Engine, sigma template.Solution, pathIdx int) []template.Solution {
+	path := p.Paths()[pathIdx]
 	tmplTo := p.TemplateAt(path.To)
 	toUnknowns := logic.Unknowns(tmplTo)
 	if len(toUnknowns) == 0 {
 		return nil // e.g. an assertion path into exit: nothing to weaken
 	}
 	// φ := VC(⟨τ1σ, δ, τ2⟩) ∧ θ with θ := τ2σ ⇒ τ2, over SSA exit variables.
-	vcf := p.ForwardVC(path, sigma)
-	postCur := path.Sigma.Apply(sigma.Fill(tmplTo))
-	theta := logic.Imp(postCur, path.Sigma.Apply(tmplTo))
+	vcf := p.ForwardVCAt(pathIdx, sigma)
+	postCur := path.Sigma.Apply(p.FillTemplateAt(path.To, sigma))
+	theta := logic.Imp(postCur, p.RenamedTemplateTo(pathIdx))
 	phi := logic.Conj(vcf, theta)
 
 	domain := template.Domain{}
@@ -281,15 +286,16 @@ func stepForward(p *spec.Problem, eng *optimal.Engine, sigma template.Solution, 
 	return out
 }
 
-func stepBackward(p *spec.Problem, eng *optimal.Engine, sigma template.Solution, path vc.Path) []template.Solution {
+func stepBackward(p *spec.Problem, eng *optimal.Engine, sigma template.Solution, pathIdx int) []template.Solution {
+	path := p.Paths()[pathIdx]
 	tmplFrom := p.TemplateAt(path.From)
 	fromUnknowns := logic.Unknowns(tmplFrom)
 	if len(fromUnknowns) == 0 {
 		return nil // e.g. a path out of entry with a fixed (true) precondition
 	}
 	// φ := VC(⟨τ1, δ, τ2σ·σt⟩) ∧ θ with θ := τ1 ⇒ τ1σ, over program variables.
-	vcf := p.BackwardVC(path, sigma)
-	theta := logic.Imp(tmplFrom, sigma.Fill(tmplFrom))
+	vcf := p.BackwardVCAt(pathIdx, sigma)
+	theta := logic.Imp(tmplFrom, p.FillTemplateAt(path.From, sigma))
 	phi := logic.Conj(vcf, theta)
 
 	domain := template.Domain{}

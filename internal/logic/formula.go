@@ -284,8 +284,10 @@ func Any(vars []string, body Formula) Formula {
 	return Exists{Vars: vars, Body: body}
 }
 
-// FormulaEq reports structural equality via canonical printing.
-func FormulaEq(a, b Formula) bool { return a.String() == b.String() }
+// FormulaEq reports structural equality. (Historically via canonical
+// printing; the structural walk decides the same relation without
+// serializing either side.)
+func FormulaEq(a, b Formula) bool { return FormulaStructEq(a, b) }
 
 // Substitute replaces free integer variables per sub and free array variables
 // per asub throughout f. Bound variables shadow substitution entries.

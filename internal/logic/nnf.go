@@ -158,7 +158,7 @@ func Simplify(f Formula) Formula {
 		return Neg(Simplify(f.F))
 	case And:
 		var out []Formula
-		seen := map[string]bool{}
+		var seen formulaSet
 		for _, g := range f.Fs {
 			s := Simplify(g)
 			switch s := s.(type) {
@@ -169,22 +169,20 @@ func Simplify(f Formula) Formula {
 				continue
 			case And:
 				for _, h := range s.Fs {
-					if k := h.String(); !seen[k] {
-						seen[k] = true
+					if seen.add(h) {
 						out = append(out, h)
 					}
 				}
 				continue
 			}
-			if k := s.String(); !seen[k] {
-				seen[k] = true
+			if seen.add(s) {
 				out = append(out, s)
 			}
 		}
 		return Conj(out...)
 	case Or:
 		var out []Formula
-		seen := map[string]bool{}
+		var seen formulaSet
 		for _, g := range f.Fs {
 			s := Simplify(g)
 			switch s := s.(type) {
@@ -195,15 +193,13 @@ func Simplify(f Formula) Formula {
 				continue
 			case Or:
 				for _, h := range s.Fs {
-					if k := h.String(); !seen[k] {
-						seen[k] = true
+					if seen.add(h) {
 						out = append(out, h)
 					}
 				}
 				continue
 			}
-			if k := s.String(); !seen[k] {
-				seen[k] = true
+			if seen.add(s) {
 				out = append(out, s)
 			}
 		}

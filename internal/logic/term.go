@@ -156,11 +156,13 @@ func Upd(a Arr, idx, val Term) Arr { return Store{A: a, Idx: idx, Val: val} }
 // App builds an uninterpreted function application.
 func App(f string, args ...Term) Term { return Apply{F: f, Args: args} }
 
-// TermEq reports structural equality of two terms.
-func TermEq(x, y Term) bool { return x.String() == y.String() }
+// TermEq reports structural equality of two terms. (Historically this
+// compared String() renderings; printing is injective on the grammar, so the
+// allocation-free structural walk decides the same relation.)
+func TermEq(x, y Term) bool { return TermStructEq(x, y) }
 
 // ArrEq reports structural equality of two array terms.
-func ArrEq(x, y Arr) bool { return x.String() == y.String() }
+func ArrEq(x, y Arr) bool { return ArrStructEq(x, y) }
 
 // SubstituteTerm replaces integer variables per sub and array variables per
 // asub throughout t. Missing entries are left unchanged.

@@ -15,6 +15,7 @@ package optimal
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/logic"
 	"repro/internal/smt"
@@ -37,6 +38,12 @@ type Engine struct {
 	Stop func() bool
 	// Stats optionally records Figure 6/7 histograms.
 	Stats *stats.Collector
+
+	// fillers caches one compiled template.Filler per interned base formula
+	// (*logic.IFormula → *template.Filler): the search fills the same φ with
+	// hundreds of candidate solutions, and the iterative algorithms re-visit
+	// the same VCs across rounds and (parallel) workers.
+	fillers sync.Map
 }
 
 // New returns an engine with default bounds.
@@ -58,9 +65,20 @@ func (e *Engine) maxSolutions() int {
 	return e.MaxSolutions
 }
 
+// Filler returns the engine's compiled filler for φ, building and caching
+// it on first use. Safe for concurrent use.
+func (e *Engine) Filler(phi logic.Formula) *template.Filler {
+	n := logic.Intern(phi)
+	if v, ok := e.fillers.Load(n); ok {
+		return v.(*template.Filler)
+	}
+	v, _ := e.fillers.LoadOrStore(n, template.NewFiller(n.Formula()))
+	return v.(*template.Filler)
+}
+
 // valid instantiates φ with σ and asks the SMT solver.
 func (e *Engine) valid(phi logic.Formula, sigma template.Solution) bool {
-	return e.S.Valid(sigma.Fill(phi))
+	return e.S.Valid(e.Filler(phi).FillSolution(sigma))
 }
 
 // taggedPred is one (unknown, predicate) choice in the BFS space.
@@ -79,7 +97,7 @@ type taggedPred struct {
 // shared unknowns; the BFS runs per group and the results are combined,
 // which is exact and exponentially cheaper than a joint search.
 func (e *Engine) OptimalNegativeSolutions(phi logic.Formula, q template.Domain) []template.Solution {
-	parts := splitConj(logic.Simplify(phi))
+	parts := splitConj(logic.Intern(phi).Simplified().Formula())
 	groups, fixed := groupByUnknowns(parts)
 	if len(fixed) > 0 && !e.S.Valid(logic.Conj(fixed...)) {
 		return nil
@@ -204,30 +222,47 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 		}
 		return nil
 	}
-	// The item universe, in deterministic order.
+	// The deduplicated item universe, in deterministic order. With distinct
+	// items, every candidate the BFS builds is exactly identified by its set
+	// of item indices, so subsumption against already-found solutions is a
+	// word-wise bitmask subset test instead of per-unknown PredSet walks.
 	var items []taggedPred
+	type itemKey struct {
+		unknown string
+		pred    *logic.IFormula
+	}
+	seenItems := map[itemKey]bool{}
 	for _, u := range unknowns {
 		for _, p := range q[u] {
+			k := itemKey{unknown: u, pred: logic.Intern(p)}
+			if seenItems[k] {
+				continue
+			}
+			seenItems[k] = true
 			items = append(items, taggedPred{unknown: u, pred: p})
 		}
 	}
+	// The base formula is compiled once; each candidate costs one spine
+	// rebuild instead of a full-tree reconstruction.
+	fl := e.Filler(phi)
 	// Monotonicity pre-check: if even the full assignment is not valid, no
 	// subset is.
 	full := empty.Clone()
 	for _, it := range items {
 		full[it.unknown] = full[it.unknown].Add(it.pred)
 	}
-	if !e.valid(phi, full) {
+	if !e.S.Valid(fl.FillSolution(full)) {
 		return nil
 	}
-	if e.valid(phi, empty) {
+	if e.S.Valid(fl.FillSolution(empty)) {
 		return []template.Solution{empty}
 	}
 
 	var solutions []template.Solution
-	subsumed := func(sigma template.Solution) bool {
-		for _, s := range solutions {
-			if solutionSubset(s, sigma) {
+	var solMasks []bitmask
+	subsumed := func(m bitmask) bool {
+		for _, sm := range solMasks {
+			if sm.subsetOf(m) {
 				return true
 			}
 		}
@@ -236,9 +271,10 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 
 	type node struct {
 		sigma template.Solution
+		mask  bitmask
 		last  int // last item index used, for canonical extension order
 	}
-	frontier := []node{{sigma: empty, last: -1}}
+	frontier := []node{{sigma: empty, mask: newBitmask(len(items)), last: -1}}
 	for depth := 1; depth <= e.maxDepth() && len(frontier) > 0 && len(solutions) < e.maxSolutions(); depth++ {
 		var next []node
 		for _, nd := range frontier {
@@ -246,14 +282,12 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 				return solutions
 			}
 			for i := nd.last + 1; i < len(items); i++ {
-				cand := nd.sigma.Clone()
-				cand[items[i].unknown] = cand[items[i].unknown].Add(items[i].pred)
-				if cand[items[i].unknown].Len() == nd.sigma[items[i].unknown].Len() {
-					continue // duplicate predicate
-				}
-				if subsumed(cand) {
+				cm := nd.mask.with(i)
+				if subsumed(cm) {
 					continue
 				}
+				cand := nd.sigma.Clone()
+				cand[items[i].unknown] = cand[items[i].unknown].Add(items[i].pred)
 				// Contradictory predicate sets denote the guard "false":
 				// they make the template conjunct vacuous, flood the
 				// solution cap, and never appear in the paper's optimal
@@ -261,19 +295,43 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 				if !e.satisfiableSet(cand[items[i].unknown]) {
 					continue
 				}
-				if e.valid(phi, cand) {
+				if e.S.Valid(fl.FillSolution(cand)) {
 					solutions = append(solutions, cand)
+					solMasks = append(solMasks, cm)
 					if len(solutions) >= e.maxSolutions() {
 						break
 					}
 					continue
 				}
-				next = append(next, node{sigma: cand, last: i})
+				next = append(next, node{sigma: cand, mask: cm, last: i})
 			}
 		}
 		frontier = next
 	}
 	return solutions
+}
+
+// bitmask is a fixed-width bit set over negBFS item indices.
+type bitmask []uint64
+
+func newBitmask(n int) bitmask { return make(bitmask, (n+63)/64) }
+
+// with returns a copy of m with bit i set.
+func (m bitmask) with(i int) bitmask {
+	c := make(bitmask, len(m))
+	copy(c, m)
+	c[i/64] |= 1 << uint(i%64)
+	return c
+}
+
+// subsetOf reports whether every bit of m is set in o.
+func (m bitmask) subsetOf(o bitmask) bool {
+	for k := range m {
+		if m[k]&^o[k] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // satisfiableSet reports whether the conjunction of a predicate set has a
@@ -335,8 +393,9 @@ func (e *Engine) OptimalSolutions(phi logic.Formula, q template.Domain) []templa
 	}
 
 	var seeds []template.Solution
+	fl := e.Filler(phi)
 	addSeed := func(posPart template.Solution) {
-		phiP := posPart.Fill(phi)
+		phiP := fl.FillSolution(posPart)
 		for _, t := range e.OptimalNegativeSolutions(phiP, negDomain) {
 			seeds = append(seeds, posPart.Merge(t))
 		}

@@ -1,8 +1,9 @@
 package smt
 
 import (
-	"hash/fnv"
 	"sync"
+
+	"repro/internal/logic"
 )
 
 // validityCache is a sharded, bounded memo table for validity verdicts with
@@ -10,6 +11,12 @@ import (
 // formula concurrently, exactly one performs the decision procedure and the
 // rest wait for its verdict. The sharding keeps lock contention low when a
 // solver is hammered from many goroutines.
+//
+// Keys are interned formula handles (*logic.IFormula): pointer-unique per
+// structure, so the map lookup is a single word comparison, and the shard is
+// picked from the handle's precomputed structural hash — no per-lookup
+// hashing or allocation (the historical implementation re-hashed a full
+// String() rendering through fnv on every probe).
 const cacheShards = 32
 
 type validityCache struct {
@@ -22,7 +29,7 @@ type validityCache struct {
 
 type cacheShard struct {
 	mu sync.Mutex
-	m  map[string]*cacheEntry
+	m  map[*logic.IFormula]*cacheEntry
 }
 
 // cacheEntry is one in-flight or settled verdict. done is closed once val is
@@ -52,26 +59,24 @@ func newValidityCache(size int) *validityCache {
 		}
 	}
 	for i := range c.shards {
-		c.shards[i].m = map[string]*cacheEntry{}
+		c.shards[i].m = map[*logic.IFormula]*cacheEntry{}
 	}
 	return c
 }
 
-func (c *validityCache) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum32()%cacheShards]
+func (c *validityCache) shard(n *logic.IFormula) *cacheShard {
+	return &c.shards[n.Hash()%cacheShards]
 }
 
-// lookupOrClaim returns (entry, true) when the key is already present —
+// lookupOrClaim returns (entry, true) when the formula is already present —
 // settled or in flight — and the caller should wait on it; otherwise it
 // installs a fresh in-flight entry owned by the caller and returns
 // (entry, false). The owner must call settle (and optionally forget) on it.
-func (c *validityCache) lookupOrClaim(key string) (*cacheEntry, bool) {
-	sh := c.shard(key)
+func (c *validityCache) lookupOrClaim(n *logic.IFormula) (*cacheEntry, bool) {
+	sh := c.shard(n)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if e, ok := sh.m[key]; ok {
+	if e, ok := sh.m[n]; ok {
 		return e, true
 	}
 	if c.maxPerShard > 0 && len(sh.m) >= c.maxPerShard {
@@ -88,7 +93,7 @@ func (c *validityCache) lookupOrClaim(key string) (*cacheEntry, bool) {
 		}
 	}
 	e := &cacheEntry{done: make(chan struct{})}
-	sh.m[key] = e
+	sh.m[n] = e
 	return e, false
 }
 
@@ -101,11 +106,11 @@ func (e *cacheEntry) settle(v bool) {
 // forget removes a settled entry the owner does not want memoized (an
 // abandoned, conservative verdict). Waiters that already hold the entry
 // still receive its value.
-func (c *validityCache) forget(key string, e *cacheEntry) {
-	sh := c.shard(key)
+func (c *validityCache) forget(n *logic.IFormula, e *cacheEntry) {
+	sh := c.shard(n)
 	sh.mu.Lock()
-	if sh.m[key] == e {
-		delete(sh.m, key)
+	if sh.m[n] == e {
+		delete(sh.m, n)
 	}
 	sh.mu.Unlock()
 }

@@ -1,0 +1,77 @@
+package smt
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// Cache-hit microbenchmarks: the interning PR's headline claim is that a
+// warm Valid call costs one Intern (hash + bucket probe) and one pointer-map
+// lookup instead of a full Simplify + String serialization per call. The
+// legacy benchmark reconstructs the old hit path verbatim (Simplify, String
+// key, fnv shard hash, string-map probe) over the same formulas so the two
+// per-op times are directly comparable.
+
+// benchHitFormula builds a moderately sized non-trivial formula of the shape
+// the fixed-point algorithms hammer the cache with: an implication between
+// predicate conjunctions under a quantifier.
+func benchHitFormula(n int) logic.Formula {
+	x, y := logic.V("x"), logic.V("y")
+	var pre []logic.Formula
+	for i := 0; i < n; i++ {
+		pre = append(pre, logic.LeF(logic.Plus(x, logic.I(int64(i))), y))
+	}
+	body := logic.Imp(logic.Conj(pre...), logic.LeF(x, y))
+	return logic.All([]string{"x", "y"}, body)
+}
+
+// BenchmarkValidCacheHit measures the warm-cache Valid path with interned
+// keys (hash once per call, pointer-identity probe, no serialization).
+func BenchmarkValidCacheHit(b *testing.B) {
+	s := NewSolver(Options{})
+	f := benchHitFormula(8)
+	s.Valid(f) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Valid(f)
+	}
+}
+
+// BenchmarkValidCacheHitLegacyKey reconstructs the pre-interning hit path:
+// every call re-simplified the formula, serialized it with String, hashed
+// the string with fnv for shard selection, and probed a string-keyed map.
+func BenchmarkValidCacheHitLegacyKey(b *testing.B) {
+	f := benchHitFormula(8)
+	memo := map[string]bool{logic.Simplify(f).String(): true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := logic.Simplify(f)
+		if _, ok := g.(logic.Bool); ok {
+			b.Fatal("benchmark formula simplified away")
+		}
+		key := g.String()
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		_ = h.Sum64() % cacheShards
+		if !memo[key] {
+			b.Fatal("cache miss in hit benchmark")
+		}
+	}
+}
+
+// BenchmarkValidTrivial measures the trivially-true short circuit, which
+// must answer before any key computation with zero allocations.
+func BenchmarkValidTrivial(b *testing.B) {
+	s := NewSolver(Options{})
+	x := logic.V("x")
+	f := logic.LeF(x, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Valid(f)
+	}
+}

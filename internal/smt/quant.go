@@ -241,6 +241,35 @@ type instEnv struct {
 	fallback     []logic.Term
 	arrIndices   map[string][]logic.Term
 	maxInstances int
+	// triggers, when non-nil, supplies (memoized) trigger extraction for a
+	// universal quantifier; instantiate falls back to triggersOf otherwise.
+	triggers func(logic.Forall) map[string][]trigger
+}
+
+// converged reports whether this round's candidate sets match the previous
+// round's — same fallback count and identical per-array ground index terms —
+// in which case re-instantiating cannot produce anything new. (This is the
+// same fixpoint condition the solver historically checked by rendering both
+// sets through fmt.Sprintf and comparing the strings.)
+func (env *instEnv) converged(prev *instEnv) bool {
+	if prev == nil || len(env.fallback) != len(prev.fallback) {
+		return false
+	}
+	if len(env.arrIndices) != len(prev.arrIndices) {
+		return false
+	}
+	for arr, ts := range env.arrIndices {
+		ps, ok := prev.arrIndices[arr]
+		if !ok || len(ts) != len(ps) {
+			return false
+		}
+		for i := range ts {
+			if !logic.TermStructEq(ts[i], ps[i]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // arrFamily canonicalizes an array variable name to its SSA family: the
@@ -498,7 +527,12 @@ func instantiate(f logic.Formula, env *instEnv) logic.Formula {
 		return logic.Disj(out...)
 	case logic.Forall:
 		k := len(f.Vars)
-		trigs := triggersOf(f.Body, f.Vars)
+		var trigs map[string][]trigger
+		if env.triggers != nil {
+			trigs = env.triggers(f)
+		} else {
+			trigs = triggersOf(f.Body, f.Vars)
+		}
 		cands := make([][]logic.Term, k)
 		total := 1
 		for i, v := range f.Vars {

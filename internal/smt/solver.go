@@ -1,8 +1,8 @@
 package smt
 
 import (
-	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -64,6 +64,11 @@ type Solver struct {
 	cache *validityCache
 	stats *stats.Collector
 
+	// trigMemo caches triggersOf per interned universal quantifier
+	// (*logic.IFormula → map[string][]trigger); the value maps are
+	// read-only after construction, so sharing across goroutines is safe.
+	trigMemo sync.Map
+
 	queries   atomic.Int64 // validity checks actually decided (cache misses)
 	cacheHits atomic.Int64 // validity checks answered from the memo table
 }
@@ -90,20 +95,30 @@ func (s *Solver) NumCacheHits() int64 { return s.cacheHits.Load() }
 // Valid reports whether f is valid (true in every model). The answer true is
 // always sound; false may also mean "not provable within the instantiation
 // bounds", which client algorithms treat conservatively.
+//
+// The hot path is allocation-conscious: syntactically trivial formulas are
+// decided before touching the interner or the cache, and a repeated query
+// costs one hash walk of f plus a pointer-keyed map probe — the formula is
+// never serialized and never re-simplified.
 func (s *Solver) Valid(f logic.Formula) bool {
-	f = logic.Simplify(f)
-	if b, ok := f.(logic.Bool); ok {
-		return b.Val
+	if v, ok := logic.TrivialVerdict(f); ok {
+		return v
 	}
-	key := f.String()
-	e, hit := s.cache.lookupOrClaim(key)
+	n := logic.Intern(f)
+	e, hit := s.cache.lookupOrClaim(n)
 	if hit {
 		<-e.done
 		s.cacheHits.Add(1)
 		return e.val
 	}
 	start := time.Now()
-	v := !s.Satisfiable(logic.Neg(f))
+	var v bool
+	sn := n.Simplified()
+	if b, ok := sn.Formula().(logic.Bool); ok {
+		v = b.Val
+	} else {
+		v = !s.Satisfiable(sn.Negated().Formula())
+	}
 	s.stats.RecordQuery(time.Since(start))
 	s.queries.Add(1)
 	e.settle(v)
@@ -111,29 +126,40 @@ func (s *Solver) Valid(f logic.Formula) bool {
 		// The run was abandoned mid-query; the conservative answer must
 		// not be memoized as a real verdict. Waiters already holding the
 		// entry still get the (conservative) value.
-		s.cache.forget(key, e)
+		s.cache.forget(n, e)
 	}
 	return v
+}
+
+// normalizeForSolving is the solver-side preprocessing chain, memoized per
+// interned formula via IFormula.Normalized: array equalities become
+// quantified element equalities, then Simplify, NNF, bound-variable
+// standardization, and skolemization. Each Namer is created fresh here, so
+// the result is a pure function of the input formula.
+func normalizeForSolving(f logic.Formula) logic.Formula {
+	f = logic.RewriteArrayEq(f, logic.NewNamer("@q"))
+	f = logic.Simplify(f)
+	if b, ok := f.(logic.Bool); ok {
+		return b
+	}
+	f = logic.NNF(f)
+	f = logic.StandardizeApart(f, logic.NewNamer("@b"))
+	return skolemize(f, nil, logic.NewNamer("@sk"))
 }
 
 // Satisfiable reports whether f has a model, modulo bounded quantifier
 // instantiation: "false" (unsat) is sound; "true" is exact for ground
 // formulas and best-effort for quantified ones.
 func (s *Solver) Satisfiable(f logic.Formula) bool {
-	nm := logic.NewNamer("@q")
-	f = logic.RewriteArrayEq(f, nm)
-	f = logic.Simplify(f)
+	f = logic.Intern(f).Normalized(normalizeForSolving).Formula()
 	if b, ok := f.(logic.Bool); ok {
 		return b.Val
 	}
-	f = logic.NNF(f)
-	f = logic.StandardizeApart(f, logic.NewNamer("@b"))
-	f = skolemize(f, nil, logic.NewNamer("@sk"))
 
 	bound := boundVarNames(f)
 	ground := f
 	if len(bound) > 0 {
-		prevKey := ""
+		var prev *instEnv
 		for round := 0; round < s.opts.InstRounds; round++ {
 			// Candidates come from both the quantified formula (guard
 			// boundary terms, original index terms) and the previous ground
@@ -143,17 +169,29 @@ func (s *Solver) Satisfiable(f logic.Formula) bool {
 				fallback:     collectInstTerms(both, bound),
 				arrIndices:   groundArrayIndices(both, bound),
 				maxInstances: s.opts.MaxInstances,
+				triggers:     s.triggers,
 			}
-			key := fmt.Sprintf("%d|%v", len(env.fallback), env.arrIndices)
-			if key == prevKey {
+			if env.converged(prev) {
 				break
 			}
-			prevKey = key
+			prev = env
 			ground = instantiate(f, env)
 		}
 		ground = logic.Simplify(ground)
 	}
 	return s.decideGround(ground)
+}
+
+// triggers returns triggersOf(q.Body, q.Vars), memoized per interned
+// quantifier across rounds and queries.
+func (s *Solver) triggers(q logic.Forall) map[string][]trigger {
+	n := logic.Intern(q)
+	if v, ok := s.trigMemo.Load(n); ok {
+		return v.(map[string][]trigger)
+	}
+	trigs := triggersOf(q.Body, q.Vars)
+	v, _ := s.trigMemo.LoadOrStore(n, trigs)
+	return v.(map[string][]trigger)
 }
 
 // decideGround decides a ground (quantifier-free, store-possible) formula by
@@ -183,6 +221,26 @@ func (s *Solver) decideGround(f logic.Formula) bool {
 		atoms = append(atoms, atom)
 	}
 	sort.Ints(atoms)
+	// The atom set is fixed across theory iterations, so precompute each
+	// atom's SAT variable, its constraint, and its integer negation once.
+	// Negate clones the coefficient map, and doing that per false atom per
+	// iteration — plus Check rebuilding its constraint graph per call — was
+	// most of the solver's allocation volume. When every atom is a
+	// difference constraint (the common case; §3 of the paper's evaluation
+	// programs stay in this fragment), a preprocessed DiffChecker makes the
+	// per-iteration theory check allocation-free.
+	atomVars := make([]int, len(atoms))
+	posLins := make([]lia.Lin, len(atoms))
+	negLins := make([]lia.Lin, len(atoms))
+	for k, atom := range atoms {
+		atomVars[k] = enc.atomVar[atom]
+		posLins[k] = g.lins[atom]
+		negLins[k] = g.lins[atom].Negate()
+	}
+	diff, allDiff := lia.NewDiffChecker(posLins)
+	assign := make([]bool, len(atoms))
+	lits := make([]sat.Lit, len(atoms))
+	var cons []lia.Lin // fallback path only
 	for iter := 0; iter < s.opts.MaxTheoryIterations; iter++ {
 		if s.opts.Stop != nil && s.opts.Stop() {
 			return true // conservative: Valid() reports false
@@ -190,19 +248,25 @@ func (s *Solver) decideGround(f logic.Formula) bool {
 		if solver.Solve() == sat.Unsat {
 			return false
 		}
-		var cons []lia.Lin
-		var lits []sat.Lit
-		for _, atom := range atoms {
-			v := enc.atomVar[atom]
-			if solver.Value(v) {
-				cons = append(cons, g.lins[atom])
-				lits = append(lits, sat.MkLit(v, false))
-			} else {
-				cons = append(cons, g.lins[atom].Negate())
-				lits = append(lits, sat.MkLit(v, true))
-			}
+		for k, v := range atomVars {
+			val := solver.Value(v)
+			assign[k] = val
+			lits[k] = sat.MkLit(v, !val)
 		}
-		res := lia.Check(cons)
+		var res lia.Result
+		if allDiff {
+			res = diff.Check(assign)
+		} else {
+			cons = cons[:0]
+			for k, val := range assign {
+				if val {
+					cons = append(cons, posLins[k])
+				} else {
+					cons = append(cons, negLins[k])
+				}
+			}
+			res = lia.Check(cons)
+		}
 		if res.Sat {
 			return true
 		}

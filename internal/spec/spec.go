@@ -30,6 +30,51 @@ type Problem struct {
 
 	pathsOnce sync.Once
 	paths     []vc.Path
+
+	compileOnce sync.Once
+	comp        compiled
+}
+
+// compiled holds the problem's per-path and per-template fill skeletons,
+// built once on first use. The VC of a path is a pure spine around two
+// holes — Imp($pre, WP(δ, $post)) — so each skeleton is compiled into a
+// template.Filler and every subsequent VC construction rebuilds only the
+// spine. All of it is immutable after the sync.Once, hence safe to share
+// across the parallel fixed-point workers and the ψ_Prog encoder.
+type compiled struct {
+	// vcs[i] fills path i's VC skeleton via the preHole/postHole unknowns.
+	vcs []*template.Filler
+	// renTo[i] is paths[i].Sigma applied to the target cut's template with
+	// unknowns in place (the post formula of every forward VC).
+	renTo []logic.Formula
+	// tmpl compiles each attached template for solution filling.
+	tmpl map[string]*template.Filler
+}
+
+// Hole names used by the compiled VC skeletons. Template unknowns come from
+// user specs and never start with "@@".
+const (
+	preHole  = "@@pre"
+	postHole = "@@post"
+)
+
+func (p *Problem) compiled() *compiled {
+	p.compileOnce.Do(func() {
+		paths := p.Paths()
+		p.comp.vcs = make([]*template.Filler, len(paths))
+		p.comp.renTo = make([]logic.Formula, len(paths))
+		for i := range paths {
+			path := &paths[i]
+			skel := path.VC(logic.Unknown{Name: preHole}, logic.Unknown{Name: postHole})
+			p.comp.vcs[i] = template.NewFiller(skel)
+			p.comp.renTo[i] = path.Sigma.Apply(p.TemplateAt(path.To))
+		}
+		p.comp.tmpl = make(map[string]*template.Filler, len(p.Templates))
+		for cut, t := range p.Templates {
+			p.comp.tmpl[cut] = template.NewFiller(t)
+		}
+	})
+	return &p.comp
 }
 
 // Paths returns Paths(Prog), computed once. Safe for concurrent use: the
@@ -83,19 +128,47 @@ func (p *Problem) Polarities() (map[string]template.Polarity, error) {
 	return out, nil
 }
 
+// FillTemplateAt instantiates the template at a cut-point with σ through the
+// cut's compiled filler (true when no template is attached). Equivalent to
+// sigma.Fill(p.TemplateAt(cut)) but only the unknown-bearing spine of the
+// template is rebuilt.
+func (p *Problem) FillTemplateAt(cut string, sigma template.Solution) logic.Formula {
+	fl, ok := p.compiled().tmpl[cut]
+	if !ok {
+		return logic.True
+	}
+	return fl.FillSolution(sigma)
+}
+
+// VCAt builds VC(⟨pre, δ_i, post⟩) for path index i through the path's
+// compiled skeleton: structurally identical to Paths()[i].VC(pre, post),
+// rebuilding only the holes' spine.
+func (p *Problem) VCAt(i int, pre, post logic.Formula) logic.Formula {
+	return p.compiled().vcs[i].Fill(map[string]logic.Formula{preHole: pre, postHole: post})
+}
+
 // PathVC builds VC(⟨τ1σ, δ, τ2σ·σt⟩) for one path with both templates fully
-// instantiated by σ.
+// instantiated by σ. Prefer PathVCAt on hot paths: it reuses the problem's
+// compiled skeletons.
 func (p *Problem) PathVC(path vc.Path, sigma template.Solution) logic.Formula {
 	pre := sigma.Fill(p.TemplateAt(path.From))
 	post := path.Sigma.Apply(sigma.Fill(p.TemplateAt(path.To)))
 	return path.VC(pre, post)
 }
 
+// PathVCAt is PathVC for path index i via the compiled skeletons.
+func (p *Problem) PathVCAt(i int, sigma template.Solution) logic.Formula {
+	path := &p.Paths()[i]
+	pre := p.FillTemplateAt(path.From, sigma)
+	post := path.Sigma.Apply(p.FillTemplateAt(path.To, sigma))
+	return p.VCAt(i, pre, post)
+}
+
 // CheckAll reports whether VC(Prog, σ) is valid, and if not returns the
 // first failing path.
 func (p *Problem) CheckAll(s *smt.Solver, sigma template.Solution) (bool, *vc.Path) {
-	for i, path := range p.Paths() {
-		if !s.Valid(p.PathVC(path, sigma)) {
+	for i := range p.Paths() {
+		if !s.Valid(p.PathVCAt(i, sigma)) {
 			return false, &p.Paths()[i]
 		}
 	}
@@ -114,12 +187,32 @@ func (p *Problem) ForwardVC(path vc.Path, sigma template.Solution) logic.Formula
 	return path.VC(pre, post)
 }
 
+// ForwardVCAt is ForwardVC for path index i via the compiled skeletons.
+func (p *Problem) ForwardVCAt(i int, sigma template.Solution) logic.Formula {
+	path := &p.Paths()[i]
+	return p.VCAt(i, p.FillTemplateAt(path.From, sigma), p.compiled().renTo[i])
+}
+
+// RenamedTemplateTo returns σt applied to path i's target template with
+// unknowns in place (cached; the post side of every forward VC and progress
+// constraint).
+func (p *Problem) RenamedTemplateTo(i int) logic.Formula {
+	return p.compiled().renTo[i]
+}
+
 // BackwardVC (GFP step): VC(⟨τ1, δ, τ2σ·σt⟩) where τ1's unknowns remain
 // over the original program variables (domain Q).
 func (p *Problem) BackwardVC(path vc.Path, sigma template.Solution) logic.Formula {
 	pre := p.TemplateAt(path.From)
 	post := path.Sigma.Apply(sigma.Fill(p.TemplateAt(path.To)))
 	return path.VC(pre, post)
+}
+
+// BackwardVCAt is BackwardVC for path index i via the compiled skeletons.
+func (p *Problem) BackwardVCAt(i int, sigma template.Solution) logic.Formula {
+	path := &p.Paths()[i]
+	post := path.Sigma.Apply(p.FillTemplateAt(path.To, sigma))
+	return p.VCAt(i, p.TemplateAt(path.From), post)
 }
 
 // InitialLFP returns σ0 for the least fixed-point algorithm: negative

@@ -1,0 +1,117 @@
+package template
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// fillSkeletons is a grab-bag of template and VC shapes: unknowns under
+// conjunction, implication (both sides), negation, quantifiers, mixed with
+// unknown-free subtrees, plus fully ground formulas.
+func fillSkeletons() []logic.Formula {
+	x, y := logic.V("x"), logic.V("y")
+	u := logic.Unknown{Name: "u"}
+	w := logic.Unknown{Name: "w"}
+	ground := logic.LeF(x, y)
+	return []logic.Formula{
+		u,
+		ground,
+		logic.Conj(u, ground),
+		logic.Conj(ground, u, w),
+		logic.Disj(logic.Neg(u), ground),
+		logic.Imp(u, logic.Imp(ground, w)),
+		logic.Imp(ground, logic.All([]string{"j"}, logic.Imp(u, logic.LeF(logic.V("j"), x)))),
+		logic.All([]string{"j"}, logic.Any([]string{"k"}, logic.Conj(u, logic.LtF(logic.V("j"), logic.V("k"))))),
+		logic.Neg(logic.Conj(u, w)),
+		logic.Imp(logic.Conj(u, logic.GeF(x, logic.I(0))), logic.Disj(w, ground)),
+	}
+}
+
+// fillMaps covers the interesting instantiations: full, partial, empty, and
+// constant fills that make smart constructors collapse the spine.
+func fillMaps() []map[string]logic.Formula {
+	x := logic.V("x")
+	return []map[string]logic.Formula{
+		{"u": logic.GtF(x, logic.I(0)), "w": logic.LeF(x, logic.I(9))},
+		{"u": logic.True, "w": logic.False},
+		{"u": logic.False},
+		{"w": logic.Conj(logic.GtF(x, logic.I(1)), logic.LtF(x, logic.I(5)))},
+		{},
+	}
+}
+
+// TestFillerMatchesFillUnknowns checks the compiled filler is observationally
+// identical to logic.FillUnknowns on every skeleton × fill combination —
+// including collapsing fills, where both must rebuild through the same smart
+// constructors and produce structurally identical results.
+func TestFillerMatchesFillUnknowns(t *testing.T) {
+	for si, f := range fillSkeletons() {
+		fl := NewFiller(f)
+		for mi, m := range fillMaps() {
+			got := fl.Fill(m)
+			want := logic.FillUnknowns(f, m)
+			if !logic.FormulaStructEq(got, want) {
+				t.Errorf("skeleton %d fill %d: compiled %s, direct %s", si, mi, got, want)
+			}
+			if got.String() != want.String() {
+				t.Errorf("skeleton %d fill %d: String mismatch %q vs %q", si, mi, got, want)
+			}
+		}
+	}
+}
+
+// TestFillerSharesGroundSubtrees checks unknown-free subtrees are returned
+// by reference, not rebuilt: filling a ground formula must return it as-is.
+func TestFillerSharesGroundSubtrees(t *testing.T) {
+	x, y := logic.V("x"), logic.V("y")
+	ground := logic.LeF(x, y)
+	fl := NewFiller(ground)
+	if got := fl.Fill(map[string]logic.Formula{"u": logic.True}); !logic.FormulaStructEq(got, ground) {
+		t.Errorf("ground fill rebuilt the formula: %s", got)
+	}
+	if len(fl.Unknowns()) != 0 {
+		t.Errorf("ground skeleton reports unknowns %v", fl.Unknowns())
+	}
+}
+
+// BenchmarkFillerFillSolution measures the compiled fill of a VC-shaped
+// skeleton against BenchmarkSolutionFill's from-scratch FillUnknowns walk.
+func BenchmarkFillerFillSolution(b *testing.B) {
+	f, sigma := benchFillInstance()
+	fl := NewFiller(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.FillSolution(sigma)
+	}
+}
+
+// BenchmarkSolutionFill is the pre-interning baseline: a full FillUnknowns
+// traversal of the same skeleton per instantiation.
+func BenchmarkSolutionFill(b *testing.B) {
+	f, sigma := benchFillInstance()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sigma.Fill(f)
+	}
+}
+
+func benchFillInstance() (logic.Formula, Solution) {
+	x, n := logic.V("x"), logic.V("n")
+	// A VC-shaped skeleton: big ground antecedent, quantified consequent
+	// with one unknown deep inside.
+	var ground []logic.Formula
+	for i := 0; i < 12; i++ {
+		ground = append(ground, logic.LeF(logic.Plus(x, logic.I(int64(i))), n))
+	}
+	f := logic.Imp(logic.Conj(ground...),
+		logic.All([]string{"j"}, logic.Imp(logic.Unknown{Name: "u"},
+			logic.LeF(logic.V("j"), n))))
+	var preds []logic.Formula
+	for i := 0; i < 4; i++ {
+		preds = append(preds, logic.GeF(logic.V("j"), logic.I(int64(i))))
+	}
+	return f, Solution{"u": NewPredSet(preds...)}
+}

@@ -118,8 +118,28 @@ func RenameUnknowns(f logic.Formula, ren map[string]string) logic.Formula {
 
 // PredSet is an immutable set of predicates, identified canonically by the
 // string forms of its members. The empty set denotes the conjunction true.
+//
+// Member keys, the canonical identity string, and the conjunction formula
+// are all computed once at construction, so the set operations on the
+// lattice-search hot path (Contains, SubsetOf, Union, Add, Key) never
+// re-serialize member predicates: Contains is a binary search, SubsetOf and
+// Union are sorted merges.
 type PredSet struct {
 	preds []logic.Formula // sorted by String()
+	keys  []string        // keys[i] == preds[i].String()
+	key   string          // canonical identity, "{k1 & k2 & ...}"
+	conj  logic.Formula   // Conj(preds...)
+}
+
+// newPredSetSorted builds a set from members already in canonical (sorted,
+// deduplicated) order with their precomputed keys.
+func newPredSetSorted(preds []logic.Formula, keys []string) PredSet {
+	return PredSet{
+		preds: preds,
+		keys:  keys,
+		key:   "{" + strings.Join(keys, " & ") + "}",
+		conj:  logic.Conj(preds...),
+	}
 }
 
 // NewPredSet builds a set from the given predicates, deduplicating.
@@ -133,7 +153,7 @@ func NewPredSet(ps ...logic.Formula) PredSet {
 	for i, k := range keys {
 		out[i] = m[k]
 	}
-	return PredSet{preds: out}
+	return newPredSetSorted(out, keys)
 }
 
 // Len returns the number of predicates.
@@ -145,27 +165,27 @@ func (s PredSet) Preds() []logic.Formula { return s.preds }
 
 // Key returns a canonical identity string.
 func (s PredSet) Key() string {
-	parts := make([]string, len(s.preds))
-	for i, p := range s.preds {
-		parts[i] = p.String()
+	if s.key == "" {
+		return "{}" // zero value, never built by a constructor
 	}
-	return "{" + strings.Join(parts, " & ") + "}"
+	return s.key
 }
 
 func (s PredSet) String() string { return s.Key() }
 
 // Formula returns the conjunction of the set (true when empty).
-func (s PredSet) Formula() logic.Formula { return logic.Conj(s.preds...) }
+func (s PredSet) Formula() logic.Formula {
+	if s.conj == nil {
+		return logic.True // zero value
+	}
+	return s.conj
+}
 
 // Contains reports membership by canonical form.
 func (s PredSet) Contains(p logic.Formula) bool {
 	key := p.String()
-	for _, q := range s.preds {
-		if q.String() == key {
-			return true
-		}
-	}
-	return false
+	i := sort.SearchStrings(s.keys, key)
+	return i < len(s.keys) && s.keys[i] == key
 }
 
 // SubsetOf reports whether every predicate of s is in t.
@@ -173,22 +193,65 @@ func (s PredSet) SubsetOf(t PredSet) bool {
 	if s.Len() > t.Len() {
 		return false
 	}
-	for _, p := range s.preds {
-		if !t.Contains(p) {
+	j := 0
+	for i := 0; i < len(s.keys); i++ {
+		for j < len(t.keys) && t.keys[j] < s.keys[i] {
+			j++
+		}
+		if j >= len(t.keys) || t.keys[j] != s.keys[i] {
 			return false
 		}
+		j++
 	}
 	return true
 }
 
 // Union returns s ∪ t.
 func (s PredSet) Union(t PredSet) PredSet {
-	return NewPredSet(append(append([]logic.Formula(nil), s.preds...), t.preds...)...)
+	if s.Len() == 0 {
+		if t.Len() == 0 {
+			return NewPredSet()
+		}
+		return t
+	}
+	if t.Len() == 0 {
+		return s
+	}
+	preds := make([]logic.Formula, 0, len(s.preds)+len(t.preds))
+	keys := make([]string, 0, len(s.keys)+len(t.keys))
+	i, j := 0, 0
+	for i < len(s.keys) && j < len(t.keys) {
+		switch {
+		case s.keys[i] == t.keys[j]:
+			preds, keys = append(preds, s.preds[i]), append(keys, s.keys[i])
+			i, j = i+1, j+1
+		case s.keys[i] < t.keys[j]:
+			preds, keys = append(preds, s.preds[i]), append(keys, s.keys[i])
+			i++
+		default:
+			preds, keys = append(preds, t.preds[j]), append(keys, t.keys[j])
+			j++
+		}
+	}
+	preds = append(preds, s.preds[i:]...)
+	keys = append(keys, s.keys[i:]...)
+	preds = append(preds, t.preds[j:]...)
+	keys = append(keys, t.keys[j:]...)
+	return newPredSetSorted(preds, keys)
 }
 
 // Add returns s ∪ {p}.
 func (s PredSet) Add(p logic.Formula) PredSet {
-	return NewPredSet(append(append([]logic.Formula(nil), s.preds...), p)...)
+	key := p.String()
+	i := sort.SearchStrings(s.keys, key)
+	if i < len(s.keys) && s.keys[i] == key {
+		return s
+	}
+	preds := make([]logic.Formula, 0, len(s.preds)+1)
+	keys := make([]string, 0, len(s.keys)+1)
+	preds = append(append(append(preds, s.preds[:i]...), p), s.preds[i:]...)
+	keys = append(append(append(keys, s.keys[:i]...), key), s.keys[i:]...)
+	return newPredSetSorted(preds, keys)
 }
 
 // Rename applies a variable renaming to every predicate.
