@@ -9,9 +9,12 @@
 GO ?= go
 
 # Report number for bench-json output (BENCH_2.json, BENCH_3.json, ...).
-BENCH_N ?= 2
+BENCH_N ?= 3
 
-.PHONY: all build vet test test-short test-race bench bench-json profile check clean
+# Baseline report that bench-compare diffs against.
+BENCH_BASE ?= BENCH_2.json
+
+.PHONY: all build vet test test-short test-race test-differential bench bench-json bench-compare profile check clean
 
 all: check
 
@@ -37,6 +40,13 @@ test-short: build vet
 test-race:
 	$(GO) test -short -race ./...
 
+# Differential tests for the incremental solving pipeline under the race
+# detector: reused-vs-fresh SAT probes, context-vs-fresh SMT verdicts,
+# fixpoint determinism, and ψ_Prog byte-identity.
+test-differential:
+	$(GO) test -short -race -run 'TestReusedVsFresh|TestSolveAssuming|TestSolveReuse|TestContext|TestFixpointDeterministic|TestFixpointIncremental|TestPsiProg|TestCFPIncremental' \
+		./internal/sat/ ./internal/smt/ ./internal/fixpoint/ ./internal/cbi/
+
 # Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
 # interning/hot-path benchmarks (cache-hit keying, structural equality,
 # compiled fills, lattice search).
@@ -53,13 +63,18 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchtab -json BENCH_$(BENCH_N).json
 
+# Re-run the default suite and print a per-cell speedup table against the
+# baseline report (set BENCH_BASE to diff against another BENCH_N.json).
+bench-compare:
+	$(GO) run ./cmd/benchtab -compare $(BENCH_BASE)
+
 # CPU/heap profiles of the default suite (sequential, so the profile is not
 # dominated by scheduler noise). Inspect with `go tool pprof cpu.prof`.
 profile:
 	$(GO) run ./cmd/benchtab -json /dev/null -parallel 1 -cpuprofile cpu.prof -memprofile mem.prof
 	@echo "wrote cpu.prof and mem.prof; inspect with: $(GO) tool pprof cpu.prof"
 
-check: build vet test test-race
+check: build vet test test-race test-differential
 
 clean:
 	$(GO) clean ./...

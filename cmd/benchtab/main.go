@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchtab [-table 1|2|3|4|5|6] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
-//	         [-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-json FILE] [-compare OLD.json] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -parallel N > 1 the (task, method) cells of each table run
 // concurrently on N workers (default: the number of CPUs); the printed
@@ -14,8 +14,10 @@
 // -json FILE runs the default representative suite and writes a
 // machine-readable report (wall time plus per-cell timings and SMT
 // query/cache-hit counters) to FILE — the BENCH_N.json format tracked by
-// `make bench-json`. -cpuprofile/-memprofile write runtime/pprof profiles
-// covering whatever work the other flags request.
+// `make bench-json`. -compare OLD.json runs the same suite and prints a
+// per-cell speedup table against a previous report instead of (or in
+// addition to) writing one. -cpuprofile/-memprofile write runtime/pprof
+// profiles covering whatever work the other flags request.
 //
 // Figures 4 and 6–9 are histograms over the statistics collected while the
 // requested tables run; asking for them alone runs the Table 4 suite to
@@ -23,6 +25,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +47,7 @@ func main() {
 	junk := flag.String("junk", "10,20,30", "comma-separated junk-predicate counts for figure 5")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of (task,method) cells run concurrently (1 = sequential)")
 	jsonOut := flag.String("json", "", "run the default suite and write a JSON report (BENCH_N.json format) to this file")
+	compare := flag.String("compare", "", "run the default suite and print a per-cell speedup table against this previous -json report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -89,22 +94,36 @@ func main() {
 		}
 	}()
 
-	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
+	if *jsonOut != "" || *compare != "" {
+		var old *bench.Report
+		if *compare != "" {
+			var err error
+			old, err = bench.ReadReport(*compare)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		var buf bytes.Buffer
+		if err := bench.RunJSON(&buf, r, "default", bench.DefaultSuite()); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
-		if err := bench.RunJSON(f, r, "default", bench.DefaultSuite()); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-			os.Exit(1)
+		if *jsonOut != "" {
+			if err := os.WriteFile(*jsonOut, buf.Bytes(), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *jsonOut)
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-			os.Exit(1)
+		if old != nil {
+			var new bench.Report
+			if err := json.Unmarshal(buf.Bytes(), &new); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			bench.WriteComparison(w, old, &new)
 		}
-		fmt.Fprintf(w, "wrote %s\n", *jsonOut)
 		if *table == 0 && *figure == 0 && !*all {
 			return
 		}

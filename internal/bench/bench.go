@@ -70,6 +70,14 @@ type Measurement struct {
 	// cell uses a fresh solver, so these are per-cell, not cumulative).
 	Queries   int64
 	CacheHits int64
+	// Incremental-solving counters: contexts created, probes answered
+	// through a persistent context's assumption interface (these do not
+	// count in Queries), probes that reused persisted lemmas or learnt
+	// clauses, and lattice candidates pruned by unsat cores.
+	Contexts         int64
+	AssumptionProbes int64
+	LemmaReuse       int64
+	CorePruned       int64
 	// Preconditions holds the inferred formulas for Precondition tasks.
 	Preconditions []logic.Formula
 	// Err records a failure to run (distinct from "no invariant found").
@@ -181,6 +189,10 @@ func (r *Runner) runOne(t Task, m core.Method) Measurement {
 		mm.Duration = time.Since(start)
 		mm.Queries = v.Engine().S.NumQueries()
 		mm.CacheHits = v.Engine().S.NumCacheHits()
+		mm.Contexts = v.Engine().S.NumContexts()
+		mm.AssumptionProbes = v.Engine().S.NumAssumptionProbes()
+		mm.LemmaReuse = v.Engine().S.NumLemmaReuseHits()
+		mm.CorePruned = v.Engine().NumCorePruned()
 		done <- result{meas: mm}
 	}()
 	if r.Timeout <= 0 {

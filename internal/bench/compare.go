@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadReport parses a Report previously written by RunJSON (a BENCH_N.json
+// file).
+func ReadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// WriteComparison prints a per-cell speedup table of new against old: one
+// row per (task, property, method) cell present in both reports, with
+// wall-clock ratio, query delta, and a verdict-change marker. Cells present
+// in only one report are listed separately so a suite change is visible.
+func WriteComparison(w io.Writer, old, new *Report) {
+	type key struct{ task, property, method string }
+	oldCells := map[key]CellReport{}
+	for _, c := range old.Cells {
+		oldCells[key{c.Task, c.Property, c.Method}] = c
+	}
+	fmt.Fprintf(w, "%-22s %-14s %-6s %9s %9s %8s %10s %10s %s\n",
+		"task", "property", "method", "old s", "new s", "speedup", "old q", "new q", "verdict")
+	var oldTotal, newTotal float64
+	var matched int
+	for _, c := range new.Cells {
+		k := key{c.Task, c.Property, c.Method}
+		o, ok := oldCells[k]
+		if !ok {
+			continue
+		}
+		matched++
+		delete(oldCells, k)
+		oldTotal += o.Seconds
+		newTotal += c.Seconds
+		speedup := "n/a"
+		if c.Seconds > 0 {
+			speedup = fmt.Sprintf("%.2fx", o.Seconds/c.Seconds)
+		}
+		verdict := "same"
+		if o.Proved != c.Proved {
+			verdict = fmt.Sprintf("CHANGED %v->%v", o.Proved, c.Proved)
+		}
+		fmt.Fprintf(w, "%-22s %-14s %-6s %9.3f %9.3f %8s %10d %10d %s\n",
+			c.Task, c.Property, c.Method, o.Seconds, c.Seconds, speedup, o.Queries, c.Queries, verdict)
+	}
+	for _, c := range new.Cells {
+		k := key{c.Task, c.Property, c.Method}
+		if _, stale := oldCells[k]; !stale && !inReport(old, k.task, k.property, k.method) {
+			fmt.Fprintf(w, "%-22s %-14s %-6s %9s %9.3f %8s %10s %10d new cell\n",
+				c.Task, c.Property, c.Method, "-", c.Seconds, "-", "-", c.Queries)
+		}
+	}
+	for k := range oldCells {
+		fmt.Fprintf(w, "%-22s %-14s %-6s  dropped from suite\n", k.task, k.property, k.method)
+	}
+	if matched > 0 && newTotal > 0 {
+		fmt.Fprintf(w, "\ntotals over %d matched cells: %.2fs -> %.2fs (%.2fx); queries %d -> %d (%+.1f%%)\n",
+			matched, oldTotal, newTotal, oldTotal/newTotal, old.Queries, new.Queries,
+			100*float64(new.Queries-old.Queries)/float64(max64(old.Queries, 1)))
+	}
+	if new.AssumptionProbes > 0 || new.CorePruned > 0 {
+		fmt.Fprintf(w, "incremental: %d assumption probes, %d lattice points core-pruned\n",
+			new.AssumptionProbes, new.CorePruned)
+	}
+}
+
+func inReport(r *Report, task, property, method string) bool {
+	for _, c := range r.Cells {
+		if c.Task == task && c.Property == property && c.Method == method {
+			return true
+		}
+	}
+	return false
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -33,7 +33,13 @@ type CellReport struct {
 	Seconds   float64 `json:"seconds"`
 	Queries   int64   `json:"queries"`
 	CacheHits int64   `json:"cache_hits"`
-	Err       string  `json:"error,omitempty"`
+	// Incremental-solving counters (see Measurement); omitted when zero so
+	// old reports and non-incremental runs stay compact.
+	Contexts         int64  `json:"contexts,omitempty"`
+	AssumptionProbes int64  `json:"assumption_probes,omitempty"`
+	LemmaReuse       int64  `json:"lemma_reuse,omitempty"`
+	CorePruned       int64  `json:"core_pruned,omitempty"`
+	Err              string `json:"error,omitempty"`
 }
 
 // Report is the machine-readable result of a benchmark run (BENCH_N.json).
@@ -46,10 +52,13 @@ type Report struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// CellSeconds is the summed per-cell wall-clock (wall × speedup).
 	CellSeconds float64 `json:"cell_seconds"`
-	// Queries and CacheHits are summed over all cells.
-	Queries   int64        `json:"queries"`
-	CacheHits int64        `json:"cache_hits"`
-	Cells     []CellReport `json:"cells"`
+	// Queries and CacheHits are summed over all cells, as are the
+	// incremental-solving counters.
+	Queries          int64        `json:"queries"`
+	CacheHits        int64        `json:"cache_hits"`
+	AssumptionProbes int64        `json:"assumption_probes,omitempty"`
+	CorePruned       int64        `json:"core_pruned,omitempty"`
+	Cells            []CellReport `json:"cells"`
 }
 
 // RunJSON executes the tasks with the runner and writes a Report to w.
@@ -66,19 +75,25 @@ func RunJSON(w io.Writer, r *Runner, suite string, tasks []Task) error {
 	for _, ms := range results {
 		for _, m := range ms {
 			cell := CellReport{
-				Task:      m.Task,
-				Property:  m.Property,
-				Method:    m.Method.String(),
-				Proved:    m.Proved,
-				Seconds:   m.Duration.Seconds(),
-				Queries:   m.Queries,
-				CacheHits: m.CacheHits,
+				Task:             m.Task,
+				Property:         m.Property,
+				Method:           m.Method.String(),
+				Proved:           m.Proved,
+				Seconds:          m.Duration.Seconds(),
+				Queries:          m.Queries,
+				CacheHits:        m.CacheHits,
+				Contexts:         m.Contexts,
+				AssumptionProbes: m.AssumptionProbes,
+				LemmaReuse:       m.LemmaReuse,
+				CorePruned:       m.CorePruned,
 			}
 			if m.Err != nil {
 				cell.Err = m.Err.Error()
 			}
 			rep.Queries += m.Queries
 			rep.CacheHits += m.CacheHits
+			rep.AssumptionProbes += m.AssumptionProbes
+			rep.CorePruned += m.CorePruned
 			rep.Cells = append(rep.Cells, cell)
 		}
 	}

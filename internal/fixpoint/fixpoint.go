@@ -137,10 +137,20 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 		failIdx int
 		seq     int
 	}
+	// Every candidate is scored against the same per-path VC skeletons, so
+	// each probe goes through the path's persistent incremental context
+	// (falls back to from-scratch solving when the solver is non-incremental).
+	pathValid := func(i int, sigma template.Solution) bool {
+		f := p.PathVCAt(i, sigma)
+		if c := eng.S.ContextFor(p.PathVCSkeleton(i)); c != nil {
+			return c.Valid(f)
+		}
+		return eng.S.Valid(f)
+	}
 	score := func(sigma template.Solution, seq int) scored {
 		s := scored{sigma: sigma, seq: seq, failIdx: -1}
 		for i := range p.Paths() {
-			if !eng.S.Valid(p.PathVCAt(i, sigma)) {
+			if !pathValid(i, sigma) {
 				path := p.Paths()[i]
 				s.fails++
 				if s.fail == nil || (!progressable(*s.fail) && progressable(path)) {

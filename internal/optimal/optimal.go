@@ -16,6 +16,7 @@ package optimal
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/logic"
 	"repro/internal/smt"
@@ -44,7 +45,34 @@ type Engine struct {
 	// hundreds of candidate solutions, and the iterative algorithms re-visit
 	// the same VCs across rounds and (parallel) workers.
 	fillers sync.Map
+
+	// consOnce/consCtx lazily hold one incremental context dedicated to
+	// predicate-set consistency probes: every candidate predicate gets a
+	// selector literal there, and failed conjunctions come back with unsat
+	// cores that prune the lattice search.
+	consOnce sync.Once
+	consCtx  *smt.Context
+
+	// cores accumulates (unknown, predicate-set) combinations proven
+	// inconsistent, shared across negBFS calls: a core killed in one round
+	// keeps killing the same sublattice in every later round. Bounded by
+	// maxStoredCores; corePruned counts candidates skipped because a core
+	// was a subset of them.
+	coreMu     sync.Mutex
+	cores      [][]coreItem
+	corePruned atomic.Int64
 }
+
+// coreItem identifies one (unknown, interned predicate) choice; it doubles
+// as the deduplication key of the negBFS item universe and the persisted
+// representation of unsat cores.
+type coreItem struct {
+	unknown string
+	pred    *logic.IFormula
+}
+
+// maxStoredCores bounds the engine-global core store.
+const maxStoredCores = 1024
 
 // New returns an engine with default bounds.
 func New(s *smt.Solver) *Engine {
@@ -76,9 +104,64 @@ func (e *Engine) Filler(phi logic.Formula) *template.Filler {
 	return v.(*template.Filler)
 }
 
-// valid instantiates φ with σ and asks the SMT solver.
+// valid instantiates φ with σ and asks the SMT solver, routed through the
+// incremental context keyed by the unfilled φ (the skeleton shared by every
+// candidate fill) when one is available.
 func (e *Engine) valid(phi logic.Formula, sigma template.Solution) bool {
-	return e.S.Valid(e.Filler(phi).FillSolution(sigma))
+	f := e.Filler(phi).FillSolution(sigma)
+	if c := e.S.ContextFor(logic.Intern(phi)); c != nil {
+		return c.Valid(f)
+	}
+	return e.S.Valid(f)
+}
+
+// consistencyContext returns the engine's shared context for predicate-set
+// consistency probes (nil when the solver is non-incremental).
+func (e *Engine) consistencyContext() *smt.Context {
+	e.consOnce.Do(func() { e.consCtx = e.S.NewContext() })
+	return e.consCtx
+}
+
+// NumCorePruned returns how many lattice candidates were skipped because a
+// previously extracted unsat core was contained in them.
+func (e *Engine) NumCorePruned() int64 { return e.corePruned.Load() }
+
+// storeCore persists an inconsistent (unknown, predicate-set) combination
+// for reuse by later negBFS calls over the same domain.
+func (e *Engine) storeCore(unknown string, core []logic.Formula) {
+	items := make([]coreItem, len(core))
+	for i, p := range core {
+		items[i] = coreItem{unknown: unknown, pred: logic.Intern(p)}
+	}
+	e.coreMu.Lock()
+	if len(e.cores) < maxStoredCores {
+		e.cores = append(e.cores, items)
+	}
+	e.coreMu.Unlock()
+}
+
+// knownCoreMasks maps every stored core that is fully expressible in the
+// current item universe into that universe's bitmask space.
+func (e *Engine) knownCoreMasks(indexOf map[coreItem]int, width int) []bitmask {
+	e.coreMu.Lock()
+	defer e.coreMu.Unlock()
+	var out []bitmask
+	for _, core := range e.cores {
+		m := newBitmask(width)
+		ok := true
+		for _, it := range core {
+			i, present := indexOf[it]
+			if !present {
+				ok = false
+				break
+			}
+			m[i/64] |= 1 << uint(i%64)
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // taggedPred is one (unknown, predicate) choice in the BFS space.
@@ -227,34 +310,40 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 	// of item indices, so subsumption against already-found solutions is a
 	// word-wise bitmask subset test instead of per-unknown PredSet walks.
 	var items []taggedPred
-	type itemKey struct {
-		unknown string
-		pred    *logic.IFormula
-	}
-	seenItems := map[itemKey]bool{}
+	indexOf := map[coreItem]int{}
 	for _, u := range unknowns {
 		for _, p := range q[u] {
-			k := itemKey{unknown: u, pred: logic.Intern(p)}
-			if seenItems[k] {
+			k := coreItem{unknown: u, pred: logic.Intern(p)}
+			if _, dup := indexOf[k]; dup {
 				continue
 			}
-			seenItems[k] = true
+			indexOf[k] = len(items)
 			items = append(items, taggedPred{unknown: u, pred: p})
 		}
 	}
 	// The base formula is compiled once; each candidate costs one spine
-	// rebuild instead of a full-tree reconstruction.
+	// rebuild instead of a full-tree reconstruction. Probes go through the
+	// incremental context keyed by the unfilled group formula — one
+	// persistent SAT instance absorbs every candidate fill of this group.
 	fl := e.Filler(phi)
+	ctx := e.S.ContextFor(logic.Intern(phi))
+	probe := func(sigma template.Solution) bool {
+		f := fl.FillSolution(sigma)
+		if ctx != nil {
+			return ctx.Valid(f)
+		}
+		return e.S.Valid(f)
+	}
 	// Monotonicity pre-check: if even the full assignment is not valid, no
 	// subset is.
 	full := empty.Clone()
 	for _, it := range items {
 		full[it.unknown] = full[it.unknown].Add(it.pred)
 	}
-	if !e.S.Valid(fl.FillSolution(full)) {
+	if !probe(full) {
 		return nil
 	}
-	if e.S.Valid(fl.FillSolution(empty)) {
+	if probe(empty) {
 		return []template.Solution{empty}
 	}
 
@@ -267,6 +356,32 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 			}
 		}
 		return false
+	}
+	// Unsat cores, as masks over this call's item universe: an inconsistent
+	// predicate subset makes every lattice point containing it inconsistent
+	// too (conjoining predicates only strengthens the set), so a single core
+	// kills its whole superset sublattice without probing. Seeded with cores
+	// extracted by earlier calls over the same domain.
+	coreMasks := e.knownCoreMasks(indexOf, len(items))
+	coreBlocked := func(m bitmask) bool {
+		for _, km := range coreMasks {
+			if km.subsetOf(m) {
+				e.corePruned.Add(1)
+				return true
+			}
+		}
+		return false
+	}
+	maskOfCore := func(unknown string, core []logic.Formula) bitmask {
+		m := newBitmask(len(items))
+		for _, p := range core {
+			i, present := indexOf[coreItem{unknown: unknown, pred: logic.Intern(p)}]
+			if !present {
+				return nil // core predicate outside this universe; unusable here
+			}
+			m[i/64] |= 1 << uint(i%64)
+		}
+		return m
 	}
 
 	type node struct {
@@ -283,7 +398,7 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 			}
 			for i := nd.last + 1; i < len(items); i++ {
 				cm := nd.mask.with(i)
-				if subsumed(cm) {
+				if subsumed(cm) || coreBlocked(cm) {
 					continue
 				}
 				cand := nd.sigma.Clone()
@@ -292,10 +407,19 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 				// they make the template conjunct vacuous, flood the
 				// solution cap, and never appear in the paper's optimal
 				// sets (Example 4). Prune them and all their supersets.
-				if !e.satisfiableSet(cand[items[i].unknown]) {
+				if sat, core := e.satisfiableSet(cand[items[i].unknown]); !sat {
+					if len(core) > 0 {
+						if km := maskOfCore(items[i].unknown, core); km != nil {
+							coreMasks = append(coreMasks, km)
+						}
+						e.storeCore(items[i].unknown, core)
+						if e.Stats != nil {
+							e.Stats.RecordCoreSize(len(core))
+						}
+					}
 					continue
 				}
-				if e.S.Valid(fl.FillSolution(cand)) {
+				if probe(cand) {
 					solutions = append(solutions, cand)
 					solMasks = append(solMasks, cm)
 					if len(solutions) >= e.maxSolutions() {
@@ -335,12 +459,21 @@ func (m bitmask) subsetOf(o bitmask) bool {
 }
 
 // satisfiableSet reports whether the conjunction of a predicate set has a
-// model (answered through the solver's Valid cache).
-func (e *Engine) satisfiableSet(ps template.PredSet) bool {
+// model. It goes through the engine's incremental consistency context first
+// (one selector literal per predicate; inconsistent sets come back with an
+// unsat core over the predicates), falling back to the solver's Valid cache
+// when the context cannot answer exactly. Both paths agree on the verdict;
+// only the context path yields cores.
+func (e *Engine) satisfiableSet(ps template.PredSet) (bool, []logic.Formula) {
 	if ps.Len() <= 1 {
-		return true
+		return true, nil
 	}
-	return !e.S.Valid(logic.Neg(ps.Formula()))
+	if c := e.consistencyContext(); c != nil {
+		if consistent, core, ok := c.Consistent(ps.Preds()); ok {
+			return consistent, core
+		}
+	}
+	return !e.S.Valid(logic.Neg(ps.Formula())), nil
 }
 
 func (e *Engine) recordNegSizes(sols []template.Solution) {

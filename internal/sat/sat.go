@@ -8,6 +8,8 @@
 // the paper).
 package sat
 
+import "sort"
+
 // Lit is a literal: variable v (0-based) with sign. The positive literal of v
 // is 2v, the negative literal is 2v+1.
 type Lit int32
@@ -72,6 +74,14 @@ type watcher struct {
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
+	// MaxLearnts, when > 0, bounds the learnt-clause database: once it
+	// exceeds the (adaptive) bound, the least-active half is deleted and the
+	// bound grows geometrically. Zero keeps every learnt clause — the
+	// historical behavior, which one-shot solving relies on for
+	// reproducibility; persistent incremental contexts set a bound so they
+	// don't grow without limit across thousands of probes.
+	MaxLearnts int
+
 	clauses  []*clause
 	learnts  []*clause
 	watches  [][]watcher // indexed by literal
@@ -88,12 +98,17 @@ type Solver struct {
 	order    *varHeap
 	ok       bool // false once an empty clause is added
 
+	conflict   []Lit // failed-assumption core of the last SolveAssuming
+	maxLearnts int   // current adaptive reduceDB bound (from MaxLearnts)
+
 	// Stats counts solver work for diagnostics and the paper's figures.
 	Stats struct {
 		Conflicts    int64
 		Decisions    int64
 		Propagations int64
 		Restarts     int64
+		Reduces      int64 // reduceDB sweeps
+		Deleted      int64 // learnt clauses deleted by reduceDB
 	}
 }
 
@@ -109,6 +124,19 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 
 // NumClauses returns the number of problem (non-learnt) clauses added.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learnt clauses currently retained.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Clauses returns a copy of the problem (non-learnt) clauses, in the order
+// they were added. Useful for comparing two instances structurally.
+func (s *Solver) Clauses() [][]Lit {
+	out := make([][]Lit, len(s.clauses))
+	for i, c := range s.clauses {
+		out[i] = append([]Lit(nil), c.lits...)
+	}
+	return out
+}
 
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
@@ -288,6 +316,9 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	curLevel := len(s.trailLim)
 
 	for {
+		if confl.learnt {
+			s.bumpClause(confl)
+		}
 		for _, q := range confl.lits {
 			if p != -1 && q == p {
 				continue
@@ -346,6 +377,59 @@ func (s *Solver) bumpVar(v int) {
 
 func (s *Solver) decayVar() { s.varInc /= 0.95 }
 
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= 0.999 }
+
+// locked reports whether c is the propagation reason of its asserting
+// literal; locked clauses must survive reduceDB.
+func (s *Solver) locked(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.assigns[v] != unassigned && s.reason[v] == c
+}
+
+// reduceDB deletes the least-active half of the learnt clauses, keeping
+// binary and locked ones. Deleted clauses are removed from the watch lists
+// immediately (propagate also skips stragglers lazily), so a persistent
+// incremental solver does not accumulate dead clause memory across probes.
+func (s *Solver) reduceDB() {
+	s.Stats.Reduces++
+	sorted := append([]*clause(nil), s.learnts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].act < sorted[j].act })
+	for _, c := range sorted[:len(sorted)/2] {
+		if len(c.lits) == 2 || s.locked(c) {
+			continue
+		}
+		c.deleted = true
+		s.Stats.Deleted++
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !c.deleted {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	for l := range s.watches {
+		ws := s.watches[l]
+		out := ws[:0]
+		for _, w := range ws {
+			if !w.c.deleted {
+				out = append(out, w)
+			}
+		}
+		s.watches[l] = out
+	}
+}
+
 func (s *Solver) pickBranchVar() int {
 	for s.order.size() > 0 {
 		v := s.order.pop()
@@ -358,19 +442,83 @@ func (s *Solver) pickBranchVar() int {
 
 // Solve searches for a satisfying assignment under the given assumptions.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	st, _ := s.SolveAssuming(assumptions...)
+	return st
+}
+
+// SolveAssuming is Solve with final-conflict analysis: when the verdict is
+// Unsat because of the assumptions, the returned core is the subset of the
+// assumption literals used to derive the conflict — the instance implies
+// ¬(∧ core), so any superset of the core is also unsatisfiable. An Unsat
+// verdict with a nil core means the instance is unsatisfiable regardless of
+// the assumptions.
+//
+// Assumption-conflict state from a previous call (the stored core and any
+// partially applied assumption trail) is reset on entry and the trail is
+// rewound to level 0 before returning an Unsat verdict, so one solver can be
+// reused across arbitrary Sat/Unsat/Sat probe sequences.
+func (s *Solver) SolveAssuming(assumptions ...Lit) (Status, []Lit) {
+	s.conflict = nil
 	if !s.ok {
-		return Unsat
+		return Unsat, nil
 	}
 	s.cancelUntil(0)
 	maxConflicts := int64(100)
 	for {
 		st := s.search(maxConflicts, assumptions)
 		if st != Unknown {
-			return st
+			if st == Unsat {
+				s.cancelUntil(0)
+			}
+			return st, s.conflict
 		}
 		maxConflicts = maxConflicts * 3 / 2
 		s.Stats.Restarts++
 	}
+}
+
+// analyzeFinal computes the failed-assumption core after assumption a was
+// found falsified: starting from a's variable it walks the trail top-down,
+// expanding propagated variables through their reason clauses and collecting
+// decision variables — which, at the moment an assumption conflicts, are all
+// assumption decisions (branch decisions only exist above the last
+// assumption level and are backtracked before an assumption can turn false).
+// Level-0 facts are implied by the instance alone and excluded.
+func (s *Solver) analyzeFinal(a Lit) []Lit {
+	out := []Lit{a}
+	if len(s.trailLim) == 0 {
+		return out
+	}
+	seen := map[int]bool{a.Var(): true}
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			if s.level[v] > 0 {
+				out = append(out, s.trail[i])
+			}
+		} else {
+			for _, q := range s.reason[v].lits {
+				if q.Var() != v && s.level[q.Var()] > 0 {
+					seen[q.Var()] = true
+				}
+			}
+		}
+		seen[v] = false
+	}
+	// The falsified assumption can itself appear as an assumption decision
+	// (e.g. contradictory assumption lists); dedupe by literal.
+	uniq := out[:0]
+	seenLit := map[Lit]bool{}
+	for _, l := range out {
+		if !seenLit[l] {
+			seenLit[l] = true
+			uniq = append(uniq, l)
+		}
+	}
+	return uniq
 }
 
 func (s *Solver) search(maxConflicts int64, assumptions []Lit) Status {
@@ -395,6 +543,16 @@ func (s *Solver) search(maxConflicts int64, assumptions []Lit) Status {
 				s.uncheckedEnqueue(learnt[0], c)
 			}
 			s.decayVar()
+			s.decayClause()
+			if s.MaxLearnts > 0 {
+				if s.maxLearnts < s.MaxLearnts {
+					s.maxLearnts = s.MaxLearnts
+				}
+				if len(s.learnts) >= s.maxLearnts {
+					s.reduceDB()
+					s.maxLearnts = s.maxLearnts*11/10 + 16
+				}
+			}
 			continue
 		}
 		if conflicts >= maxConflicts {
@@ -408,7 +566,10 @@ func (s *Solver) search(maxConflicts int64, assumptions []Lit) Status {
 			case vTrue:
 				continue
 			case vFalse:
-				return Unsat // assumption conflicts; coarse but sufficient here
+				// The assumption is falsified by the instance plus the
+				// assumptions already applied; extract which ones.
+				s.conflict = s.analyzeFinal(a)
+				return Unsat
 			default:
 				next = a
 			}

@@ -1,0 +1,434 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lia"
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+// Context is a persistent incremental solving context, keyed by a compiled
+// VC skeleton: the iterative algorithms decide thousands of near-identical
+// queries — the same skeleton with a different candidate predicate fill each
+// time — and a Context keeps one SAT instance plus theory state alive across
+// all of them instead of rebuilding both per probe.
+//
+// What persists, and why it is sound to share it:
+//
+//   - Atom interning (grounder): an inequality atom means the same thing in
+//     every probe, so atoms keep their SAT variable across probes.
+//   - Encoded skeleton structure (encMemo): the one-sided Tseitin encoding of
+//     a ground subformula never forces anything unless its root literal is
+//     implied, so clauses from earlier probes are vacuously satisfiable in
+//     later ones — each probe asserts only its own root, as an assumption.
+//   - Theory lemmas (DPLL(T) blocking clauses) and Ackermann constraints:
+//     both are theory-valid facts about the atoms, true in every integer
+//     model, so asserting them globally can never flip a verdict.
+//   - Learnt clauses: resolvents of the above, bounded by the SAT solver's
+//     reduceDB.
+//
+// Verdict identity with the from-scratch path holds because the theory check
+// is exact on both sides: the context only operates while every interned atom
+// is a difference constraint (Bellman–Ford is sound and complete over the
+// integers there) and goes dormant — falling back to Solver.Valid — the
+// moment an atom leaves the fragment or a resource bound would make the
+// incremental answer approximate where the fresh one is not.
+type Context struct {
+	s  *Solver
+	mu sync.Mutex
+
+	// dead marks the context dormant (an atom left the difference fragment
+	// or the Ackermann pair budget was exhausted); every later probe falls
+	// back to the parent solver's from-scratch path.
+	dead bool
+
+	sat *sat.Solver
+	g   *grounder
+	enc *encoder
+
+	// encMemo maps an interned ground (sub)formula to its encoded literal:
+	// repeated skeleton structure costs one pointer-keyed map probe per
+	// probe instead of a full ground-and-encode pass.
+	encMemo map[*logic.IFormula]sat.Lit
+
+	// selOf memoizes the selector literal of an interned predicate for
+	// Consistent probes; selBad marks predicates the context cannot encode
+	// exactly (quantified after normalization).
+	selOf  map[*logic.IFormula]sat.Lit
+	selBad map[*logic.IFormula]bool
+
+	// emitted[sym] is how many occurrences of sym are already pairwise
+	// covered by asserted Ackermann constraints; pairCount is the running
+	// total, checked against Options.MaxAckermannPairs.
+	emitted   map[string]int
+	pairCount int
+
+	// Dense theory-check state over the context's full atom set: atomVars[i]
+	// is the SAT variable of grounder atom i, diff the preprocessed
+	// Bellman–Ford checker over all atoms, rebuilt whenever the set grows.
+	atomVars []int
+	diff     *lia.DiffChecker
+	assign   []bool
+	lits     []sat.Lit
+
+	lemmas int // persisted theory lemmas (DPLL(T) blocking clauses)
+}
+
+const (
+	// ctxMaxLearnts bounds the persistent SAT instance's learnt database
+	// (activity-based reduceDB kicks in beyond it).
+	ctxMaxLearnts = 4000
+	// ctxMaxVars recycles a context once probe-local gate variables
+	// accumulate past this bound; a recycled context restarts empty, which
+	// is always sound (it is exactly a fresh context).
+	ctxMaxVars = 200000
+)
+
+func (s *Solver) newContext() *Context {
+	s.ctxCreated.Add(1)
+	c := &Context{s: s}
+	c.reset()
+	return c
+}
+
+func (c *Context) reset() {
+	c.sat = sat.New()
+	c.sat.MaxLearnts = ctxMaxLearnts
+	c.g = newGrounder()
+	c.enc = &encoder{s: c.sat, atomVar: map[int]int{}}
+	c.encMemo = map[*logic.IFormula]sat.Lit{}
+	c.selOf = map[*logic.IFormula]sat.Lit{}
+	c.selBad = map[*logic.IFormula]bool{}
+	c.emitted = map[string]int{}
+	c.pairCount = 0
+	c.atomVars = nil
+	c.diff = nil
+	c.assign = nil
+	c.lits = nil
+	c.lemmas = 0
+}
+
+// Valid mirrors Solver.Valid — same memo table, same trivial short-circuits,
+// same conservative treatment of Stop — but decides cache misses through the
+// persistent context: the probe's ground formula is encoded into the shared
+// SAT instance and solved under a single assumption literal, reusing learnt
+// clauses, theory lemmas, Ackermann constraints, and the difference-fragment
+// preprocessing of all earlier probes. Falls back to the from-scratch
+// decision when the context cannot answer exactly (dormant context or lock
+// contention); verdicts are identical either way.
+func (c *Context) Valid(f logic.Formula) bool {
+	if v, ok := logic.TrivialVerdict(f); ok {
+		return v
+	}
+	n := logic.Intern(f)
+	e, hit := c.s.cache.lookupOrClaim(n)
+	if hit {
+		<-e.done
+		c.s.cacheHits.Add(1)
+		return e.val
+	}
+	start := time.Now()
+	var v bool
+	sn := n.Simplified()
+	if b, ok := sn.Formula().(logic.Bool); ok {
+		v = b.Val
+		c.s.queries.Add(1)
+	} else if ground, done, gv := c.s.groundForm(sn.Negated().Formula()); done {
+		v = !gv
+		c.s.queries.Add(1)
+	} else if satisfiable, ok := c.tryDecide(ground); ok {
+		v = !satisfiable
+		c.s.ctxProbes.Add(1)
+	} else {
+		v = !c.s.decideGround(ground)
+		c.s.queries.Add(1)
+	}
+	c.s.stats.RecordQuery(time.Since(start))
+	e.settle(v)
+	if c.s.opts.Stop != nil && c.s.opts.Stop() {
+		// Same rule as Solver.Valid: an abandoned, conservative verdict must
+		// not be memoized as real.
+		c.s.cache.forget(n, e)
+	}
+	return v
+}
+
+// tryDecide decides satisfiability of a ground formula incrementally.
+// ok=false means the context could not answer exactly and the caller must
+// take the from-scratch path.
+func (c *Context) tryDecide(ground logic.Formula) (satisfiable, ok bool) {
+	if !c.mu.TryLock() {
+		return false, false
+	}
+	defer c.mu.Unlock()
+	if c.dead {
+		return false, false
+	}
+	if c.sat.NumVars() > ctxMaxVars {
+		c.reset()
+	}
+	root := c.encNode(ground)
+	if !c.emitAckermann() || !c.syncAtoms() {
+		c.dead = true
+		return false, false
+	}
+	if c.lemmas > 0 || c.sat.NumLearnts() > 0 {
+		c.s.lemmaReuse.Add(1)
+	}
+	v, _ := c.probeLoop(root)
+	return v, true
+}
+
+// Consistent reports whether the conjunction of preds has a model. When it
+// does not, core is a subset of preds whose conjunction is already
+// unsatisfiable — and since conjoining more predicates only strengthens the
+// formula, any superset of the core is unsatisfiable too, which is what lets
+// the lattice search kill whole sublattices per core. ok=false means the
+// context could not answer exactly (a predicate normalizes to a quantified
+// formula, dormant context, or lock contention) and the caller must fall
+// back to the from-scratch path.
+//
+// Each distinct predicate becomes one selector literal (its encoded root),
+// probes are SolveAssuming calls over the selected literals, and the SAT
+// core maps back to predicate identities through the selector table.
+func (c *Context) Consistent(preds []logic.Formula) (consistent bool, core []logic.Formula, ok bool) {
+	if !c.mu.TryLock() {
+		return false, nil, false
+	}
+	defer c.mu.Unlock()
+	if c.dead {
+		return false, nil, false
+	}
+	if c.sat.NumVars() > ctxMaxVars {
+		c.reset()
+	}
+	assumps := make([]sat.Lit, 0, len(preds))
+	owner := make(map[sat.Lit]logic.Formula, len(preds))
+	for _, p := range preds {
+		l, good := c.selector(p)
+		if !good {
+			return false, nil, false
+		}
+		if _, dup := owner[l]; !dup {
+			owner[l] = p
+			assumps = append(assumps, l)
+		}
+	}
+	if !c.emitAckermann() || !c.syncAtoms() {
+		c.dead = true
+		return false, nil, false
+	}
+	if c.lemmas > 0 || c.sat.NumLearnts() > 0 {
+		c.s.lemmaReuse.Add(1)
+	}
+	c.s.ctxProbes.Add(1)
+	v, satCore := c.probeLoop(assumps...)
+	if v {
+		return true, nil, true
+	}
+	for _, l := range satCore {
+		if p, isSel := owner[l]; isSel {
+			core = append(core, p)
+		}
+	}
+	return false, core, true
+}
+
+// selector returns the literal asserting pred's normalized ground encoding.
+// good=false when the predicate normalizes to a quantified formula, which
+// the per-predicate encoding cannot capture exactly (instantiation terms
+// would depend on the rest of the conjunction).
+func (c *Context) selector(p logic.Formula) (sat.Lit, bool) {
+	n := logic.Intern(p)
+	if c.selBad[n] {
+		return 0, false
+	}
+	if l, ok := c.selOf[n]; ok {
+		return l, true
+	}
+	nf := n.Normalized(normalizeForSolving).Formula()
+	if b, ok := nf.(logic.Bool); ok {
+		l := c.constLit(b.Val)
+		c.selOf[n] = l
+		return l, true
+	}
+	if len(boundVarNames(nf)) > 0 {
+		c.selBad[n] = true
+		return 0, false
+	}
+	l := c.encNode(nf)
+	c.selOf[n] = l
+	return l, true
+}
+
+// encNode encodes a ground formula into the persistent instance (one-sided
+// Tseitin, as in the from-scratch encoder) and memoizes the literal per
+// interned node, so repeated structure across probes is shared.
+func (c *Context) encNode(f logic.Formula) sat.Lit {
+	n := logic.Intern(f)
+	if l, ok := c.encMemo[n]; ok {
+		return l
+	}
+	var l sat.Lit
+	switch f := f.(type) {
+	case logic.Bool:
+		l = c.constLit(f.Val)
+	case logic.Atom:
+		l = c.enc.encode(c.g.atomProp(f))
+	case logic.Not:
+		a, ok := f.F.(logic.Atom)
+		if !ok {
+			panic("smt: non-atomic negation in ground formula")
+		}
+		l = c.enc.encode(c.g.atomProp(logic.Atom{Op: a.Op.Negate(), X: a.X, Y: a.Y}))
+	case logic.Implies:
+		a, ok1 := f.A.(logic.Atom)
+		b, ok2 := f.B.(logic.Atom)
+		if !ok1 || !ok2 {
+			panic("smt: implication survived NNF")
+		}
+		na := c.enc.encode(c.g.atomProp(logic.Atom{Op: a.Op.Negate(), X: a.X, Y: a.Y}))
+		nb := c.enc.encode(c.g.atomProp(b))
+		gl := sat.MkLit(c.sat.NewVar(), false)
+		c.sat.AddClause(gl.Not(), na, nb)
+		l = gl
+	case logic.And:
+		children := make([]sat.Lit, len(f.Fs))
+		for i, h := range f.Fs {
+			children[i] = c.encNode(h)
+		}
+		gl := sat.MkLit(c.sat.NewVar(), false)
+		for _, cl := range children {
+			c.sat.AddClause(gl.Not(), cl)
+		}
+		l = gl
+	case logic.Or:
+		clause := make([]sat.Lit, 1, len(f.Fs)+1)
+		for _, h := range f.Fs {
+			clause = append(clause, c.encNode(h))
+		}
+		gl := sat.MkLit(c.sat.NewVar(), false)
+		clause[0] = gl.Not()
+		c.sat.AddClause(clause...)
+		l = gl
+	default:
+		panic(fmt.Sprintf("smt: unexpected ground formula %T (%s)", f, f))
+	}
+	c.encMemo[n] = l
+	return l
+}
+
+func (c *Context) constLit(v bool) sat.Lit {
+	l := c.enc.constTrue()
+	if !v {
+		l = l.Not()
+	}
+	return l
+}
+
+// emitAckermann asserts functional-consistency constraints for application
+// occurrences recorded since the last probe, pairing each new occurrence
+// with every earlier occurrence of its symbol. The constraints are
+// theory-valid — any model extends to an assignment of all application
+// variables respecting functionality — so asserting them globally never
+// changes a probe's verdict. Reports false when the cumulative pair budget
+// is exhausted (the fresh path's per-probe cap could then diverge from the
+// context's cumulative one, so the context goes dormant instead of guessing).
+func (c *Context) emitAckermann() bool {
+	syms := make([]string, 0, len(c.g.occs))
+	for s, os := range c.g.occs {
+		if len(os) > c.emitted[s] {
+			syms = append(syms, s)
+		}
+	}
+	sort.Strings(syms)
+	for _, s := range syms {
+		os := c.g.occs[s]
+		for j := c.emitted[s]; j < len(os); j++ {
+			for i := 0; i < j; i++ {
+				if c.pairCount >= c.s.opts.MaxAckermannPairs {
+					return false
+				}
+				c.pairCount++
+				// (args_i = args_j) ⇒ v_i = v_j, as ∨_k args differ ∨ equal.
+				var disj []prop
+				for k := range os[i].args {
+					disj = append(disj, c.g.relProp(logic.Neq, os[i].args[k], os[j].args[k]))
+				}
+				disj = append(disj, c.g.relProp(logic.Eq, logic.V(os[i].v), logic.V(os[j].v)))
+				c.sat.AddClause(c.enc.encode(mkOr(disj...)))
+			}
+		}
+		c.emitted[s] = len(os)
+	}
+	return true
+}
+
+// syncAtoms extends the dense atom ↔ SAT-variable mapping and rebuilds the
+// difference checker to cover every interned atom. Reports false when an
+// atom falls outside the difference fragment: there the theory fallback is
+// only approximate, and running it over the context's full atom set could
+// diverge from the fresh path's per-probe set, so the context goes dormant.
+func (c *Context) syncAtoms() bool {
+	if len(c.atomVars) == len(c.g.lins) {
+		return true
+	}
+	for i := len(c.atomVars); i < len(c.g.lins); i++ {
+		v, ok := c.enc.atomVar[i]
+		if !ok {
+			// Interned but never encoded (constant-eliminated branch); it
+			// still needs a variable so the model covers the full atom set.
+			v = c.sat.NewVar()
+			c.enc.atomVar[i] = v
+		}
+		c.atomVars = append(c.atomVars, v)
+	}
+	d, ok := lia.NewDiffChecker(c.g.lins)
+	if !ok {
+		return false
+	}
+	c.diff = d
+	c.assign = make([]bool, len(c.atomVars))
+	c.lits = make([]sat.Lit, len(c.atomVars))
+	return true
+}
+
+// probeLoop runs the DPLL(T) loop under the given assumptions against the
+// persistent instance: SAT model → exact theory check over the full atom set
+// → blocking lemma, until a theory-consistent model or propositional unsat.
+// Lemmas persist — they are valid facts about the atoms, shared by every
+// later probe. On unsat the failed-assumption core is returned.
+func (c *Context) probeLoop(assumps ...sat.Lit) (satisfiable bool, core []sat.Lit) {
+	for iter := 0; iter < c.s.opts.MaxTheoryIterations; iter++ {
+		if c.s.opts.Stop != nil && c.s.opts.Stop() {
+			return true, nil // conservative, as in decideGround
+		}
+		st, unsatCore := c.sat.SolveAssuming(assumps...)
+		if st == sat.Unsat {
+			return false, unsatCore
+		}
+		for k, v := range c.atomVars {
+			val := c.sat.Value(v)
+			c.assign[k] = val
+			c.lits[k] = sat.MkLit(v, !val)
+		}
+		res := c.diff.Check(c.assign)
+		if res.Sat {
+			return true, nil
+		}
+		blocking := make([]sat.Lit, 0, len(res.Conflict))
+		for _, ci := range res.Conflict {
+			blocking = append(blocking, c.lits[ci].Not())
+		}
+		if !c.sat.AddClause(blocking...) {
+			return false, nil
+		}
+		c.lemmas++
+	}
+	// Resource bound hit: conservative "satisfiable", as in decideGround.
+	return true, nil
+}

@@ -1,0 +1,218 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// freshVerdict decides f with a brand-new non-incremental solver, so no
+// context, cache, or learnt state can leak into the reference answer.
+func freshVerdict(f logic.Formula) bool {
+	return NewSolver(Options{NoIncremental: true}).Valid(f)
+}
+
+// genDiffAtom builds a random atom inside the difference fragment
+// (x − y ▷◁ k or x ▷◁ k, possibly through an array select), which is where
+// every benchmark VC lands and hence where the incremental path stays live.
+func genDiffAtom(rng *rand.Rand) logic.Formula {
+	vars := []string{"a", "b", "c", "d"}
+	term := func() logic.Term {
+		v := logic.Term(logic.V(vars[rng.Intn(len(vars))]))
+		if rng.Intn(4) == 0 {
+			v = logic.Sel(logic.AV("A"), v)
+		}
+		return v
+	}
+	ops := []logic.RelOp{logic.Eq, logic.Neq, logic.Lt, logic.Le, logic.Gt, logic.Ge}
+	lhs := term()
+	rhs := logic.Term(logic.I(int64(rng.Intn(5) - 2)))
+	if rng.Intn(2) == 0 {
+		rhs = logic.Plus(term(), rhs)
+	}
+	return logic.Rel(ops[rng.Intn(len(ops))], lhs, rhs)
+}
+
+// genDiffFormula combines difference atoms with ∧/∨/¬ only.
+func genDiffFormula(rng *rand.Rand, depth int) logic.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return genDiffAtom(rng)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return logic.Conj(genDiffFormula(rng, depth-1), genDiffFormula(rng, depth-1))
+	case 1:
+		return logic.Disj(genDiffFormula(rng, depth-1), genDiffFormula(rng, depth-1))
+	default:
+		return logic.Neg(genDiffFormula(rng, depth-1))
+	}
+}
+
+// TestContextVsFreshRandomGround cross-checks a long-lived Context against
+// from-scratch solving on random ground probes: the persistent instance
+// accumulates encodings, Ackermann constraints, theory lemmas, and learnt
+// clauses across probes, and every verdict must still match a fresh solver's.
+func TestContextVsFreshRandomGround(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSolver(Options{})
+	ctx := s.NewContext()
+	if ctx == nil {
+		t.Fatal("NewContext returned nil on an incremental solver")
+	}
+	for probe := 0; probe < 300; probe++ {
+		f := genDiffFormula(rng, 3)
+		got := ctx.Valid(f)
+		want := freshVerdict(f)
+		if got != want {
+			t.Fatalf("probe %d: context=%v fresh=%v on %v", probe, got, want, f)
+		}
+	}
+	if s.NumAssumptionProbes() == 0 {
+		t.Error("no probe went through the incremental path")
+	}
+}
+
+// TestContextMixedFragmentFallback: probes that leave the difference fragment
+// turn the context dormant; it must keep answering (via fallback) with the
+// from-scratch verdict for the rest of its life.
+func TestContextMixedFragmentFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSolver(Options{})
+	ctx := s.NewContext()
+	for probe := 0; probe < 150; probe++ {
+		f := genGroundFormula(rng, 3) // includes a+b-style non-difference atoms
+		got := ctx.Valid(f)
+		want := freshVerdict(f)
+		if got != want {
+			t.Fatalf("probe %d: context=%v fresh=%v on %v", probe, got, want, f)
+		}
+	}
+}
+
+// TestContextVsFreshSkeletonFills mimics the fixpoint workload: one VC
+// skeleton, thousands of candidate predicate fills. The repeated structure
+// must hit the encoding memo while verdicts stay identical to from-scratch.
+func TestContextVsFreshSkeletonFills(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pool := make([]logic.Formula, 12)
+	for i := range pool {
+		pool[i] = genDiffAtom(rng)
+	}
+	pick := func() logic.Formula {
+		n := 1 + rng.Intn(3)
+		fs := make([]logic.Formula, n)
+		for i := range fs {
+			fs[i] = pool[rng.Intn(len(pool))]
+		}
+		return logic.Conj(fs...)
+	}
+	// Fixed "transition relation" shared by every probe, as a compiled VC
+	// skeleton would be.
+	trans := logic.Conj(
+		logic.Rel(logic.Le, logic.V("a"), logic.V("b")),
+		logic.Rel(logic.Lt, logic.V("b"), logic.Plus(logic.V("c"), logic.I(1))),
+	)
+	s := NewSolver(Options{})
+	ctx := s.NewContext()
+	for probe := 0; probe < 250; probe++ {
+		vc := logic.Imp(logic.Conj(pick(), trans), pick())
+		got := ctx.Valid(vc)
+		want := freshVerdict(vc)
+		if got != want {
+			t.Fatalf("probe %d: context=%v fresh=%v on %v", probe, got, want, vc)
+		}
+	}
+	if s.NumAssumptionProbes() == 0 {
+		t.Error("no probe went through the incremental path")
+	}
+	if s.NumLemmaReuseHits() == 0 {
+		t.Error("no probe reused persisted lemmas or learnt clauses")
+	}
+}
+
+// TestContextConsistentDifferential checks selector-based consistency probes
+// against from-scratch satisfiability of the conjunction, and that every
+// reported core is sound: the core's own conjunction must already be
+// unsatisfiable (hence so is any superset — the pruning invariant).
+func TestContextConsistentDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	pool := make([]logic.Formula, 16)
+	for i := range pool {
+		pool[i] = genDiffAtom(rng)
+	}
+	s := NewSolver(Options{})
+	ctx := s.NewContext()
+	decided, unsats := 0, 0
+	for probe := 0; probe < 300; probe++ {
+		n := 1 + rng.Intn(5)
+		preds := make([]logic.Formula, n)
+		for i := range preds {
+			preds[i] = pool[rng.Intn(len(pool))]
+		}
+		consistent, core, ok := ctx.Consistent(preds)
+		if !ok {
+			continue
+		}
+		decided++
+		want := NewSolver(Options{NoIncremental: true}).Satisfiable(logic.Conj(preds...))
+		if consistent != want {
+			t.Fatalf("probe %d: context consistent=%v fresh satisfiable=%v on %v",
+				probe, consistent, want, preds)
+		}
+		if !consistent {
+			unsats++
+			if len(core) == 0 {
+				t.Fatalf("probe %d: inconsistent conjunction with empty core: %v", probe, preds)
+			}
+			if NewSolver(Options{NoIncremental: true}).Satisfiable(logic.Conj(core...)) {
+				t.Fatalf("probe %d: core %v is satisfiable from scratch", probe, core)
+			}
+		}
+	}
+	if decided == 0 {
+		t.Fatal("context decided no consistency probe")
+	}
+	if unsats == 0 {
+		t.Log("no inconsistent conjunction generated; core audit vacuous this seed")
+	}
+}
+
+// TestContextQuantifiedFallback: probes whose negation stays quantified after
+// instantiation cannot go through the persistent instance, but the context
+// must still answer them (via fallback) with the from-scratch verdict.
+func TestContextQuantifiedFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := NewSolver(Options{})
+	ctx := s.NewContext()
+	for probe := 0; probe < 60; probe++ {
+		f := genBoundedQuantFormula(rng)
+		got := ctx.Valid(f)
+		want := freshVerdict(f)
+		if got != want {
+			t.Fatalf("probe %d: context=%v fresh=%v on %v", probe, got, want, f)
+		}
+	}
+}
+
+// TestContextForRegistry: same skeleton key returns the same context; the
+// NoIncremental escape hatch returns nil from both constructors.
+func TestContextForRegistry(t *testing.T) {
+	s := NewSolver(Options{})
+	key := logic.Intern(logic.Rel(logic.Le, logic.V("a"), logic.V("b")))
+	c1 := s.ContextFor(key)
+	c2 := s.ContextFor(key)
+	if c1 == nil || c1 != c2 {
+		t.Fatalf("ContextFor not stable for one key: %p vs %p", c1, c2)
+	}
+	if s.NumContexts() != 1 {
+		t.Errorf("NumContexts = %d, want 1", s.NumContexts())
+	}
+	off := NewSolver(Options{NoIncremental: true})
+	if off.ContextFor(key) != nil || off.NewContext() != nil {
+		t.Error("NoIncremental solver should not hand out contexts")
+	}
+	if off.Incremental() {
+		t.Error("Incremental() should be false under NoIncremental")
+	}
+}

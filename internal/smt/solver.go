@@ -35,6 +35,11 @@ type Options struct {
 	// true abandons the query with a conservative "satisfiable" answer
 	// (Valid reports false), releasing the CPU promptly after a timeout.
 	Stop func() bool
+	// NoIncremental disables persistent assumption-based contexts:
+	// ContextFor and NewContext return nil and every probe takes the
+	// from-scratch path. Used by differential tests and A/B benchmarking;
+	// verdicts are identical either way.
+	NoIncremental bool
 }
 
 // Normalize returns o with defaults applied.
@@ -71,7 +76,19 @@ type Solver struct {
 
 	queries   atomic.Int64 // validity checks actually decided (cache misses)
 	cacheHits atomic.Int64 // validity checks answered from the memo table
+
+	// Incremental-context registry (one persistent Context per compiled VC
+	// skeleton) and its counters.
+	ctxMu      sync.RWMutex
+	ctxs       map[*logic.IFormula]*Context
+	ctxCreated atomic.Int64 // contexts created (registry + standalone)
+	ctxProbes  atomic.Int64 // probes decided incrementally under assumptions
+	lemmaReuse atomic.Int64 // probes that reused learnt clauses or theory lemmas
 }
+
+// maxContexts bounds the per-skeleton registry; beyond it ContextFor returns
+// nil and callers take the from-scratch path.
+const maxContexts = 1024
 
 // NewSolver returns a solver with the given options.
 func NewSolver(opts Options) *Solver {
@@ -91,6 +108,64 @@ func (s *Solver) NumQueries() int64 { return s.queries.Load() }
 // NumCacheHits returns how many validity checks were answered from the memo
 // table, including singleflight waiters that rode on a concurrent decision.
 func (s *Solver) NumCacheHits() int64 { return s.cacheHits.Load() }
+
+// NumContexts returns how many incremental contexts were created.
+func (s *Solver) NumContexts() int64 { return s.ctxCreated.Load() }
+
+// NumAssumptionProbes returns how many probes were decided incrementally
+// (under assumptions in a persistent context) instead of from scratch. Every
+// cache-missing Valid call through a context increments exactly one of
+// NumQueries and NumAssumptionProbes.
+func (s *Solver) NumAssumptionProbes() int64 { return s.ctxProbes.Load() }
+
+// NumLemmaReuseHits returns how many incremental probes started against a
+// SAT instance that already held learnt clauses or persisted theory lemmas
+// from earlier probes.
+func (s *Solver) NumLemmaReuseHits() int64 { return s.lemmaReuse.Load() }
+
+// Incremental reports whether persistent assumption-based contexts are
+// enabled (Options.NoIncremental unset).
+func (s *Solver) Incremental() bool { return !s.opts.NoIncremental }
+
+// ContextFor returns the persistent incremental context keyed by a compiled
+// VC skeleton, creating it on first use. Returns nil when incremental solving
+// is disabled or the registry is full; callers must then fall back to Valid.
+func (s *Solver) ContextFor(key *logic.IFormula) *Context {
+	if s.opts.NoIncremental || key == nil {
+		return nil
+	}
+	s.ctxMu.RLock()
+	c := s.ctxs[key]
+	s.ctxMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	if c = s.ctxs[key]; c != nil {
+		return c
+	}
+	if s.ctxs == nil {
+		s.ctxs = map[*logic.IFormula]*Context{}
+	}
+	if len(s.ctxs) >= maxContexts {
+		return nil
+	}
+	c = s.newContext()
+	s.ctxs[key] = c
+	return c
+}
+
+// NewContext returns a standalone incremental context outside the
+// per-skeleton registry (nil when incremental solving is disabled). Used for
+// predicate-consistency probing, where the "skeleton" is the predicate
+// vocabulary itself.
+func (s *Solver) NewContext() *Context {
+	if s.opts.NoIncremental {
+		return nil
+	}
+	return s.newContext()
+}
 
 // Valid reports whether f is valid (true in every model). The answer true is
 // always sound; false may also mean "not provable within the instantiation
@@ -151,13 +226,27 @@ func normalizeForSolving(f logic.Formula) logic.Formula {
 // instantiation: "false" (unsat) is sound; "true" is exact for ground
 // formulas and best-effort for quantified ones.
 func (s *Solver) Satisfiable(f logic.Formula) bool {
+	ground, done, v := s.groundForm(f)
+	if done {
+		return v
+	}
+	return s.decideGround(ground)
+}
+
+// groundForm runs the pure preprocessing pipeline shared by the from-scratch
+// and incremental paths: normalization followed by bounded quantifier
+// instantiation. It returns the ground formula to decide, or done=true with
+// the syntactic verdict. The result is a pure function of f and the solver
+// options, so incremental contexts can preprocess per probe and still agree
+// with Satisfiable on every query.
+func (s *Solver) groundForm(f logic.Formula) (ground logic.Formula, done, v bool) {
 	f = logic.Intern(f).Normalized(normalizeForSolving).Formula()
 	if b, ok := f.(logic.Bool); ok {
-		return b.Val
+		return nil, true, b.Val
 	}
 
 	bound := boundVarNames(f)
-	ground := f
+	ground = f
 	if len(bound) > 0 {
 		var prev *instEnv
 		for round := 0; round < s.opts.InstRounds; round++ {
@@ -179,7 +268,7 @@ func (s *Solver) Satisfiable(f logic.Formula) bool {
 		}
 		ground = logic.Simplify(ground)
 	}
-	return s.decideGround(ground)
+	return ground, false, false
 }
 
 // triggers returns triggersOf(q.Body, q.Vars), memoized per interned

@@ -164,11 +164,27 @@ func (p *Problem) PathVCAt(i int, sigma template.Solution) logic.Formula {
 	return p.VCAt(i, pre, post)
 }
 
+// PathVCSkeleton returns the interned compiled VC skeleton of path i — the
+// VC with its pre/post holes unfilled. Every PathVCAt(i, ·) probe shares
+// this structure, which makes it the natural key for a persistent
+// incremental solving context.
+func (p *Problem) PathVCSkeleton(i int) *logic.IFormula {
+	return logic.Intern(p.compiled().vcs[i].Skeleton())
+}
+
 // CheckAll reports whether VC(Prog, σ) is valid, and if not returns the
-// first failing path.
+// first failing path. Probes are routed through one incremental context per
+// path skeleton when the solver is incremental.
 func (p *Problem) CheckAll(s *smt.Solver, sigma template.Solution) (bool, *vc.Path) {
 	for i := range p.Paths() {
-		if !s.Valid(p.PathVCAt(i, sigma)) {
+		f := p.PathVCAt(i, sigma)
+		var ok bool
+		if c := s.ContextFor(p.PathVCSkeleton(i)); c != nil {
+			ok = c.Valid(f)
+		} else {
+			ok = s.Valid(f)
+		}
+		if !ok {
 			return false, &p.Paths()[i]
 		}
 	}

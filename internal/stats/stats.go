@@ -22,6 +22,7 @@ type Collector struct {
 	candidates     []int           // Figure 8: candidate-set size per iterative step
 	satClauses     []int           // Figure 9: #clauses per CFP SAT formula
 	satVars        []int           // Figure 9 companion: #variables per CFP SAT formula
+	coreSizes      []int           // #predicates per unsat core extracted by consistency probes
 }
 
 // New returns an empty collector.
@@ -80,6 +81,24 @@ func (c *Collector) RecordSATSize(clauses, vars int) {
 	c.satClauses = append(c.satClauses, clauses)
 	c.satVars = append(c.satVars, vars)
 	c.mu.Unlock()
+}
+
+// RecordCoreSize records the number of predicates in one unsat core
+// extracted from a failed consistency probe.
+func (c *Collector) RecordCoreSize(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.coreSizes = append(c.coreSizes, n)
+	c.mu.Unlock()
+}
+
+// CoreSizes returns a copy of the recorded unsat-core sizes.
+func (c *Collector) CoreSizes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.coreSizes...)
 }
 
 // QueryDurations returns a copy of the recorded SMT query latencies.
@@ -220,4 +239,6 @@ func (c *Collector) WriteSummary(w io.Writer) {
 		Median(c.candidates), Max(c.candidates), len(c.candidates))
 	fmt.Fprintf(w, "CFP SAT sizes: median clauses=%d max clauses=%d over %d formulas\n",
 		Median(c.satClauses), Max(c.satClauses), len(c.satClauses))
+	fmt.Fprintf(w, "Unsat core sizes: median=%d max=%d over %d cores\n",
+		Median(c.coreSizes), Max(c.coreSizes), len(c.coreSizes))
 }
