@@ -9,12 +9,12 @@
 GO ?= go
 
 # Report number for bench-json output (BENCH_2.json, BENCH_3.json, ...).
-BENCH_N ?= 3
+BENCH_N ?= 4
 
 # Baseline report that bench-compare diffs against.
-BENCH_BASE ?= BENCH_2.json
+BENCH_BASE ?= BENCH_3.json
 
-.PHONY: all build vet test test-short test-race test-differential bench bench-json bench-compare profile check clean
+.PHONY: all build vet test test-short test-race test-differential bench bench-json bench-compare bench-quick profile check clean
 
 all: check
 
@@ -41,11 +41,14 @@ test-race:
 	$(GO) test -short -race ./...
 
 # Differential tests for the incremental solving pipeline under the race
-# detector: reused-vs-fresh SAT probes, context-vs-fresh SMT verdicts,
-# fixpoint determinism, and ψ_Prog byte-identity.
+# detector (reused-vs-fresh SAT probes, context-vs-fresh SMT verdicts,
+# fixpoint determinism, ψ_Prog byte-identity), plus the map-solver-vs-legacy-
+# BFS solution-set equivalence sweep: every examples/ problem with the
+# CrossCheck hook on, and randomized small lattices.
 test-differential:
 	$(GO) test -short -race -run 'TestReusedVsFresh|TestSolveAssuming|TestSolveReuse|TestContext|TestFixpointDeterministic|TestFixpointIncremental|TestPsiProg|TestCFPIncremental' \
 		./internal/sat/ ./internal/smt/ ./internal/fixpoint/ ./internal/cbi/
+	$(GO) test -run 'TestMapVsBFS|TestCompareParallel' ./internal/optimal/ ./internal/bench/
 
 # Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
 # interning/hot-path benchmarks (cache-hit keying, structural equality,
@@ -67,6 +70,11 @@ bench-json:
 # baseline report (set BENCH_BASE to diff against another BENCH_N.json).
 bench-compare:
 	$(GO) run ./cmd/benchtab -compare $(BENCH_BASE)
+
+# Fast local sanity: one task (List Delete) across all three methods — one
+# cell per algorithm, a few seconds end to end.
+bench-quick:
+	$(GO) run ./cmd/benchtab -quick
 
 # CPU/heap profiles of the default suite (sequential, so the profile is not
 # dominated by scheduler noise). Inspect with `go tool pprof cpu.prof`.

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchtab [-table 1|2|3|4|5|6] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
-//	         [-json FILE] [-compare OLD.json] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-json FILE] [-compare OLD.json] [-cpuprofile FILE] [-memprofile FILE] [-quick]
 //
 // With -parallel N > 1 the (task, method) cells of each table run
 // concurrently on N workers (default: the number of CPUs); the printed
@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"time"
 
@@ -50,7 +51,17 @@ func main() {
 	compare := flag.String("compare", "", "run the default suite and print a per-cell speedup table against this previous -json report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	quick := flag.Bool("quick", false, "run the one-task quick suite (one cell per method) and print its report")
 	flag.Parse()
+
+	// The searches churn short-lived formulas and candidate fills; at the
+	// default GOGC=100 a benchmark run spends roughly a quarter of its wall
+	// time collecting them. A batch harness trades heap headroom for
+	// throughput, so collect 8x less eagerly — unless the caller pinned GOGC
+	// in the environment, which always wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(800)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -93,6 +104,14 @@ func main() {
 				*parallel, cell.Seconds(), wall.Seconds(), cell.Seconds()/wall.Seconds())
 		}
 	}()
+
+	if *quick {
+		if err := bench.RunJSON(w, r, "quick", bench.QuickSuite()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *jsonOut != "" || *compare != "" {
 		var old *bench.Report

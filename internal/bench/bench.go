@@ -73,11 +73,15 @@ type Measurement struct {
 	// Incremental-solving counters: contexts created, probes answered
 	// through a persistent context's assumption interface (these do not
 	// count in Queries), probes that reused persisted lemmas or learnt
-	// clauses, and lattice candidates pruned by unsat cores.
+	// clauses, lattice candidates pruned by unsat cores, stored cores
+	// evicted to admit newer ones, and theory lemmas imported from a
+	// sibling context lane's exchange.
 	Contexts         int64
 	AssumptionProbes int64
 	LemmaReuse       int64
 	CorePruned       int64
+	CoreEvicted      int64
+	SharedLemmas     int64
 	// Preconditions holds the inferred formulas for Precondition tasks.
 	Preconditions []logic.Formula
 	// Err records a failure to run (distinct from "no invariant found").
@@ -193,6 +197,8 @@ func (r *Runner) runOne(t Task, m core.Method) Measurement {
 		mm.AssumptionProbes = v.Engine().S.NumAssumptionProbes()
 		mm.LemmaReuse = v.Engine().S.NumLemmaReuseHits()
 		mm.CorePruned = v.Engine().NumCorePruned()
+		mm.CoreEvicted = v.Engine().NumCoreEvicted()
+		mm.SharedLemmas = v.Engine().S.NumSharedLemmas()
 		done <- result{meas: mm}
 	}()
 	if r.Timeout <= 0 {

@@ -27,6 +27,14 @@ func ReadReport(path string) (*Report, error) {
 // wall-clock ratio, query delta, and a verdict-change marker. Cells present
 // in only one report are listed separately so a suite change is visible.
 func WriteComparison(w io.Writer, old, new *Report) {
+	// Per-cell wall times at different worker counts are not comparable:
+	// the speedup column would conflate algorithmic wins with scheduling
+	// contention. Annotate rather than refuse, so cross-parallelism diffs
+	// stay possible but can never silently masquerade as like-for-like.
+	if old.Parallel != new.Parallel {
+		fmt.Fprintf(w, "WARNING: runs used different parallelism (old -parallel %d, new -parallel %d);\n", old.Parallel, new.Parallel)
+		fmt.Fprintf(w, "WARNING: speedups below mix algorithmic and scheduling effects — rerun at matching -parallel for an honest comparison\n\n")
+	}
 	type key struct{ task, property, method string }
 	oldCells := map[key]CellReport{}
 	for _, c := range old.Cells {
@@ -73,8 +81,8 @@ func WriteComparison(w io.Writer, old, new *Report) {
 			100*float64(new.Queries-old.Queries)/float64(max64(old.Queries, 1)))
 	}
 	if new.AssumptionProbes > 0 || new.CorePruned > 0 {
-		fmt.Fprintf(w, "incremental: %d assumption probes, %d lattice points core-pruned\n",
-			new.AssumptionProbes, new.CorePruned)
+		fmt.Fprintf(w, "incremental: %d assumption probes, %d lattice points core-pruned (%d cores evicted)\n",
+			new.AssumptionProbes, new.CorePruned, new.CoreEvicted)
 	}
 }
 

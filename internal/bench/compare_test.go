@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoCellReports(oldPar, newPar int) (*Report, *Report) {
+	cell := CellReport{Task: "t", Property: "p", Method: "lfp", Proved: true, Seconds: 1.0, Queries: 10}
+	old := &Report{Suite: "default", Parallel: oldPar, Cells: []CellReport{cell}}
+	newc := cell
+	newc.Seconds = 0.5
+	new_ := &Report{Suite: "default", Parallel: newPar, Cells: []CellReport{newc}}
+	return old, new_
+}
+
+// TestCompareParallelMismatchAnnotated: a comparison between reports recorded
+// at different -parallel values must carry a warning, so speedup tables can
+// never silently conflate algorithmic and scheduling effects.
+func TestCompareParallelMismatchAnnotated(t *testing.T) {
+	old, new_ := twoCellReports(1, 4)
+	var buf strings.Builder
+	WriteComparison(&buf, old, new_)
+	out := buf.String()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "-parallel 1") || !strings.Contains(out, "-parallel 4") {
+		t.Fatalf("cross-parallelism comparison not annotated:\n%s", out)
+	}
+	if !strings.Contains(out, "2.00x") {
+		t.Fatalf("per-cell speedup row missing:\n%s", out)
+	}
+}
+
+// TestCompareParallelMatchClean: like-for-like comparisons stay warning-free.
+func TestCompareParallelMatchClean(t *testing.T) {
+	old, new_ := twoCellReports(2, 2)
+	var buf strings.Builder
+	WriteComparison(&buf, old, new_)
+	if strings.Contains(buf.String(), "WARNING") {
+		t.Fatalf("matching-parallelism comparison spuriously annotated:\n%s", buf.String())
+	}
+}

@@ -24,6 +24,12 @@ func DefaultSuite() []Task {
 	}
 }
 
+// QuickSuite returns the one-task sanity suite behind `make bench-quick`:
+// List Delete runs all three methods, giving one fast cell per algorithm.
+func QuickSuite() []Task {
+	return []Task{ArrayListTasks()[3]}
+}
+
 // CellReport is one (task, method) entry of a JSON benchmark report.
 type CellReport struct {
 	Task      string  `json:"task"`
@@ -39,6 +45,8 @@ type CellReport struct {
 	AssumptionProbes int64  `json:"assumption_probes,omitempty"`
 	LemmaReuse       int64  `json:"lemma_reuse,omitempty"`
 	CorePruned       int64  `json:"core_pruned,omitempty"`
+	CoreEvicted      int64  `json:"core_evicted,omitempty"`
+	SharedLemmas     int64  `json:"shared_lemmas,omitempty"`
 	Err              string `json:"error,omitempty"`
 }
 
@@ -58,6 +66,7 @@ type Report struct {
 	CacheHits        int64        `json:"cache_hits"`
 	AssumptionProbes int64        `json:"assumption_probes,omitempty"`
 	CorePruned       int64        `json:"core_pruned,omitempty"`
+	CoreEvicted      int64        `json:"core_evicted,omitempty"`
 	Cells            []CellReport `json:"cells"`
 }
 
@@ -86,6 +95,8 @@ func RunJSON(w io.Writer, r *Runner, suite string, tasks []Task) error {
 				AssumptionProbes: m.AssumptionProbes,
 				LemmaReuse:       m.LemmaReuse,
 				CorePruned:       m.CorePruned,
+				CoreEvicted:      m.CoreEvicted,
+				SharedLemmas:     m.SharedLemmas,
 			}
 			if m.Err != nil {
 				cell.Err = m.Err.Error()
@@ -94,6 +105,7 @@ func RunJSON(w io.Writer, r *Runner, suite string, tasks []Task) error {
 			rep.CacheHits += m.CacheHits
 			rep.AssumptionProbes += m.AssumptionProbes
 			rep.CorePruned += m.CorePruned
+			rep.CoreEvicted += m.CoreEvicted
 			rep.Cells = append(rep.Cells, cell)
 		}
 	}

@@ -18,9 +18,12 @@ func buildPsiProg(t *testing.T, opts smt.Options) *sat.Solver {
 	enc := &encoder{s: sat.New(), vars: map[bvar]int{}, preds: map[bvar]logic.Formula{}}
 	paths := p.Paths()
 	for i := range paths {
-		plan := planPath(p, eng, i, nil)
+		plan, jobs := planPath(p, eng, i)
 		if plan.err != nil {
 			t.Fatal(plan.err)
+		}
+		for _, j := range jobs {
+			*j.dst = eng.OptimalNegativeSolutions(j.fl.FillSolution(j.fill), j.dom)
 		}
 		emitPath(enc, plan)
 	}

@@ -32,11 +32,11 @@ type Options struct {
 	Stop func() bool
 	// Stats optionally records Figure 9 SAT formula sizes.
 	Stats *stats.Collector
-	// Parallel is the number of paths whose ψ_{δ,τ1,τ2,σt} contributions
-	// (the OptimalNegativeSolutions calls that dominate encoding time) are
-	// computed concurrently (default runtime.GOMAXPROCS(0)). Clauses are
-	// always assembled sequentially in path order, so the SAT instance is
-	// identical regardless of scheduling.
+	// Parallel is the number of OptimalNegativeSolutions jobs (the calls
+	// that dominate encoding time, flattened across all paths' base and
+	// positive cases) computed concurrently (default
+	// runtime.GOMAXPROCS(0)). Clauses are always assembled sequentially in
+	// path order, so the SAT instance is identical regardless of scheduling.
 	Parallel int
 }
 
@@ -96,30 +96,38 @@ func Solve(p *spec.Problem, eng *optimal.Engine, opts Options) (Result, error) {
 	}
 	enc := &encoder{s: sat.New(), vars: map[bvar]int{}, preds: map[bvar]logic.Formula{}}
 
-	// Phase 1 (parallel): per-path planning — the independent
-	// OptimalNegativeSolutions calls that dominate encoding time fan out
-	// across a worker pool.
+	// Phase 1 (sequential, cheap): per-path setup — renamings, polarity
+	// splits, vocabulary domains, compiled fillers — plus one job descriptor
+	// per OptimalNegativeSolutions call the path needs.
 	paths := p.Paths()
 	plans := make([]*pathPlan, len(paths))
-	par.ForEach(len(paths), opts.Parallel, func(i int) {
+	var jobs []negJob
+	for i := range paths {
+		plan, pjobs := planPath(p, eng, i)
+		if plan.err != nil {
+			return Result{}, fmt.Errorf("cbi: path %s->%s: %w", paths[i].From, paths[i].To, plan.err)
+		}
+		plans[i] = plan
+		jobs = append(jobs, pjobs...)
+	}
+	// Phase 2 (parallel): the OptimalNegativeSolutions calls that dominate
+	// encoding time. Every path's base case and positive cases are flattened
+	// into one job list, so the worker pool load-balances across paths
+	// instead of stalling on the path with the most cases.
+	par.ForEach(len(jobs), opts.Parallel, func(k int) {
 		if opts.Stop != nil && opts.Stop() {
 			return
 		}
-		plans[i] = planPath(p, eng, i, opts.Stop)
+		j := jobs[k]
+		*j.dst = eng.OptimalNegativeSolutions(j.fl.FillSolution(j.fill), j.dom)
 	})
 	if opts.Stop != nil && opts.Stop() {
 		return Result{}, nil
 	}
-	// Phase 2 (sequential, path order): emit clauses. Assembly order is
+	// Phase 3 (sequential, path order): emit clauses. Assembly order is
 	// fixed by the path order, so the SAT instance — variable numbering
 	// included — is byte-identical to a sequential encoding.
-	for i, plan := range plans {
-		if plan == nil {
-			return Result{}, nil // stopped mid-planning
-		}
-		if plan.err != nil {
-			return Result{}, fmt.Errorf("cbi: path %s->%s: %w", paths[i].From, paths[i].To, plan.err)
-		}
+	for _, plan := range plans {
 		emitPath(enc, plan)
 	}
 	res := Result{Clauses: enc.s.NumClauses(), Vars: enc.s.NumVars()}
@@ -184,12 +192,25 @@ type posCase struct {
 	sols []template.Solution
 }
 
+// negJob is one deferred OptimalNegativeSolutions call: fill the path's
+// compiled VC skeleton with a positive-side choice and write the optimal
+// negative supports into its plan slot. Jobs from every path go through one
+// shared worker pool; the Filler is immutable, so concurrent jobs on the
+// same path are safe.
+type negJob struct {
+	fl   *template.Filler
+	fill template.Solution
+	dom  template.Domain
+	dst  *[]template.Solution
+}
+
 // planPath computes ψ_{δ,τ1,τ2,σt}'s ingredients for one path (§5.2): the
-// base and per-(unknown, predicate) optimal negative supports, plus the
-// renaming data needed to translate them back to original unknowns. It is
-// index-based so the VC is built through the problem's compiled skeleton and
-// the positive-case fills reuse the engine's compiled filler for φ.
-func planPath(p *spec.Problem, eng *optimal.Engine, pi int, stop func() bool) *pathPlan {
+// renaming data needed to translate solutions back to original unknowns,
+// plus one negJob per optimal-support computation (the base case and each
+// (unknown, predicate) positive case). It is index-based so the VC is built
+// through the problem's compiled skeleton and the fills reuse the engine's
+// compiled filler for φ.
+func planPath(p *spec.Problem, eng *optimal.Engine, pi int) (*pathPlan, []negJob) {
 	path := p.Paths()[pi]
 	t1 := p.TemplateAt(path.From)
 	t2 := p.TemplateAt(path.To)
@@ -221,7 +242,7 @@ func planPath(p *spec.Problem, eng *optimal.Engine, pi int, stop func() bool) *p
 
 	pol, err := template.Polarities(phi)
 	if err != nil {
-		return &pathPlan{err: err}
+		return &pathPlan{err: err}, nil
 	}
 	pos, neg := template.Split(pol)
 
@@ -264,24 +285,24 @@ func planPath(p *spec.Problem, eng *optimal.Engine, pi int, stop func() bool) *p
 
 	// Base case: S_{δ,τ1,τ2} with every positive unknown empty; at least one
 	// optimal negative support must be chosen.
-	plan.base = eng.OptimalNegativeSolutions(fl.FillSolution(emptyPos), negDomain)
+	jobs := []negJob{{fl: fl, fill: emptyPos, dom: negDomain}}
 
 	// Positive cases: b_{orig(ρ),q·σt⁻¹} ⇒ ∨ BC(S^{ρ,q}).
 	for _, r := range pos {
 		for qi, q := range qp[r] {
-			if stop != nil && stop() {
-				return plan
-			}
 			posPart := emptyPos.Clone()
 			posPart[r] = template.NewPredSet(q)
-			plan.posCases = append(plan.posCases, posCase{
-				ou:   orig[r],
-				oq:   p.Q[orig[r]][qi],
-				sols: eng.OptimalNegativeSolutions(fl.FillSolution(posPart), negDomain),
-			})
+			plan.posCases = append(plan.posCases, posCase{ou: orig[r], oq: p.Q[orig[r]][qi]})
+			jobs = append(jobs, negJob{fl: fl, fill: posPart, dom: negDomain})
 		}
 	}
-	return plan
+	// Destinations are wired up only once posCases has stopped growing, so
+	// the pointers survive the appends above.
+	jobs[0].dst = &plan.base
+	for i := range plan.posCases {
+		jobs[i+1].dst = &plan.posCases[i].sols
+	}
+	return plan, jobs
 }
 
 // emitPath adds a planned path's clauses to the SAT instance. Only this

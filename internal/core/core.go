@@ -58,8 +58,11 @@ var Methods = []Method{LFP, GFP, CFP}
 type Config struct {
 	// SMT configures the validity checker.
 	SMT smt.Options
-	// MaxNegDepth bounds OptimalNegativeSolutions' BFS (default 4).
+	// MaxNegDepth bounds OptimalNegativeSolutions' search (default 4).
 	MaxNegDepth int
+	// Optimal selects the optimal-solutions enumeration strategy and the
+	// engine's internal parallelism.
+	Optimal optimal.Options
 	// Fixpoint bounds the iterative algorithms.
 	Fixpoint fixpoint.Options
 	// CBI bounds the constraint-based algorithm.
@@ -88,6 +91,7 @@ func New(cfg Config) *Verifier {
 	}
 	eng.Stats = cfg.Stats
 	eng.Stop = cfg.Fixpoint.Stop
+	eng.Opts = cfg.Optimal
 	cfg.Fixpoint.Stats = cfg.Stats
 	cfg.CBI.Stats = cfg.Stats
 	return &Verifier{cfg: cfg, eng: eng}

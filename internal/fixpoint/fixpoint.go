@@ -149,8 +149,16 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 	}
 	score := func(sigma template.Solution, seq int) scored {
 		s := scored{sigma: sigma, seq: seq, failIdx: -1}
+		// Probe every path concurrently (each goes through its own skeleton
+		// context, and contended contexts fan out across sibling lanes); the
+		// fold below stays sequential in path order, so the failing path a
+		// candidate is repaired on is deterministic.
+		valid := make([]bool, len(p.Paths()))
+		par.ForEach(len(valid), opts.Parallel, func(i int) {
+			valid[i] = pathValid(i, sigma)
+		})
 		for i := range p.Paths() {
-			if !pathValid(i, sigma) {
+			if !valid[i] {
 				path := p.Paths()[i]
 				s.fails++
 				if s.fail == nil || (!progressable(*s.fail) && progressable(path)) {

@@ -1,6 +1,9 @@
 package logic
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // NNF converts f (which must be unknown-free) to negation normal form:
 // implications are eliminated, and negations are pushed onto atoms where they
@@ -72,7 +75,7 @@ func NewNamer(prefix string) *Namer { return &Namer{prefix: prefix} }
 // Fresh returns the next unused name.
 func (nm *Namer) Fresh() string {
 	nm.n++
-	return fmt.Sprintf("%s%d", nm.prefix, nm.n)
+	return nm.prefix + strconv.Itoa(nm.n)
 }
 
 // StandardizeApart renames every bound variable in f to a fresh name from nm,
@@ -105,11 +108,15 @@ func standardize(f Formula, nm *Namer, ren map[string]Term) Formula {
 	case Implies:
 		return Imp(standardize(f.A, nm, ren), standardize(f.B, nm, ren))
 	case Forall:
-		vars, ren2 := renameBound(f.Vars, nm, ren)
-		return All(vars, standardize(f.Body, nm, ren2))
+		vars, undo := renameBound(f.Vars, nm, ren)
+		body := standardize(f.Body, nm, ren)
+		undoRename(f.Vars, undo, ren)
+		return All(vars, body)
 	case Exists:
-		vars, ren2 := renameBound(f.Vars, nm, ren)
-		return Any(vars, standardize(f.Body, nm, ren2))
+		vars, undo := renameBound(f.Vars, nm, ren)
+		body := standardize(f.Body, nm, ren)
+		undoRename(f.Vars, undo, ren)
+		return Any(vars, body)
 	case Unknown:
 		panic("logic: StandardizeApart applied to a formula with unresolved unknowns")
 	case AEq:
@@ -118,18 +125,32 @@ func standardize(f Formula, nm *Namer, ren map[string]Term) Formula {
 	panic(fmt.Sprintf("logic: unknown formula %T", f))
 }
 
-func renameBound(vars []string, nm *Namer, ren map[string]Term) ([]string, map[string]Term) {
+// renameBound binds each var to a fresh name in ren, in place, returning the
+// fresh names and the shadowed previous bindings (nil entries mark names that
+// were unbound). Mutate-and-undo keeps standardize from copying the whole
+// rename map at every quantifier, which dominated its allocation volume.
+func renameBound(vars []string, nm *Namer, ren map[string]Term) ([]string, []Term) {
 	out := make([]string, len(vars))
-	ren2 := make(map[string]Term, len(ren)+len(vars))
-	for k, v := range ren {
-		ren2[k] = v
-	}
+	undo := make([]Term, len(vars))
 	for i, v := range vars {
 		fresh := nm.Fresh()
 		out[i] = fresh
-		ren2[v] = Var{Name: fresh}
+		undo[i] = ren[v]
+		ren[v] = Var{Name: fresh}
 	}
-	return out, ren2
+	return out, undo
+}
+
+// undoRename restores the bindings shadowed by renameBound, newest first so
+// duplicate names within one quantifier unwind correctly.
+func undoRename(vars []string, undo []Term, ren map[string]Term) {
+	for i := len(vars) - 1; i >= 0; i-- {
+		if undo[i] == nil {
+			delete(ren, vars[i])
+		} else {
+			ren[vars[i]] = undo[i]
+		}
+	}
 }
 
 // Simplify performs shallow logical simplification: constant folding,

@@ -1,0 +1,134 @@
+// Engine-global store of unsat cores extracted by predicate-set consistency
+// probes. A core proven inconsistent in one search keeps killing the same
+// sublattice in every later search over the same domain, so the store is
+// shared across OptimalNegativeSolutions calls and across workers: it is
+// striped into independently locked shards (keyed by the unknown the core
+// belongs to, which is also where contention splits naturally), and bounded
+// per shard with age/hit-count-aware eviction instead of the former silent
+// global cap.
+package optimal
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// coreShards is the number of independently locked stripes of the store.
+const coreShards = 16
+
+// maxStoredCores bounds the total number of stored cores across all shards.
+const maxStoredCores = 1024
+
+// coreShardCap is the per-shard entry bound; hitting it evicts the
+// least-useful entry (fewest hits, oldest insertion) rather than dropping
+// the new core.
+const coreShardCap = maxStoredCores / coreShards
+
+type coreStore struct {
+	shards  [coreShards]coreShard
+	seq     atomic.Uint64 // global insertion clock, for age-aware eviction
+	evicted atomic.Int64
+}
+
+type coreShard struct {
+	mu      sync.Mutex
+	entries []coreEntry
+}
+
+type coreEntry struct {
+	items []coreItem
+	seq   uint64 // insertion time on the store's clock
+	hits  int64  // times the core was handed to a search that could use it
+}
+
+// shardOf stripes by the unknown of the core's first item: cores over the
+// same unknown (the only ones that can collide or deduplicate against each
+// other) always land in the same shard.
+func (cs *coreStore) shardOf(items []coreItem) *coreShard {
+	u := items[0].unknown
+	h := uint32(2166136261)
+	for i := 0; i < len(u); i++ {
+		h ^= uint32(u[i])
+		h *= 16777619
+	}
+	return &cs.shards[h%coreShards]
+}
+
+// add persists one inconsistent (unknown, predicate-set) combination and
+// reports whether an older entry was evicted to make room. Duplicate cores
+// are dropped.
+func (cs *coreStore) add(items []coreItem) (evicted bool) {
+	if len(items) == 0 {
+		return false
+	}
+	sh := cs.shardOf(items)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := range sh.entries {
+		if sameCore(sh.entries[i].items, items) {
+			return false
+		}
+	}
+	e := coreEntry{items: items, seq: cs.seq.Add(1)}
+	if len(sh.entries) < coreShardCap {
+		sh.entries = append(sh.entries, e)
+		return false
+	}
+	// Evict the entry with the fewest hits, breaking ties toward the oldest:
+	// cores that never pruned anything age out first.
+	victim := 0
+	for i := 1; i < len(sh.entries); i++ {
+		v, c := &sh.entries[victim], &sh.entries[i]
+		if c.hits < v.hits || (c.hits == v.hits && c.seq < v.seq) {
+			victim = i
+		}
+	}
+	sh.entries[victim] = e
+	cs.evicted.Add(1)
+	return true
+}
+
+func sameCore(a, b []coreItem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// masks maps every stored core that is fully expressible in the given item
+// universe into that universe's bitmask space, bumping the hit count of each
+// returned core (a core a search can use is a core worth keeping).
+func (cs *coreStore) masks(indexOf map[coreItem]int, width int) []bitmask {
+	var out []bitmask
+	for s := range cs.shards {
+		sh := &cs.shards[s]
+		sh.mu.Lock()
+		for i := range sh.entries {
+			ent := &sh.entries[i]
+			m := newBitmask(width)
+			ok := true
+			for _, it := range ent.items {
+				j, present := indexOf[it]
+				if !present {
+					ok = false
+					break
+				}
+				m[j/64] |= 1 << uint(j%64)
+			}
+			if ok {
+				ent.hits++
+				out = append(out, m)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// NumEvicted returns how many stored cores were evicted to admit newer ones.
+func (cs *coreStore) NumEvicted() int64 { return cs.evicted.Load() }

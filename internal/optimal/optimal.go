@@ -19,10 +19,31 @@ import (
 	"sync/atomic"
 
 	"repro/internal/logic"
+	"repro/internal/par"
 	"repro/internal/smt"
 	"repro/internal/stats"
 	"repro/internal/template"
 )
+
+// Options selects the engine's enumeration strategy and internal
+// parallelism.
+type Options struct {
+	// NoMapSolver disables the SAT-map-guided enumeration of optimal
+	// negative solutions and restores the legacy bounded BFS. Both return
+	// the same solution sets (see DESIGN.md §11); the flag mirrors
+	// smt.Options.NoIncremental as an escape hatch and as the baseline the
+	// differential tests compare against.
+	NoMapSolver bool
+	// Parallel bounds the worker pool that fans out the independent
+	// OptimalNegativeSolutions seeding calls inside OptimalSolutions
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallel int
+	// CrossCheck, when non-nil, makes every group search run both the
+	// map-guided and the legacy BFS enumeration and hands both result lists
+	// to the callback (the map result is the one used). Differential-test
+	// hook; leave nil in production.
+	CrossCheck func(phi logic.Formula, mapSols, bfsSols []template.Solution)
+}
 
 // Engine runs optimal-solution searches against one SMT solver.
 type Engine struct {
@@ -32,13 +53,19 @@ type Engine struct {
 	// unknowns in one solution (default 4, the paper's observed maximum).
 	MaxDepth int
 	// MaxSolutions bounds how many optimal negative solutions one call
-	// returns (default 16; the paper never observed more than 6).
+	// returns (default 64; the paper never observed more than 6). Both
+	// enumerations run to exhaustion within MaxDepth and truncate the
+	// canonically ordered result, so the bound is a safety valve against
+	// degenerate vocabularies, not a search cutoff.
 	MaxSolutions int
 	// Stop, when non-nil, is polled inside the search loops; returning
 	// true abandons the call with whatever has been found so far.
 	Stop func() bool
 	// Stats optionally records Figure 6/7 histograms.
 	Stats *stats.Collector
+	// Opts selects the enumeration strategy (map-solver-guided by default)
+	// and the engine's internal parallelism.
+	Opts Options
 
 	// fillers caches one compiled template.Filler per interned base formula
 	// (*logic.IFormula → *template.Filler): the search fills the same φ with
@@ -53,30 +80,38 @@ type Engine struct {
 	consOnce sync.Once
 	consCtx  *smt.Context
 
+	// consMemo caches consistency verdicts per interned predicate-set
+	// conjunction (*logic.IFormula → *consVerdict). The searches re-test the
+	// same small per-unknown sets across groups, rounds, and workers; the
+	// verdict (and its core) never changes, so one probe serves all of them.
+	consMemo sync.Map
+
 	// cores accumulates (unknown, predicate-set) combinations proven
-	// inconsistent, shared across negBFS calls: a core killed in one round
-	// keeps killing the same sublattice in every later round. Bounded by
-	// maxStoredCores; corePruned counts candidates skipped because a core
-	// was a subset of them.
-	coreMu     sync.Mutex
-	cores      [][]coreItem
+	// inconsistent, shared across searches and workers: a core killed in one
+	// round keeps killing the same sublattice in every later round (as
+	// bitmask pruning in negBFS, as blocking clauses in negMap). corePruned
+	// counts candidates rejected because a stored or fresh core applied.
+	cores      coreStore
 	corePruned atomic.Int64
 }
 
+// consVerdict is one memoized predicate-set consistency verdict.
+type consVerdict struct {
+	sat  bool
+	core []logic.Formula
+}
+
 // coreItem identifies one (unknown, interned predicate) choice; it doubles
-// as the deduplication key of the negBFS item universe and the persisted
+// as the deduplication key of the search item universes and the persisted
 // representation of unsat cores.
 type coreItem struct {
 	unknown string
 	pred    *logic.IFormula
 }
 
-// maxStoredCores bounds the engine-global core store.
-const maxStoredCores = 1024
-
 // New returns an engine with default bounds.
 func New(s *smt.Solver) *Engine {
-	return &Engine{S: s, MaxDepth: 4, MaxSolutions: 16}
+	return &Engine{S: s, MaxDepth: 4, MaxSolutions: 64}
 }
 
 func (e *Engine) maxDepth() int {
@@ -88,7 +123,7 @@ func (e *Engine) maxDepth() int {
 
 func (e *Engine) maxSolutions() int {
 	if e.MaxSolutions <= 0 {
-		return 16
+		return 64
 	}
 	return e.MaxSolutions
 }
@@ -122,46 +157,28 @@ func (e *Engine) consistencyContext() *smt.Context {
 	return e.consCtx
 }
 
-// NumCorePruned returns how many lattice candidates were skipped because a
-// previously extracted unsat core was contained in them.
+// NumCorePruned returns how many lattice candidates were rejected because a
+// previously extracted unsat core applied to them.
 func (e *Engine) NumCorePruned() int64 { return e.corePruned.Load() }
 
-// storeCore persists an inconsistent (unknown, predicate-set) combination
-// for reuse by later negBFS calls over the same domain.
-func (e *Engine) storeCore(unknown string, core []logic.Formula) {
+// NumCoreEvicted returns how many stored cores were evicted from the
+// engine-global store to make room for newer ones.
+func (e *Engine) NumCoreEvicted() int64 { return e.cores.NumEvicted() }
+
+// storeCoreStats persists a freshly extracted inconsistent (unknown,
+// predicate-set) combination for reuse by later searches over the same
+// domain, and records it in the stats collector.
+func (e *Engine) storeCoreStats(unknown string, core []logic.Formula) {
 	items := make([]coreItem, len(core))
 	for i, p := range core {
 		items[i] = coreItem{unknown: unknown, pred: logic.Intern(p)}
 	}
-	e.coreMu.Lock()
-	if len(e.cores) < maxStoredCores {
-		e.cores = append(e.cores, items)
+	if e.cores.add(items) && e.Stats != nil {
+		e.Stats.RecordCoreEviction()
 	}
-	e.coreMu.Unlock()
-}
-
-// knownCoreMasks maps every stored core that is fully expressible in the
-// current item universe into that universe's bitmask space.
-func (e *Engine) knownCoreMasks(indexOf map[coreItem]int, width int) []bitmask {
-	e.coreMu.Lock()
-	defer e.coreMu.Unlock()
-	var out []bitmask
-	for _, core := range e.cores {
-		m := newBitmask(width)
-		ok := true
-		for _, it := range core {
-			i, present := indexOf[it]
-			if !present {
-				ok = false
-				break
-			}
-			m[i/64] |= 1 << uint(i%64)
-		}
-		if ok {
-			out = append(out, m)
-		}
+	if e.Stats != nil {
+		e.Stats.RecordCoreSize(len(core))
 	}
-	return out
 }
 
 // taggedPred is one (unknown, predicate) choice in the BFS space.
@@ -190,7 +207,7 @@ func (e *Engine) OptimalNegativeSolutions(phi logic.Formula, q template.Domain) 
 	}
 	combined := []template.Solution{{}}
 	for _, g := range groups {
-		sols := e.negBFS(g, q)
+		sols := e.negSearch(g, q)
 		if len(sols) == 0 {
 			e.recordNegSizes(nil)
 			return nil
@@ -291,8 +308,23 @@ func groupByUnknowns(parts []logic.Formula) (groups []logic.Formula, fixed []log
 	return groups, fixed
 }
 
-// negBFS is the bounded breadth-first search over one unknown-connected
-// group.
+// negSearch enumerates the optimal negative solutions of one
+// unknown-connected group, through the map-solver-guided search unless the
+// engine was configured for the legacy BFS.
+func (e *Engine) negSearch(phi logic.Formula, q template.Domain) []template.Solution {
+	if e.Opts.NoMapSolver {
+		return e.negBFS(phi, q)
+	}
+	sols := e.negMap(phi, q)
+	if e.Opts.CrossCheck != nil {
+		e.Opts.CrossCheck(phi, sols, e.negBFS(phi, q))
+	}
+	return sols
+}
+
+// negBFS is the legacy bounded breadth-first search over one
+// unknown-connected group, retained behind Options.NoMapSolver as the
+// differential-test baseline for the map-solver-guided search.
 func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solution {
 	unknowns := logic.Unknowns(phi)
 	empty := template.Solution{}
@@ -362,7 +394,7 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 	// too (conjoining predicates only strengthens the set), so a single core
 	// kills its whole superset sublattice without probing. Seeded with cores
 	// extracted by earlier calls over the same domain.
-	coreMasks := e.knownCoreMasks(indexOf, len(items))
+	coreMasks := e.cores.masks(indexOf, len(items))
 	coreBlocked := func(m bitmask) bool {
 		for _, km := range coreMasks {
 			if km.subsetOf(m) {
@@ -390,11 +422,11 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 		last  int // last item index used, for canonical extension order
 	}
 	frontier := []node{{sigma: empty, mask: newBitmask(len(items)), last: -1}}
-	for depth := 1; depth <= e.maxDepth() && len(frontier) > 0 && len(solutions) < e.maxSolutions(); depth++ {
+	for depth := 1; depth <= e.maxDepth() && len(frontier) > 0; depth++ {
 		var next []node
 		for _, nd := range frontier {
 			if e.Stop != nil && e.Stop() {
-				return solutions
+				return truncateSolutions(solutions, e.maxSolutions())
 			}
 			for i := nd.last + 1; i < len(items); i++ {
 				cm := nd.mask.with(i)
@@ -405,16 +437,15 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 				cand[items[i].unknown] = cand[items[i].unknown].Add(items[i].pred)
 				// Contradictory predicate sets denote the guard "false":
 				// they make the template conjunct vacuous, flood the
-				// solution cap, and never appear in the paper's optimal
+				// solution set, and never appear in the paper's optimal
 				// sets (Example 4). Prune them and all their supersets.
-				if sat, core := e.satisfiableSet(cand[items[i].unknown]); !sat {
+				if sat, core, fresh := e.satisfiableSet(cand[items[i].unknown]); !sat {
 					if len(core) > 0 {
 						if km := maskOfCore(items[i].unknown, core); km != nil {
 							coreMasks = append(coreMasks, km)
 						}
-						e.storeCore(items[i].unknown, core)
-						if e.Stats != nil {
-							e.Stats.RecordCoreSize(len(core))
+						if fresh {
+							e.storeCoreStats(items[i].unknown, core)
 						}
 					}
 					continue
@@ -422,9 +453,6 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 				if probe(cand) {
 					solutions = append(solutions, cand)
 					solMasks = append(solMasks, cm)
-					if len(solutions) >= e.maxSolutions() {
-						break
-					}
 					continue
 				}
 				next = append(next, node{sigma: cand, mask: cm, last: i})
@@ -432,7 +460,16 @@ func (e *Engine) negBFS(phi logic.Formula, q template.Domain) []template.Solutio
 		}
 		frontier = next
 	}
-	return solutions
+	return truncateSolutions(solutions, e.maxSolutions())
+}
+
+// truncateSolutions applies the MaxSolutions safety valve to a canonically
+// ordered solution list.
+func truncateSolutions(sols []template.Solution, max int) []template.Solution {
+	if len(sols) > max {
+		return sols[:max]
+	}
+	return sols
 }
 
 // bitmask is a fixed-width bit set over negBFS item indices.
@@ -459,21 +496,38 @@ func (m bitmask) subsetOf(o bitmask) bool {
 }
 
 // satisfiableSet reports whether the conjunction of a predicate set has a
-// model. It goes through the engine's incremental consistency context first
-// (one selector literal per predicate; inconsistent sets come back with an
-// unsat core over the predicates), falling back to the solver's Valid cache
-// when the context cannot answer exactly. Both paths agree on the verdict;
-// only the context path yields cores.
-func (e *Engine) satisfiableSet(ps template.PredSet) (bool, []logic.Formula) {
+// model. Verdicts are memoized per interned conjunction — the searches
+// re-test the same per-unknown sets across groups, rounds, and workers, and
+// repeated probes were the dominant cost of the slowest cells. Misses go
+// through the engine's incremental consistency context (one selector literal
+// per predicate; inconsistent sets come back with an unsat core over the
+// predicates), falling back to the solver's Valid cache when the context
+// cannot answer exactly. Both paths agree on the verdict; only the context
+// path yields cores. fresh reports that this call performed the probe, so
+// exactly one caller persists the core and records its size.
+func (e *Engine) satisfiableSet(ps template.PredSet) (sat bool, core []logic.Formula, fresh bool) {
 	if ps.Len() <= 1 {
-		return true, nil
+		return true, nil, false
 	}
+	key := logic.Intern(ps.Formula())
+	if v, ok := e.consMemo.Load(key); ok {
+		cv := v.(*consVerdict)
+		return cv.sat, cv.core, false
+	}
+	cv := &consVerdict{}
+	decided := false
 	if c := e.consistencyContext(); c != nil {
-		if consistent, core, ok := c.Consistent(ps.Preds()); ok {
-			return consistent, core
+		if consistent, cr, ok := c.Consistent(ps.Preds()); ok {
+			cv.sat, cv.core = consistent, cr
+			decided = true
 		}
 	}
-	return !e.S.Valid(logic.Neg(ps.Formula())), nil
+	if !decided {
+		cv.sat = !e.S.Valid(logic.Neg(ps.Formula()))
+	}
+	got, loaded := e.consMemo.LoadOrStore(key, cv)
+	cv = got.(*consVerdict)
+	return cv.sat, cv.core, !loaded
 }
 
 func (e *Engine) recordNegSizes(sols []template.Solution) {
@@ -525,23 +579,31 @@ func (e *Engine) OptimalSolutions(phi logic.Formula, q template.Domain) []templa
 		emptyPos[p] = template.NewPredSet()
 	}
 
-	var seeds []template.Solution
+	// The seeding calls — one per (positive unknown, predicate) plus the
+	// all-empty assignment — are independent searches, so they fan out
+	// across the engine's worker budget; results are merged in job order,
+	// keeping the seed list identical to a sequential run.
 	fl := e.Filler(phi)
-	addSeed := func(posPart template.Solution) {
-		phiP := fl.FillSolution(posPart)
-		for _, t := range e.OptimalNegativeSolutions(phiP, negDomain) {
-			seeds = append(seeds, posPart.Merge(t))
-		}
-	}
-	addSeed(emptyPos)
+	jobs := []template.Solution{emptyPos}
 	for _, p := range pos {
 		for _, pred := range q[p] {
-			if e.Stop != nil && e.Stop() {
-				break
-			}
 			posPart := emptyPos.Clone()
 			posPart[p] = template.NewPredSet(pred)
-			addSeed(posPart)
+			jobs = append(jobs, posPart)
+		}
+	}
+	results := make([][]template.Solution, len(jobs))
+	par.ForEach(len(jobs), par.Workers(e.Opts.Parallel), func(i int) {
+		if e.Stop != nil && e.Stop() {
+			return
+		}
+		phiP := fl.FillSolution(jobs[i])
+		results[i] = e.OptimalNegativeSolutions(phiP, negDomain)
+	})
+	var seeds []template.Solution
+	for i, sols := range results {
+		for _, t := range sols {
+			seeds = append(seeds, jobs[i].Merge(t))
 		}
 	}
 	seeds = dedupe(seeds)

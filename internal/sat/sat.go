@@ -82,6 +82,12 @@ type Solver struct {
 	// don't grow without limit across thousands of probes.
 	MaxLearnts int
 
+	// FixedPolarity disables phase saving: every branch decision assigns its
+	// variable the initial (false) phase, so models are biased toward few
+	// true variables. The map solver of the optimal-solutions enumeration
+	// relies on this to propose near-minimal lattice points first.
+	FixedPolarity bool
+
 	clauses  []*clause
 	learnts  []*clause
 	watches  [][]watcher // indexed by literal
@@ -100,6 +106,14 @@ type Solver struct {
 
 	conflict   []Lit // failed-assumption core of the last SolveAssuming
 	maxLearnts int   // current adaptive reduceDB bound (from MaxLearnts)
+
+	// seen is the per-variable scratch marker shared by analyze and
+	// analyzeFinal (all-false between uses); litStamp/stamp is the
+	// per-literal epoch marker used by AddClause's dedup. Both avoid a map
+	// allocation per conflict/clause, which dominated the solver's profile.
+	seen     []bool
+	litStamp []uint32
+	stamp    uint32
 
 	// Stats counts solver work for diagnostics and the paper's figures.
 	Stats struct {
@@ -147,6 +161,8 @@ func (s *Solver) NewVar() int {
 	s.activity = append(s.activity, 0)
 	s.polarity = append(s.polarity, true)
 	s.watches = append(s.watches, nil, nil)
+	s.seen = append(s.seen, false)
+	s.litStamp = append(s.litStamp, 0, 0)
 	s.order.insert(v)
 	return v
 }
@@ -175,14 +191,16 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if len(s.trailLim) != 0 {
 		s.cancelUntil(0)
 	}
-	// Normalize: drop duplicate and false literals; detect tautologies.
-	seen := map[Lit]bool{}
+	// Normalize: drop duplicate and false literals; detect tautologies. The
+	// per-literal epoch stamp makes the dedup allocation-free even for the
+	// long blocking clauses the DPLL(T) loop and the map solver add.
+	s.stamp++
 	out := lits[:0:0]
 	for _, l := range lits {
-		if seen[l.Not()] {
+		if s.litStamp[l.Not()] == s.stamp {
 			return true // tautology
 		}
-		if seen[l] {
+		if s.litStamp[l] == s.stamp {
 			continue
 		}
 		switch s.litValue(l) {
@@ -191,7 +209,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		case vFalse:
 			continue
 		}
-		seen[l] = true
+		s.litStamp[l] = s.stamp
 		out = append(out, l)
 	}
 	switch len(out) {
@@ -295,7 +313,9 @@ func (s *Solver) cancelUntil(lvl int) {
 	}
 	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
 		v := s.trail[i].Var()
-		s.polarity[v] = s.assigns[v] == vFalse
+		if !s.FixedPolarity {
+			s.polarity[v] = s.assigns[v] == vFalse
+		}
 		s.assigns[v] = unassigned
 		s.reason[v] = nil
 		s.order.insert(v)
@@ -309,7 +329,6 @@ func (s *Solver) cancelUntil(lvl int) {
 // (first literal is the asserting one) and the backtrack level.
 func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	learnt := []Lit{0} // slot for the asserting literal
-	seen := make(map[int]bool)
 	counter := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
@@ -324,8 +343,8 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 				continue
 			}
 			v := q.Var()
-			if !seen[v] && s.level[v] > 0 {
-				seen[v] = true
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
 				s.bumpVar(v)
 				if s.level[v] >= curLevel {
 					counter++
@@ -335,12 +354,12 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 			}
 		}
 		// Find the next literal on the trail to resolve on.
-		for !seen[s.trail[idx].Var()] {
+		for !s.seen[s.trail[idx].Var()] {
 			idx--
 		}
 		p = s.trail[idx]
 		idx--
-		seen[p.Var()] = false
+		s.seen[p.Var()] = false
 		counter--
 		if counter == 0 {
 			break
@@ -348,6 +367,11 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		confl = s.reason[p.Var()]
 	}
 	learnt[0] = p.Not()
+	// Restore the all-false invariant of the shared scratch marker: only the
+	// collected lower-level literals are still marked.
+	for _, l := range learnt[1:] {
+		s.seen[l.Var()] = false
+	}
 
 	// Compute backtrack level: second-highest level in the clause.
 	btLevel := 0
@@ -489,10 +513,10 @@ func (s *Solver) analyzeFinal(a Lit) []Lit {
 	if len(s.trailLim) == 0 {
 		return out
 	}
-	seen := map[int]bool{a.Var(): true}
+	s.seen[a.Var()] = true
 	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
 		v := s.trail[i].Var()
-		if !seen[v] {
+		if !s.seen[v] {
 			continue
 		}
 		if s.reason[v] == nil {
@@ -502,19 +526,20 @@ func (s *Solver) analyzeFinal(a Lit) []Lit {
 		} else {
 			for _, q := range s.reason[v].lits {
 				if q.Var() != v && s.level[q.Var()] > 0 {
-					seen[q.Var()] = true
+					s.seen[q.Var()] = true
 				}
 			}
 		}
-		seen[v] = false
+		s.seen[v] = false
 	}
+	s.seen[a.Var()] = false // a may sit below trailLim[0] (enqueued at level 0)
 	// The falsified assumption can itself appear as an assumption decision
 	// (e.g. contradictory assumption lists); dedupe by literal.
+	s.stamp++
 	uniq := out[:0]
-	seenLit := map[Lit]bool{}
 	for _, l := range out {
-		if !seenLit[l] {
-			seenLit[l] = true
+		if s.litStamp[l] != s.stamp {
+			s.litStamp[l] = s.stamp
 			uniq = append(uniq, l)
 		}
 	}
@@ -600,15 +625,17 @@ func (s *Solver) Model() []bool {
 	return m
 }
 
-// varHeap is a max-heap over variable activities.
+// varHeap is a max-heap over variable activities. Positions are tracked in a
+// dense slice (-1 = absent) rather than a map: swap sits on the propagate/
+// backtrack hot path.
 type varHeap struct {
 	act     *[]float64
 	heap    []int
-	indices map[int]int
+	indices []int // variable → heap position, -1 when absent
 }
 
 func newVarHeap(act *[]float64) *varHeap {
-	return &varHeap{act: act, indices: map[int]int{}}
+	return &varHeap{act: act}
 }
 
 func (h *varHeap) size() int { return len(h.heap) }
@@ -651,7 +678,10 @@ func (h *varHeap) down(i int) {
 }
 
 func (h *varHeap) insert(v int) {
-	if _, ok := h.indices[v]; ok {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
 		return
 	}
 	h.heap = append(h.heap, v)
@@ -660,9 +690,11 @@ func (h *varHeap) insert(v int) {
 }
 
 func (h *varHeap) update(v int) {
-	if i, ok := h.indices[v]; ok {
-		h.up(i)
-		h.down(i)
+	if v < len(h.indices) {
+		if i := h.indices[v]; i >= 0 {
+			h.up(i)
+			h.down(i)
+		}
 	}
 }
 
@@ -671,7 +703,7 @@ func (h *varHeap) pop() int {
 	last := len(h.heap) - 1
 	h.swap(0, last)
 	h.heap = h.heap[:last]
-	delete(h.indices, v)
+	h.indices[v] = -1
 	if last > 0 {
 		h.down(0)
 	}

@@ -38,13 +38,18 @@ import (
 // moment an atom leaves the fragment or a resource bound would make the
 // incremental answer approximate where the fresh one is not.
 type Context struct {
-	s  *Solver
-	mu sync.Mutex
+	s     *Solver
+	group *ctxGroup
+	mu    sync.Mutex
 
 	// dead marks the context dormant (an atom left the difference fragment
 	// or the Ackermann pair budget was exhausted); every later probe falls
 	// back to the parent solver's from-scratch path.
 	dead bool
+
+	// imported is how many lemmas of the group's exchange this lane has
+	// already asserted locally; reset together with the SAT instance.
+	imported int
 
 	sat *sat.Solver
 	g   *grounder
@@ -86,12 +91,98 @@ const (
 	// accumulate past this bound; a recycled context restarts empty, which
 	// is always sound (it is exactly a fresh context).
 	ctxMaxVars = 200000
+	// ctxMaxLanes bounds the per-skeleton lane pool: under contention a
+	// probe prefers creating a sibling lane (own SAT instance and grounder,
+	// shared lemma exchange) over the from-scratch path, up to this many.
+	ctxMaxLanes = 8
+	// ctxMaxExchanged bounds one group's lemma exchange; beyond it lanes
+	// stop publishing (imports of already-published lemmas continue).
+	ctxMaxExchanged = 4096
 )
+
+// ctxGroup is the shared state of all lanes solving one skeleton: the lane
+// pool itself and the cross-lane theory-lemma exchange. Lemmas travel as
+// (lia.Lin, value) vectors — grounder-independent facts — and each lane
+// re-interns them into its own atom space, so lanes never share mutable
+// solver state and a lemma learned by one worker prunes every other worker's
+// search. All lemmas are theory-valid, so importing them never flips a
+// verdict.
+type ctxGroup struct {
+	s *Solver
+
+	mu    sync.Mutex
+	lanes []*Context
+
+	exch struct {
+		mu     sync.RWMutex
+		lemmas []theoryLemma
+	}
+}
+
+// theoryLemma is one theory conflict in grounder-independent form: the
+// conjunction of (lin_i ≤ 0) == val_i over the listed atoms is
+// integer-infeasible.
+type theoryLemma struct {
+	lins []lia.Lin
+	vals []bool
+}
+
+// snapshotLanes returns the current lane slice; lanes are append-only, so the
+// prefix is stable and safe to scan without the group lock.
+func (g *ctxGroup) snapshotLanes() []*Context {
+	g.mu.Lock()
+	lanes := g.lanes
+	g.mu.Unlock()
+	return lanes
+}
+
+// addLane creates a sibling lane when the pool and the solver-wide budget
+// allow it, returning nil otherwise.
+func (g *ctxGroup) addLane() *Context {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.lanes) >= ctxMaxLanes {
+		return nil
+	}
+	c := &Context{s: g.s, group: g}
+	c.reset()
+	g.s.ctxCreated.Add(1)
+	g.lanes = append(g.lanes, c)
+	return c
+}
+
+// multi reports whether the group ever grew a second lane; single-lane groups
+// skip lemma publication entirely (nobody would import).
+func (g *ctxGroup) multi() bool {
+	g.mu.Lock()
+	n := len(g.lanes)
+	g.mu.Unlock()
+	return n > 1
+}
+
+// publish appends freshly learned theory lemmas to the exchange, up to the
+// group budget.
+func (g *ctxGroup) publish(lems []theoryLemma) {
+	if len(lems) == 0 {
+		return
+	}
+	g.exch.mu.Lock()
+	room := ctxMaxExchanged - len(g.exch.lemmas)
+	if room > 0 {
+		if len(lems) > room {
+			lems = lems[:room]
+		}
+		g.exch.lemmas = append(g.exch.lemmas, lems...)
+	}
+	g.exch.mu.Unlock()
+}
 
 func (s *Solver) newContext() *Context {
 	s.ctxCreated.Add(1)
-	c := &Context{s: s}
+	g := &ctxGroup{s: s}
+	c := &Context{s: s, group: g}
 	c.reset()
+	g.lanes = []*Context{c}
 	return c
 }
 
@@ -110,6 +201,7 @@ func (c *Context) reset() {
 	c.assign = nil
 	c.lits = nil
 	c.lemmas = 0
+	c.imported = 0
 }
 
 // Valid mirrors Solver.Valid — same memo table, same trivial short-circuits,
@@ -137,7 +229,7 @@ func (c *Context) Valid(f logic.Formula) bool {
 	if b, ok := sn.Formula().(logic.Bool); ok {
 		v = b.Val
 		c.s.queries.Add(1)
-	} else if ground, done, gv := c.s.groundForm(sn.Negated().Formula()); done {
+	} else if ground, done, gv := c.s.groundForm(sn.Negated()); done {
 		v = !gv
 		c.s.queries.Add(1)
 	} else if satisfiable, ok := c.tryDecide(ground); ok {
@@ -158,13 +250,31 @@ func (c *Context) Valid(f logic.Formula) bool {
 }
 
 // tryDecide decides satisfiability of a ground formula incrementally.
-// ok=false means the context could not answer exactly and the caller must
-// take the from-scratch path.
+// ok=false means no lane of the group could answer exactly and the caller
+// must take the from-scratch path. Under lock contention the probe walks the
+// group's lane pool and, when every lane is busy, creates a sibling lane —
+// scaling incremental solving across workers instead of degrading to
+// from-scratch decisions.
 func (c *Context) tryDecide(ground logic.Formula) (satisfiable, ok bool) {
-	if !c.mu.TryLock() {
-		return false, false
+	for _, lane := range c.group.snapshotLanes() {
+		if !lane.mu.TryLock() {
+			continue
+		}
+		v, ok := lane.decideLocked(ground)
+		lane.mu.Unlock()
+		return v, ok
 	}
-	defer c.mu.Unlock()
+	if lane := c.group.addLane(); lane != nil {
+		lane.mu.Lock()
+		v, ok := lane.decideLocked(ground)
+		lane.mu.Unlock()
+		return v, ok
+	}
+	return false, false
+}
+
+// decideLocked is tryDecide's per-lane body; the lane's lock must be held.
+func (c *Context) decideLocked(ground logic.Formula) (satisfiable, ok bool) {
 	if c.dead {
 		return false, false
 	}
@@ -172,6 +282,7 @@ func (c *Context) tryDecide(ground logic.Formula) (satisfiable, ok bool) {
 		c.reset()
 	}
 	root := c.encNode(ground)
+	c.importLemmas()
 	if !c.emitAckermann() || !c.syncAtoms() {
 		c.dead = true
 		return false, false
@@ -179,8 +290,49 @@ func (c *Context) tryDecide(ground logic.Formula) (satisfiable, ok bool) {
 	if c.lemmas > 0 || c.sat.NumLearnts() > 0 {
 		c.s.lemmaReuse.Add(1)
 	}
-	v, _ := c.probeLoop(root)
+	var pub []theoryLemma
+	v, _ := c.probeLoop(&pub, root)
+	c.group.publish(pub)
 	return v, true
+}
+
+// importLemmas asserts every exchange lemma this lane has not seen yet,
+// re-interning each (lin, value) vector into the lane's own atom space. New
+// atoms get SAT variables immediately; the following syncAtoms call folds
+// them into the dense theory-check state.
+func (c *Context) importLemmas() {
+	g := c.group
+	g.exch.mu.RLock()
+	lems := g.exch.lemmas
+	g.exch.mu.RUnlock()
+	if c.imported >= len(lems) {
+		return
+	}
+	for _, lem := range lems[c.imported:] {
+		clause := make([]sat.Lit, len(lem.lins))
+		usable := true
+		for k, l := range lem.lins {
+			pl, isLit := c.g.internLeq(l).(pLit)
+			if !isLit {
+				usable = false
+				break
+			}
+			v, have := c.enc.atomVar[pl.atom]
+			if !have {
+				v = c.sat.NewVar()
+				c.enc.atomVar[pl.atom] = v
+			}
+			// The conflict asserted (l ≤ 0) == vals[k]; in terms of the
+			// canonical atom that is atom == (vals[k] XOR pl.neg), and the
+			// clause carries its negation.
+			clause[k] = sat.MkLit(v, lem.vals[k] != pl.neg)
+		}
+		if usable {
+			c.sat.AddClause(clause...)
+			c.s.lemmasShared.Add(1)
+		}
+	}
+	c.imported = len(lems)
 }
 
 // Consistent reports whether the conjunction of preds has a model. When it
@@ -196,10 +348,25 @@ func (c *Context) tryDecide(ground logic.Formula) (satisfiable, ok bool) {
 // probes are SolveAssuming calls over the selected literals, and the SAT
 // core maps back to predicate identities through the selector table.
 func (c *Context) Consistent(preds []logic.Formula) (consistent bool, core []logic.Formula, ok bool) {
-	if !c.mu.TryLock() {
-		return false, nil, false
+	for _, lane := range c.group.snapshotLanes() {
+		if !lane.mu.TryLock() {
+			continue
+		}
+		consistent, core, ok = lane.consistentLocked(preds)
+		lane.mu.Unlock()
+		return consistent, core, ok
 	}
-	defer c.mu.Unlock()
+	if lane := c.group.addLane(); lane != nil {
+		lane.mu.Lock()
+		consistent, core, ok = lane.consistentLocked(preds)
+		lane.mu.Unlock()
+		return consistent, core, ok
+	}
+	return false, nil, false
+}
+
+// consistentLocked is Consistent's per-lane body; the lane's lock must be held.
+func (c *Context) consistentLocked(preds []logic.Formula) (consistent bool, core []logic.Formula, ok bool) {
 	if c.dead {
 		return false, nil, false
 	}
@@ -218,6 +385,7 @@ func (c *Context) Consistent(preds []logic.Formula) (consistent bool, core []log
 			assumps = append(assumps, l)
 		}
 	}
+	c.importLemmas()
 	if !c.emitAckermann() || !c.syncAtoms() {
 		c.dead = true
 		return false, nil, false
@@ -226,7 +394,9 @@ func (c *Context) Consistent(preds []logic.Formula) (consistent bool, core []log
 		c.s.lemmaReuse.Add(1)
 	}
 	c.s.ctxProbes.Add(1)
-	v, satCore := c.probeLoop(assumps...)
+	var pub []theoryLemma
+	v, satCore := c.probeLoop(&pub, assumps...)
+	c.group.publish(pub)
 	if v {
 		return true, nil, true
 	}
@@ -401,8 +571,11 @@ func (c *Context) syncAtoms() bool {
 // persistent instance: SAT model → exact theory check over the full atom set
 // → blocking lemma, until a theory-consistent model or propositional unsat.
 // Lemmas persist — they are valid facts about the atoms, shared by every
-// later probe. On unsat the failed-assumption core is returned.
-func (c *Context) probeLoop(assumps ...sat.Lit) (satisfiable bool, core []sat.Lit) {
+// later probe. When pub points at a collection (the group has sibling lanes),
+// each learned lemma is also recorded in grounder-independent form for the
+// exchange. On unsat the failed-assumption core is returned.
+func (c *Context) probeLoop(pub *[]theoryLemma, assumps ...sat.Lit) (satisfiable bool, core []sat.Lit) {
+	share := pub != nil && c.group.multi()
 	for iter := 0; iter < c.s.opts.MaxTheoryIterations; iter++ {
 		if c.s.opts.Stop != nil && c.s.opts.Stop() {
 			return true, nil // conservative, as in decideGround
@@ -423,6 +596,17 @@ func (c *Context) probeLoop(assumps ...sat.Lit) (satisfiable bool, core []sat.Li
 		blocking := make([]sat.Lit, 0, len(res.Conflict))
 		for _, ci := range res.Conflict {
 			blocking = append(blocking, c.lits[ci].Not())
+		}
+		if share {
+			lem := theoryLemma{
+				lins: make([]lia.Lin, len(res.Conflict)),
+				vals: make([]bool, len(res.Conflict)),
+			}
+			for k, ci := range res.Conflict {
+				lem.lins[k] = c.g.lins[ci]
+				lem.vals[k] = c.assign[ci]
+			}
+			*pub = append(*pub, lem)
 		}
 		if !c.sat.AddClause(blocking...) {
 			return false, nil

@@ -1,7 +1,9 @@
 package smt
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/logic"
@@ -214,5 +216,92 @@ func TestContextForRegistry(t *testing.T) {
 	}
 	if off.Incremental() {
 		t.Error("Incremental() should be false under NoIncremental")
+	}
+}
+
+// TestContextLanePoolConcurrent hammers one context group from many
+// goroutines. Contended probes must fan out across sibling lanes (never
+// degrading to a wrong answer), and every verdict — including any that rode
+// on lemmas imported from another lane's exchange — must match a fresh
+// solver's.
+func TestContextLanePoolConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	const n = 240
+	fs := make([]logic.Formula, n)
+	want := make([]bool, n)
+	for i := range fs {
+		fs[i] = genDiffFormula(rng, 3)
+		want[i] = freshVerdict(fs[i])
+	}
+	s := NewSolver(Options{})
+	ctx := s.NewContext()
+	const workers = 8
+	errs := make(chan string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if got := ctx.Valid(fs[i]); got != want[i] {
+					errs <- fmt.Sprintf("probe %d: lane verdict %v, fresh %v on %v", i, got, want[i], fs[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if got := len(ctx.group.snapshotLanes()); got < 1 || got > ctxMaxLanes {
+		t.Errorf("lane count %d outside [1, %d]", got, ctxMaxLanes)
+	}
+}
+
+// TestContextLemmaExchange forces two lanes directly and checks that a theory
+// lemma learned by the first is imported and asserted by the second without
+// changing its verdicts.
+func TestContextLemmaExchange(t *testing.T) {
+	s := NewSolver(Options{})
+	ctx := s.NewContext()
+	lane2 := ctx.group.addLane()
+	if lane2 == nil {
+		t.Fatal("could not add a second lane")
+	}
+	// a < b ∧ b < c ∧ c < a is propositionally fine but theory-unsat, so
+	// deciding its negation's validity learns at least one theory lemma.
+	cyc := logic.Conj(
+		logic.LtF(logic.V("a"), logic.V("b")),
+		logic.LtF(logic.V("b"), logic.V("c")),
+		logic.LtF(logic.V("c"), logic.V("a")),
+	)
+	lane1 := ctx.group.snapshotLanes()[0]
+	lane1.mu.Lock()
+	g, done, _ := s.groundForm(logic.Intern(cyc))
+	if done {
+		t.Fatal("cycle formula decided syntactically")
+	}
+	sat1, ok := lane1.decideLocked(g)
+	lane1.mu.Unlock()
+	if !ok || sat1 {
+		t.Fatalf("lane1 decide = (%v, %v), want unsat incremental", sat1, ok)
+	}
+	if len(ctx.group.exch.lemmas) == 0 {
+		t.Fatal("lane1 published no theory lemmas")
+	}
+	lane2.mu.Lock()
+	sat2, ok2 := lane2.decideLocked(g)
+	imported := lane2.imported
+	lane2.mu.Unlock()
+	if !ok2 || sat2 {
+		t.Fatalf("lane2 decide = (%v, %v), want unsat incremental", sat2, ok2)
+	}
+	if imported == 0 {
+		t.Error("lane2 imported no lemmas from the exchange")
+	}
+	if s.NumSharedLemmas() == 0 {
+		t.Error("NumSharedLemmas did not advance")
 	}
 }

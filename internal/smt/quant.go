@@ -103,13 +103,43 @@ func boundVarNames(f logic.Formula) map[string]bool {
 	return out
 }
 
+// termMentions reports whether t mentions any integer variable in names. It
+// is called for every term and atom the instantiation walks touch, so it is a
+// direct short-circuiting recursion rather than a TermVars set collection
+// (which would allocate two maps per call). The traversal mirrors TermVars
+// exactly — including walking only the X side of Mul (the linear fragment
+// keeps Y constant).
 func termMentions(t logic.Term, names map[string]bool) bool {
-	vs, as := map[string]bool{}, map[string]bool{}
-	logic.TermVars(t, vs, as)
-	for v := range vs {
-		if names[v] {
-			return true
+	switch t := t.(type) {
+	case logic.Var:
+		return names[t.Name]
+	case logic.IntLit:
+		return false
+	case logic.Add:
+		return termMentions(t.X, names) || termMentions(t.Y, names)
+	case logic.Sub:
+		return termMentions(t.X, names) || termMentions(t.Y, names)
+	case logic.Mul:
+		return termMentions(t.X, names)
+	case logic.Select:
+		return arrMentions(t.A, names) || termMentions(t.Idx, names)
+	case logic.Apply:
+		for _, a := range t.Args {
+			if termMentions(a, names) {
+				return true
+			}
 		}
+		return false
+	}
+	return false
+}
+
+func arrMentions(a logic.Arr, names map[string]bool) bool {
+	switch a := a.(type) {
+	case logic.ArrVar:
+		return false
+	case logic.Store:
+		return arrMentions(a.A, names) || termMentions(a.Idx, names) || termMentions(a.Val, names)
 	}
 	return false
 }
@@ -555,10 +585,13 @@ func instantiate(f logic.Formula, env *instEnv) logic.Formula {
 		}
 		var out []logic.Formula
 		tuple := make([]logic.Term, k)
+		// One substitution map per quantifier, overwritten per tuple:
+		// Substitute only reads it, so reuse is safe and saves a map
+		// allocation per instance.
+		sub := make(map[string]logic.Term, k)
 		var gen func(int)
 		gen = func(i int) {
 			if i == k {
-				sub := make(map[string]logic.Term, k)
 				for j, v := range f.Vars {
 					sub[v] = tuple[j]
 				}

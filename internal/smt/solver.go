@@ -81,9 +81,10 @@ type Solver struct {
 	// skeleton) and its counters.
 	ctxMu      sync.RWMutex
 	ctxs       map[*logic.IFormula]*Context
-	ctxCreated atomic.Int64 // contexts created (registry + standalone)
-	ctxProbes  atomic.Int64 // probes decided incrementally under assumptions
-	lemmaReuse atomic.Int64 // probes that reused learnt clauses or theory lemmas
+	ctxCreated   atomic.Int64 // contexts created (registry + standalone + lanes)
+	ctxProbes    atomic.Int64 // probes decided incrementally under assumptions
+	lemmaReuse   atomic.Int64 // probes that reused learnt clauses or theory lemmas
+	lemmasShared atomic.Int64 // theory lemmas imported from a sibling lane's exchange
 }
 
 // maxContexts bounds the per-skeleton registry; beyond it ContextFor returns
@@ -122,6 +123,10 @@ func (s *Solver) NumAssumptionProbes() int64 { return s.ctxProbes.Load() }
 // SAT instance that already held learnt clauses or persisted theory lemmas
 // from earlier probes.
 func (s *Solver) NumLemmaReuseHits() int64 { return s.lemmaReuse.Load() }
+
+// NumSharedLemmas returns how many theory lemmas were imported across sibling
+// lanes of a context group (each import counts once per receiving lane).
+func (s *Solver) NumSharedLemmas() int64 { return s.lemmasShared.Load() }
 
 // Incremental reports whether persistent assumption-based contexts are
 // enabled (Options.NoIncremental unset).
@@ -191,8 +196,10 @@ func (s *Solver) Valid(f logic.Formula) bool {
 	sn := n.Simplified()
 	if b, ok := sn.Formula().(logic.Bool); ok {
 		v = b.Val
+	} else if ground, done, gv := s.groundForm(sn.Negated()); done {
+		v = !gv
 	} else {
-		v = !s.Satisfiable(sn.Negated().Formula())
+		v = !s.decideGround(ground)
 	}
 	s.stats.RecordQuery(time.Since(start))
 	s.queries.Add(1)
@@ -226,7 +233,7 @@ func normalizeForSolving(f logic.Formula) logic.Formula {
 // instantiation: "false" (unsat) is sound; "true" is exact for ground
 // formulas and best-effort for quantified ones.
 func (s *Solver) Satisfiable(f logic.Formula) bool {
-	ground, done, v := s.groundForm(f)
+	ground, done, v := s.groundForm(logic.Intern(f))
 	if done {
 		return v
 	}
@@ -236,11 +243,13 @@ func (s *Solver) Satisfiable(f logic.Formula) bool {
 // groundForm runs the pure preprocessing pipeline shared by the from-scratch
 // and incremental paths: normalization followed by bounded quantifier
 // instantiation. It returns the ground formula to decide, or done=true with
-// the syntactic verdict. The result is a pure function of f and the solver
-// options, so incremental contexts can preprocess per probe and still agree
-// with Satisfiable on every query.
-func (s *Solver) groundForm(f logic.Formula) (ground logic.Formula, done, v bool) {
-	f = logic.Intern(f).Normalized(normalizeForSolving).Formula()
+// the syntactic verdict. The result is a pure function of the formula and the
+// solver options, so incremental contexts can preprocess per probe and still
+// agree with Satisfiable on every query. Taking the interned handle lets
+// callers that already hold one (Valid's negation chain) skip a full hash
+// walk of the formula.
+func (s *Solver) groundForm(n *logic.IFormula) (ground logic.Formula, done, v bool) {
+	f := n.Normalized(normalizeForSolving).Formula()
 	if b, ok := f.(logic.Bool); ok {
 		return nil, true, b.Val
 	}
@@ -252,8 +261,13 @@ func (s *Solver) groundForm(f logic.Formula) (ground logic.Formula, done, v bool
 		for round := 0; round < s.opts.InstRounds; round++ {
 			// Candidates come from both the quantified formula (guard
 			// boundary terms, original index terms) and the previous ground
-			// round (skolem witnesses that appeared as array indices).
-			both := logic.And{Fs: []logic.Formula{f, ground}}
+			// round (skolem witnesses that appeared as array indices). In
+			// round 0 the two coincide and the collectors dedup by term, so
+			// walking f once yields the identical candidate sets.
+			var both logic.Formula = f
+			if round > 0 {
+				both = logic.And{Fs: []logic.Formula{f, ground}}
+			}
 			env := &instEnv{
 				fallback:     collectInstTerms(both, bound),
 				arrIndices:   groundArrayIndices(both, bound),

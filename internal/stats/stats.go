@@ -23,6 +23,7 @@ type Collector struct {
 	satClauses     []int           // Figure 9: #clauses per CFP SAT formula
 	satVars        []int           // Figure 9 companion: #variables per CFP SAT formula
 	coreSizes      []int           // #predicates per unsat core extracted by consistency probes
+	coreEvictions  int             // cores evicted from the engine-global store to admit newer ones
 }
 
 // New returns an empty collector.
@@ -92,6 +93,24 @@ func (c *Collector) RecordCoreSize(n int) {
 	c.mu.Lock()
 	c.coreSizes = append(c.coreSizes, n)
 	c.mu.Unlock()
+}
+
+// RecordCoreEviction records that one stored core was evicted from the
+// engine-global core store to make room for a newer one.
+func (c *Collector) RecordCoreEviction() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.coreEvictions++
+	c.mu.Unlock()
+}
+
+// CoreEvictions returns how many core-store evictions were recorded.
+func (c *Collector) CoreEvictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coreEvictions
 }
 
 // CoreSizes returns a copy of the recorded unsat-core sizes.
@@ -239,6 +258,6 @@ func (c *Collector) WriteSummary(w io.Writer) {
 		Median(c.candidates), Max(c.candidates), len(c.candidates))
 	fmt.Fprintf(w, "CFP SAT sizes: median clauses=%d max clauses=%d over %d formulas\n",
 		Median(c.satClauses), Max(c.satClauses), len(c.satClauses))
-	fmt.Fprintf(w, "Unsat core sizes: median=%d max=%d over %d cores\n",
-		Median(c.coreSizes), Max(c.coreSizes), len(c.coreSizes))
+	fmt.Fprintf(w, "Unsat core sizes: median=%d max=%d over %d cores (%d evicted)\n",
+		Median(c.coreSizes), Max(c.coreSizes), len(c.coreSizes), c.coreEvictions)
 }
