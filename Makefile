@@ -14,7 +14,7 @@ BENCH_N ?= 4
 # Baseline report that bench-compare diffs against.
 BENCH_BASE ?= BENCH_3.json
 
-.PHONY: all build vet test test-short test-race test-differential bench bench-json bench-compare bench-quick profile check clean
+.PHONY: all build vet test test-short test-race test-differential serve-smoke bench bench-json bench-compare bench-quick profile check clean
 
 all: check
 
@@ -44,11 +44,19 @@ test-race:
 # detector (reused-vs-fresh SAT probes, context-vs-fresh SMT verdicts,
 # fixpoint determinism, ψ_Prog byte-identity), plus the map-solver-vs-legacy-
 # BFS solution-set equivalence sweep: every examples/ problem with the
-# CrossCheck hook on, and randomized small lattices.
+# CrossCheck hook on, randomized small lattices, and the randomized §6
+# precondition-enumeration sweep (both enumerators must return equal
+# maximally-weak precondition sets modulo logical equivalence).
 test-differential:
 	$(GO) test -short -race -run 'TestReusedVsFresh|TestSolveAssuming|TestSolveReuse|TestContext|TestFixpointDeterministic|TestFixpointIncremental|TestPsiProg|TestCFPIncremental' \
 		./internal/sat/ ./internal/smt/ ./internal/fixpoint/ ./internal/cbi/
-	$(GO) test -run 'TestMapVsBFS|TestCompareParallel' ./internal/optimal/ ./internal/bench/
+	$(GO) test -run 'TestMapVsBFS|TestCompareParallel' ./internal/optimal/ ./internal/bench/ ./internal/precond/
+
+# End-to-end check of the vs3d HTTP daemon: boots the real server on an
+# ephemeral port, verifies a spec with all three methods, infers
+# preconditions, reads /v1/stats, and shuts down cleanly.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -v ./cmd/vs3d/
 
 # Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
 # interning/hot-path benchmarks (cache-hit keying, structural equality,

@@ -74,7 +74,7 @@ func run(path, method string, pre, showStats bool) error {
 	v := core.New(core.Config{Stats: collector})
 
 	if pre {
-		pres, err := v.InferPreconditions(prob)
+		pres, enum, err := v.InferPreconditions(prob)
 		if err != nil {
 			return err
 		}
@@ -83,6 +83,9 @@ func run(path, method string, pre, showStats bool) error {
 		}
 		for i, p := range pres {
 			fmt.Printf("precondition %d: %s\n", i+1, p.Pre)
+		}
+		if enum.Truncated {
+			fmt.Println("note: enumeration truncated (candidate/step bound hit); the set may be incomplete")
 		}
 		if showStats {
 			collector.WriteSummary(os.Stdout)

@@ -1,0 +1,84 @@
+// Command vs3d serves the verifier as a long-lived HTTP daemon, amortizing
+// the engine's caches (interned formulas, compiled fillers, incremental SMT
+// contexts, the shared unsat-core store) across requests instead of
+// rebuilding them per process.
+//
+// Usage:
+//
+//	vs3d [-addr :8080] [-pool N] [-queue N] [-timeout 60s] [-max-timeout 5m]
+//
+// Endpoints (see internal/serve and the README "Serving" section):
+//
+//	POST /v1/verify         run one algorithm on a vs3 spec
+//	POST /v1/preconditions  infer maximally-weak preconditions (§6)
+//	GET  /v1/stats          pool, queue, and solver-cache counters
+//	GET  /healthz           liveness probe
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 0, "verifier sessions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued requests beyond the pool before 429 (0 = 4×pool)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Pool:           *pool,
+		Queue:          *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vs3d:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, ln, cfg, log.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "vs3d:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves on ln until ctx is cancelled, then drains in-flight requests
+// (bounded by the configured max timeout) before returning. Split from main
+// so the smoke test can drive the real daemon on an ephemeral port.
+func run(ctx context.Context, ln net.Listener, cfg serve.Config, logger *log.Logger) error {
+	srv := &http.Server{Handler: serve.New(cfg).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Printf("vs3d: serving on %s", ln.Addr())
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("vs3d: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout+5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

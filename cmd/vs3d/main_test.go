@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestServeSmoke boots the real daemon (the same run() main drives) on an
+// ephemeral port, exercises every endpoint over TCP, and shuts it down the
+// way a SIGTERM would. This is `make serve-smoke`.
+func TestServeSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, ln, serve.Config{Pool: 2, MaxTimeout: 30 * time.Second}, log.New(io.Discard, "", 0))
+	}()
+
+	waitHealthy(t, base)
+
+	spec := `
+program ArrayInit(array A, n) {
+  i := 0;
+  while loop (i < n) {
+    A[i] := 0;
+    i := i + 1;
+  }
+  assert(forall j. (0 <= j && j < n) => A[j] = 0);
+}
+template loop: forall j. ?v => A[j] = 0;
+predicates v: j >= 0, j < i, j <= i, j < n, j <= n;
+`
+	for _, method := range []string{"lfp", "gfp", "cfp"} {
+		body, _ := json.Marshal(map[string]any{"spec": spec, "method": method})
+		resp, err := http.Post(base+"/v1/verify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Proved  bool `json:"proved"`
+			Aborted bool `json:"aborted"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !out.Proved {
+			t.Fatalf("%s: status=%d proved=%v", method, resp.StatusCode, out.Proved)
+		}
+	}
+
+	preSpec := `
+program GuardedInit(array A, n, m) {
+  i := 0;
+  while loop (i < n) {
+    A[i] := 0;
+    i := i + 1;
+  }
+  assert(forall k. (0 <= k && k < m) => A[k] = 0);
+}
+template entry: ?pre;
+template loop: ?v0 && (forall k. ?v1 => A[k] = 0);
+predicates pre: m <= n, n <= m, m <= 0;
+predicates v0: m <= n, i <= n, 0 <= i;
+predicates v1: 0 <= k, k < i, k < n, k < m;
+`
+	body, _ := json.Marshal(map[string]any{"spec": preSpec})
+	resp, err := http.Post(base+"/v1/preconditions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pre struct {
+		Preconditions []string `json:"preconditions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pre); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(pre.Preconditions) == 0 {
+		t.Fatalf("preconditions: status=%d %v", resp.StatusCode, pre.Preconditions)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Requests int64 `json:"requests"`
+		Queries  int64 `json:"smt_queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests != 4 {
+		t.Errorf("stats requests = %d, want 4", st.Requests)
+	}
+	if st.Queries == 0 {
+		t.Error("stats report zero SMT queries after four verification runs")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -29,7 +29,7 @@ func main() {
 		fmt.Printf("== %s ==\n", job.name)
 		v := core.New(core.Config{})
 		start := time.Now()
-		pres, err := v.InferPreconditions(job.build())
+		pres, enum, err := v.InferPreconditions(job.build())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,6 +37,9 @@ func main() {
 			len(pres), time.Since(start).Round(time.Millisecond))
 		for i, p := range pres {
 			fmt.Printf("  pre %d: %s\n", i+1, p.Pre)
+		}
+		if enum.Truncated {
+			fmt.Println("  note: enumeration truncated; the set may be incomplete")
 		}
 	}
 }

@@ -84,6 +84,13 @@ type Measurement struct {
 	SharedLemmas     int64
 	// Preconditions holds the inferred formulas for Precondition tasks.
 	Preconditions []logic.Formula
+	// Truncated reports that the cell's search space was clipped (candidate
+	// cap, step bound, or SAT model bound hit): a !Proved cell with
+	// Truncated set is "gave up", not a definite negative.
+	Truncated bool
+	// Aborted reports that the run was cancelled by the cell timeout's Stop
+	// flag before completing.
+	Aborted bool
 	// Err records a failure to run (distinct from "no invariant found").
 	Err error
 }
@@ -182,10 +189,12 @@ func (r *Runner) runOne(t Task, m core.Method) Measurement {
 			o, err := v.Verify(p, m)
 			mm.Err = err
 			mm.Proved = o.Proved
+			mm.Truncated, mm.Aborted = o.Truncated, o.Aborted
 		case Precondition:
-			pres, err := v.InferPreconditions(p)
+			pres, enum, err := v.InferPreconditions(p)
 			mm.Err = err
 			mm.Proved = len(pres) > 0
+			mm.Truncated, mm.Aborted = enum.Truncated, enum.Aborted
 			for _, pre := range pres {
 				mm.Preconditions = append(mm.Preconditions, pre.Pre)
 			}

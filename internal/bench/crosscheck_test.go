@@ -63,7 +63,7 @@ func TestWorstCasePreconditionForcesWorstCase(t *testing.T) {
 	}
 	p := QuickSortInnerWorstCase()
 	v := core.New(core.Config{})
-	pres, err := v.InferPreconditions(p)
+	pres, _, err := v.InferPreconditions(p)
 	if err != nil {
 		t.Fatal(err)
 	}

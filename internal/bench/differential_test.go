@@ -82,7 +82,7 @@ func TestMapVsBFSExamples(t *testing.T) {
 			cfg.Optimal.CrossCheck = cc.hook
 			v := core.New(cfg)
 			if cell.methods == nil {
-				if _, err := v.InferPreconditions(cell.build()); err != nil {
+				if _, _, err := v.InferPreconditions(cell.build()); err != nil {
 					t.Fatal(err)
 				}
 			} else {

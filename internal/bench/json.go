@@ -14,13 +14,13 @@ import (
 // minutes the full Table 6 sweep takes.
 func DefaultSuite() []Task {
 	return []Task{
-		SortednessTasks()[4],    // quick sort (inner)
-		PreservationTasks()[4],  // insertion sort
-		FunctionalTasks()[0],    // partial init precondition
-		FunctionalTasks()[1],    // init synthesis precondition
-		WorstCaseTasks()[2],     // quick sort (inner) bound
-		ArrayListTasks()[3],     // list delete
-		ArrayListTasks()[4],     // list insert
+		SortednessTasks()[4],   // quick sort (inner)
+		PreservationTasks()[4], // insertion sort
+		FunctionalTasks()[0],   // partial init precondition
+		FunctionalTasks()[1],   // init synthesis precondition
+		WorstCaseTasks()[2],    // quick sort (inner) bound
+		ArrayListTasks()[3],    // list delete
+		ArrayListTasks()[4],    // list insert
 	}
 }
 
@@ -41,13 +41,16 @@ type CellReport struct {
 	CacheHits int64   `json:"cache_hits"`
 	// Incremental-solving counters (see Measurement); omitted when zero so
 	// old reports and non-incremental runs stay compact.
-	Contexts         int64  `json:"contexts,omitempty"`
-	AssumptionProbes int64  `json:"assumption_probes,omitempty"`
-	LemmaReuse       int64  `json:"lemma_reuse,omitempty"`
-	CorePruned       int64  `json:"core_pruned,omitempty"`
-	CoreEvicted      int64  `json:"core_evicted,omitempty"`
-	SharedLemmas     int64  `json:"shared_lemmas,omitempty"`
-	Err              string `json:"error,omitempty"`
+	Contexts         int64 `json:"contexts,omitempty"`
+	AssumptionProbes int64 `json:"assumption_probes,omitempty"`
+	LemmaReuse       int64 `json:"lemma_reuse,omitempty"`
+	CorePruned       int64 `json:"core_pruned,omitempty"`
+	CoreEvicted      int64 `json:"core_evicted,omitempty"`
+	SharedLemmas     int64 `json:"shared_lemmas,omitempty"`
+	// Truncated and Aborted surface incomplete searches (see Measurement).
+	Truncated bool   `json:"truncated,omitempty"`
+	Aborted   bool   `json:"aborted,omitempty"`
+	Err       string `json:"error,omitempty"`
 }
 
 // Report is the machine-readable result of a benchmark run (BENCH_N.json).
@@ -97,6 +100,8 @@ func RunJSON(w io.Writer, r *Runner, suite string, tasks []Task) error {
 				CorePruned:       m.CorePruned,
 				CoreEvicted:      m.CoreEvicted,
 				SharedLemmas:     m.SharedLemmas,
+				Truncated:        m.Truncated,
+				Aborted:          m.Aborted,
 			}
 			if m.Err != nil {
 				cell.Err = m.Err.Error()

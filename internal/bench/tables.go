@@ -22,7 +22,18 @@ func fmtDur(m Measurement) string {
 		return "timeout"
 	}
 	if !m.Proved {
+		if m.Aborted {
+			return "aborted"
+		}
+		if m.Truncated {
+			return "fail*" // search truncated: gave up, not a definite negative
+		}
 		return "fail"
+	}
+	if m.Truncated {
+		// Proved, but an exhaustive enumeration was clipped (precondition
+		// tasks): the reported set may be incomplete.
+		return fmt.Sprintf("%.2fs*", m.Duration.Seconds())
 	}
 	return fmt.Sprintf("%.2fs", m.Duration.Seconds())
 }

@@ -1,0 +1,71 @@
+package cbi
+
+import (
+	"testing"
+
+	"repro/internal/optimal"
+	"repro/internal/smt"
+	"repro/internal/stats"
+)
+
+// TestStopAbortsBeforeModelLoop: with Stop already firing, Solve must bail
+// out after the encoding phase and report Aborted, not run the model loop
+// and report a (conservative, bogus) definite negative.
+func TestStopAbortsBeforeModelLoop(t *testing.T) {
+	p := arrayInitProblem()
+	eng := optimal.New(smt.NewSolver(smt.Options{}))
+	res, err := Solve(p, eng, Options{Stop: func() bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Error("Stop fired but Aborted=false")
+	}
+	if res.Found() {
+		t.Errorf("found a solution under an always-true Stop: %v", res.Solution)
+	}
+	if res.Models != 0 {
+		t.Errorf("examined %d models after Stop", res.Models)
+	}
+}
+
+// TestStopAbortsModelLoop arms Stop only once the ψ_Prog instance has been
+// built (RecordSATSize runs between the encoding and the model loop), so the
+// abort is exercised at the loop's own poll point.
+func TestStopAbortsModelLoop(t *testing.T) {
+	p := arrayInitProblem()
+	col := stats.New()
+	eng := optimal.New(smt.NewSolver(smt.Options{}))
+	stop := func() bool { return col.Snapshot().SATFormulas > 0 }
+	res, err := Solve(p, eng, Options{Stop: stop, Stats: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Error("Stop fired during the model loop but Aborted=false")
+	}
+	if res.Clauses == 0 || res.Vars == 0 {
+		t.Errorf("encoding should have completed before the abort, got %d clauses %d vars",
+			res.Clauses, res.Vars)
+	}
+	if res.Found() {
+		t.Errorf("found a solution after the abort: %v", res.Solution)
+	}
+}
+
+// TestCleanRunNotFlagged guards against Aborted/Truncated leaking into a
+// healthy bounded run.
+func TestCleanRunNotFlagged(t *testing.T) {
+	p := arrayInitProblem()
+	eng := optimal.New(smt.NewSolver(smt.Options{}))
+	res, err := Solve(p, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatal("CFP should prove array init")
+	}
+	if res.Truncated || res.Aborted {
+		t.Errorf("clean run flagged truncated=%v aborted=%v", res.Truncated, res.Aborted)
+	}
+}

@@ -56,6 +56,13 @@ type Result struct {
 	Clauses, Vars int
 	// Models is the number of SAT models examined.
 	Models int
+	// Truncated reports that the model search stopped at MaxModels with the
+	// SAT instance still satisfiable: more candidate assignments existed but
+	// were never decoded, so a nil Solution is not evidence of absence.
+	Truncated bool
+	// Aborted reports that Options.Stop fired and the run was abandoned
+	// early (during encoding or between SAT models).
+	Aborted bool
 }
 
 // Found reports whether an invariant solution was discovered.
@@ -122,7 +129,7 @@ func Solve(p *spec.Problem, eng *optimal.Engine, opts Options) (Result, error) {
 		*j.dst = eng.OptimalNegativeSolutions(j.fl.FillSolution(j.fill), j.dom)
 	})
 	if opts.Stop != nil && opts.Stop() {
-		return Result{}, nil
+		return Result{Aborted: true}, nil
 	}
 	// Phase 3 (sequential, path order): emit clauses. Assembly order is
 	// fixed by the path order, so the SAT instance — variable numbering
@@ -137,15 +144,25 @@ func Solve(p *spec.Problem, eng *optimal.Engine, opts Options) (Result, error) {
 	// the full VC(Prog, σ) check.
 	for res.Models < opts.MaxModels {
 		if opts.Stop != nil && opts.Stop() {
+			res.Aborted = true
 			return res, nil
 		}
 		if enc.s.Solve() != sat.Sat {
+			// The blocked instance is unsatisfiable: the indicator space is
+			// genuinely exhausted, a definite negative.
 			return res, nil
 		}
 		res.Models++
 		sigma := decode(p, enc)
 		if ok, _ := p.CheckAll(eng.S, sigma); ok {
 			res.Solution = sigma
+			return res, nil
+		}
+		// A candidate that fails re-verification after Stop fired may be a
+		// conservative solver verdict, not a real counterexample; report the
+		// run as aborted rather than blocking on bogus evidence.
+		if opts.Stop != nil && opts.Stop() {
+			res.Aborted = true
 			return res, nil
 		}
 		// Block this exact assignment of the indicator variables.
@@ -157,6 +174,9 @@ func Solve(p *spec.Problem, eng *optimal.Engine, opts Options) (Result, error) {
 			return res, nil
 		}
 	}
+	// The loop can only fall through by hitting MaxModels with the instance
+	// still satisfiable: candidate assignments remain undecoded.
+	res.Truncated = true
 	return res, nil
 }
 

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVerifyAbortedAllMethods: Config.Fixpoint.Stop is the documented
+// canonical cancellation hook; every method must honor it and report the
+// abort in the Outcome instead of a false "no invariant found".
+//
+// For CFP this is the regression for a dropped wiring bug: New propagated
+// Fixpoint.Stop into the SMT layer but not into CBI.Options.Stop, so a
+// deadline-bounded CFP run kept enumerating SAT models (the loop polls no
+// SMT query between models) long after its caller had given up — and then
+// reported Aborted=false.
+func TestVerifyAbortedAllMethods(t *testing.T) {
+	for _, m := range Methods {
+		cfg := Config{}
+		cfg.Fixpoint.Stop = func() bool { return true }
+		v := New(cfg)
+		out, err := v.Verify(arrayInitProblem(), m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !out.Aborted {
+			t.Errorf("%v: Stop fired but Outcome.Aborted=false", m)
+		}
+		if out.Proved {
+			t.Errorf("%v: proved under an always-true Stop", m)
+		}
+	}
+}
+
+// TestVerifyTruncatedSurfaced: a clipped iterative search must mark the
+// Outcome, so callers (CLI, benchmarks, the HTTP daemon) can distinguish
+// "gave up" from "no invariant exists in this space".
+func TestVerifyTruncatedSurfaced(t *testing.T) {
+	cfg := Config{}
+	cfg.Fixpoint.MaxSteps = 1
+	cfg.Fixpoint.All = true
+	v := New(cfg)
+	out, err := v.Verify(arrayInitProblem(), GFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Truncated {
+		t.Errorf("clipped exhaustive run not marked truncated: %+v", out)
+	}
+	if out.Aborted {
+		t.Error("truncation is not an abort")
+	}
+}
+
+// TestFormatOutcomeFlags checks the human rendering of the two new states.
+func TestFormatOutcomeFlags(t *testing.T) {
+	ab := FormatOutcome(Outcome{Method: CFP, Aborted: true})
+	if want := "aborted"; !strings.Contains(ab, want) {
+		t.Errorf("FormatOutcome(aborted) = %q, want substring %q", ab, want)
+	}
+	tr := FormatOutcome(Outcome{Method: GFP, Truncated: true})
+	if want := "truncated"; !strings.Contains(tr, want) {
+		t.Errorf("FormatOutcome(truncated) = %q, want substring %q", tr, want)
+	}
+}

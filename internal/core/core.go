@@ -69,6 +69,10 @@ type Config struct {
 	CBI cbi.Options
 	// Stats, when non-nil, collects the Figure 4–9 measurements.
 	Stats *stats.Collector
+	// Cores, when non-nil, replaces the engine's private unsat-core store —
+	// pass one store to several Verifiers (e.g. a serving pool) so cores
+	// learned by any of them prune every sharer's lattice searches.
+	Cores *optimal.CoreStore
 }
 
 // Verifier runs verification tasks. Not safe for concurrent use (the
@@ -78,10 +82,20 @@ type Verifier struct {
 	eng *optimal.Engine
 }
 
-// New returns a Verifier with the given configuration.
+// New returns a Verifier with the given configuration. Config.Fixpoint.Stop
+// is the canonical cancellation hook: unless a layer's own Stop is set
+// explicitly it is propagated into the SMT solver, the optimal-solutions
+// engine, and the constraint-based algorithm, so one flag cancels every
+// method.
 func New(cfg Config) *Verifier {
 	if cfg.SMT.Stop == nil {
 		cfg.SMT.Stop = cfg.Fixpoint.Stop
+	}
+	if cfg.CBI.Stop == nil {
+		// Without this a deadline-bounded CFP run kept grinding SAT models
+		// after its caller gave up: only the SMT layer saw the flag, and it
+		// is polled nowhere between models.
+		cfg.CBI.Stop = cfg.Fixpoint.Stop
 	}
 	s := smt.NewSolver(cfg.SMT)
 	s.SetStats(cfg.Stats)
@@ -92,6 +106,7 @@ func New(cfg Config) *Verifier {
 	eng.Stats = cfg.Stats
 	eng.Stop = cfg.Fixpoint.Stop
 	eng.Opts = cfg.Optimal
+	eng.ShareCores(cfg.Cores)
 	cfg.Fixpoint.Stats = cfg.Stats
 	cfg.CBI.Stats = cfg.Stats
 	return &Verifier{cfg: cfg, eng: eng}
@@ -117,6 +132,15 @@ type Outcome struct {
 	// Steps counts worklist iterations (iterative methods) or SAT models
 	// examined (CFP).
 	Steps int
+	// Truncated reports that the search space was clipped (candidate cap,
+	// MaxSteps with candidates pending, or MaxModels with SAT models left):
+	// a !Proved outcome with Truncated set is "gave up", not "no invariant
+	// exists in this template/predicate space".
+	Truncated bool
+	// Aborted reports that the run was cancelled via Fixpoint.Stop (deadline
+	// or caller cancellation) before completing. A !Proved outcome with
+	// Aborted set says nothing about the problem.
+	Aborted bool
 }
 
 // Verify runs the selected algorithm on the problem.
@@ -130,18 +154,21 @@ func (v *Verifier) Verify(p *spec.Problem, m Method) (Outcome, error) {
 			return out, err
 		}
 		out.Proved, out.Solution, out.Steps = res.Found(), res.Solution, res.Steps
+		out.Truncated, out.Aborted = res.Truncated, res.Aborted
 	case GFP:
 		res, err := fixpoint.GreatestFixedPoint(p, v.eng, v.cfg.Fixpoint)
 		if err != nil {
 			return out, err
 		}
 		out.Proved, out.Solution, out.Steps = res.Found(), res.Solution, res.Steps
+		out.Truncated, out.Aborted = res.Truncated, res.Aborted
 	case CFP:
 		res, err := cbi.Solve(p, v.eng, v.cfg.CBI)
 		if err != nil {
 			return out, err
 		}
 		out.Proved, out.Solution, out.Steps = res.Found(), res.Solution, res.Models
+		out.Truncated, out.Aborted = res.Truncated, res.Aborted
 	default:
 		return out, fmt.Errorf("core: unknown method %v", m)
 	}
@@ -153,19 +180,21 @@ func (v *Verifier) Verify(p *spec.Problem, m Method) (Outcome, error) {
 }
 
 // InferPreconditions runs §6 maximally-weak precondition inference; the
-// problem's entry template must contain unknowns.
-func (v *Verifier) InferPreconditions(p *spec.Problem) ([]precond.Precondition, error) {
+// problem's entry template must contain unknowns. The Enumeration reports
+// whether the underlying exhaustive search was truncated or aborted (in
+// which case the returned set may be incomplete).
+func (v *Verifier) InferPreconditions(p *spec.Problem) ([]precond.Precondition, precond.Enumeration, error) {
 	if len(logic.Unknowns(p.TemplateAt(vc.Entry))) == 0 {
-		return nil, fmt.Errorf("core: entry template has no unknowns; attach one to infer preconditions")
+		return nil, precond.Enumeration{}, fmt.Errorf("core: entry template has no unknowns; attach one to infer preconditions")
 	}
 	return precond.MaximallyWeak(p, v.eng, v.cfg.Fixpoint)
 }
 
 // InferPostconditions runs the dual maximally-strong postcondition
 // inference; the problem's exit template must contain unknowns.
-func (v *Verifier) InferPostconditions(p *spec.Problem) ([]precond.Postcondition, error) {
+func (v *Verifier) InferPostconditions(p *spec.Problem) ([]precond.Postcondition, precond.Enumeration, error) {
 	if len(logic.Unknowns(p.TemplateAt(vc.Exit))) == 0 {
-		return nil, fmt.Errorf("core: exit template has no unknowns; attach one to infer postconditions")
+		return nil, precond.Enumeration{}, fmt.Errorf("core: exit template has no unknowns; attach one to infer postconditions")
 	}
 	return precond.MaximallyStrong(p, v.eng, v.cfg.Fixpoint)
 }
@@ -184,7 +213,14 @@ func instantiate(p *spec.Problem, sigma template.Solution) map[string]logic.Form
 // FormatOutcome renders an outcome for human consumption.
 func FormatOutcome(o Outcome) string {
 	if !o.Proved {
-		return fmt.Sprintf("%s: no invariant found (%v, %d steps)", o.Method, o.Duration.Round(time.Millisecond), o.Steps)
+		verdict := "no invariant found"
+		switch {
+		case o.Aborted:
+			verdict = "aborted (deadline/cancelled)"
+		case o.Truncated:
+			verdict = "no invariant found (search truncated)"
+		}
+		return fmt.Sprintf("%s: %s (%v, %d steps)", o.Method, verdict, o.Duration.Round(time.Millisecond), o.Steps)
 	}
 	s := fmt.Sprintf("%s: proved in %v (%d steps)\n", o.Method, o.Duration.Round(time.Millisecond), o.Steps)
 	cuts := make([]string, 0, len(o.Invariants))

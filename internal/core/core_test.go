@@ -70,14 +70,14 @@ func TestVerifyUnprovable(t *testing.T) {
 
 func TestInferPreconditionsRequiresEntryTemplate(t *testing.T) {
 	v := New(Config{})
-	if _, err := v.InferPreconditions(arrayInitProblem()); err == nil {
+	if _, _, err := v.InferPreconditions(arrayInitProblem()); err == nil {
 		t.Error("expected an error without an entry template")
 	}
 }
 
 func TestInferPostconditionsRequiresExitTemplate(t *testing.T) {
 	v := New(Config{})
-	if _, err := v.InferPostconditions(arrayInitProblem()); err == nil {
+	if _, _, err := v.InferPostconditions(arrayInitProblem()); err == nil {
 		t.Error("expected an error without an exit template")
 	}
 }
@@ -115,7 +115,7 @@ func TestInferPostconditionsArrayInit(t *testing.T) {
 	p.Templates["exit"] = lang.MustParseFormula("forall j. ?post => A[j] = 0")
 	p.Q["post"] = p.Q["v"]
 	v := New(Config{})
-	posts, err := v.InferPostconditions(p)
+	posts, _, err := v.InferPostconditions(p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,89 @@
+package fixpoint
+
+import (
+	"testing"
+)
+
+// TestStopAborts checks that a firing Stop flag is reported as Aborted — not
+// as exhaustion, which would read as a definite "no invariant exists".
+func TestStopAborts(t *testing.T) {
+	for _, run := range []struct {
+		name string
+		fn   func() (Result, error)
+	}{
+		{"LFP", func() (Result, error) {
+			return LeastFixedPoint(arrayInitProblem(), newEngine(), Options{Stop: func() bool { return true }})
+		}},
+		{"GFP", func() (Result, error) {
+			return GreatestFixedPoint(arrayInitProblem(), newEngine(), Options{Stop: func() bool { return true }})
+		}},
+	} {
+		res, err := run.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		if !res.Aborted {
+			t.Errorf("%s: Stop fired but Aborted=false", run.name)
+		}
+		if res.Exhausted {
+			t.Errorf("%s: an aborted run must not claim exhaustion", run.name)
+		}
+		if res.Found() {
+			t.Errorf("%s: found a solution under an always-true Stop", run.name)
+		}
+	}
+}
+
+// TestMaxCandidatesTruncates forces candidate drops and checks they are
+// surfaced: a failed search that silently dropped candidates must not look
+// like a definite negative.
+func TestMaxCandidatesTruncates(t *testing.T) {
+	p := arrayInitProblem()
+	eng := newEngine()
+	res, err := LeastFixedPoint(p, eng, Options{All: true, MaxCandidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatalf("MaxCandidates=1 run not marked truncated (steps=%d, |All|=%d)",
+			res.Steps, len(res.All))
+	}
+	if res.Aborted {
+		t.Error("truncation is not an abort")
+	}
+}
+
+// TestAllModeTruncatesAtMaxSteps: an exhaustive (§6) run that stops at
+// MaxSteps with candidates pending has not enumerated every fixed point, so
+// it must be marked truncated even when it found solutions.
+func TestAllModeTruncatesAtMaxSteps(t *testing.T) {
+	p := arrayInitProblem()
+	eng := newEngine()
+	res, err := GreatestFixedPoint(p, eng, Options{All: true, MaxSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Skip("search exhausted within one step; cannot exercise truncation")
+	}
+	if !res.Truncated {
+		t.Error("All-mode run hit MaxSteps with candidates pending but Truncated=false")
+	}
+}
+
+// TestCompleteRunNotTruncated guards against the flags leaking into healthy
+// runs.
+func TestCompleteRunNotTruncated(t *testing.T) {
+	p := arrayInitProblem()
+	eng := newEngine()
+	res, err := LeastFixedPoint(p, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatal("LFP should prove array init")
+	}
+	if res.Truncated || res.Aborted {
+		t.Errorf("clean run flagged truncated=%v aborted=%v", res.Truncated, res.Aborted)
+	}
+}

@@ -79,6 +79,15 @@ type Result struct {
 	// solution in this template/predicate space" modulo solver
 	// incompleteness); false with a nil Solution means MaxSteps was hit.
 	Exhausted bool
+	// Truncated reports that the search space was clipped: candidates were
+	// dropped at the MaxCandidates cap, or an exhaustive (Options.All) run
+	// ended at MaxSteps with candidates still unresolved. A truncated
+	// Options.All enumeration may be missing fixed-point solutions, so §6
+	// extremal sets computed from it are best-effort.
+	Truncated bool
+	// Aborted reports that Options.Stop fired and the run was abandoned
+	// early. An aborted run's nil Solution is not evidence of absence.
+	Aborted bool
 }
 
 // Found reports whether an invariant solution was discovered.
@@ -175,6 +184,7 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 	var res Result
 	for step := 0; step < opts.MaxSteps && len(cands) > 0; {
 		if opts.Stop != nil && opts.Stop() {
+			res.Aborted = true
 			break
 		}
 		sort.SliceStable(cands, func(i, j int) bool {
@@ -243,6 +253,7 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 				seen[k] = true
 				if len(cands)+len(fresh) >= opts.MaxCandidates {
 					opts.trace("step %d: candidate cap reached, dropping %s", step, next)
+					res.Truncated = true
 					continue
 				}
 				opts.trace("step %d: new candidate %s", step, next)
@@ -259,7 +270,18 @@ func run(p *spec.Problem, eng *optimal.Engine, opts Options, dir direction) (Res
 			cands = append(cands, newScored[i])
 		}
 	}
-	res.Exhausted = len(cands) == 0
+	if !res.Aborted && opts.Stop != nil && opts.Stop() {
+		// Stop fired mid-batch (inside a repair or scoring worker): the
+		// round's partial results are conservative, but the run is still an
+		// abort, not a completed search.
+		res.Aborted = true
+	}
+	res.Exhausted = len(cands) == 0 && !res.Aborted
+	if opts.All && !res.Exhausted && !res.Aborted {
+		// An exhaustive enumeration that ran out of steps with candidates
+		// still pending may be missing fixed-point solutions.
+		res.Truncated = true
+	}
 	if opts.All && res.Solution != nil {
 		res.All = dedupeSolutions(res.All)
 	}

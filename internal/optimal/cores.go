@@ -24,11 +24,18 @@ const maxStoredCores = 1024
 // the new core.
 const coreShardCap = maxStoredCores / coreShards
 
-type coreStore struct {
+type CoreStore struct {
 	shards  [coreShards]coreShard
 	seq     atomic.Uint64 // global insertion clock, for age-aware eviction
 	evicted atomic.Int64
 }
+
+// NewCoreStore returns an empty store. One store may be shared by several
+// Engines (via Engine.ShareCores): all its methods are internally
+// synchronized, and cores are keyed by interned predicate identity, which is
+// process-global, so cores learned by one engine prune every sharer's
+// searches.
+func NewCoreStore() *CoreStore { return &CoreStore{} }
 
 type coreShard struct {
 	mu      sync.Mutex
@@ -44,7 +51,7 @@ type coreEntry struct {
 // shardOf stripes by the unknown of the core's first item: cores over the
 // same unknown (the only ones that can collide or deduplicate against each
 // other) always land in the same shard.
-func (cs *coreStore) shardOf(items []coreItem) *coreShard {
+func (cs *CoreStore) shardOf(items []coreItem) *coreShard {
 	u := items[0].unknown
 	h := uint32(2166136261)
 	for i := 0; i < len(u); i++ {
@@ -57,7 +64,7 @@ func (cs *coreStore) shardOf(items []coreItem) *coreShard {
 // add persists one inconsistent (unknown, predicate-set) combination and
 // reports whether an older entry was evicted to make room. Duplicate cores
 // are dropped.
-func (cs *coreStore) add(items []coreItem) (evicted bool) {
+func (cs *CoreStore) add(items []coreItem) (evicted bool) {
 	if len(items) == 0 {
 		return false
 	}
@@ -103,7 +110,7 @@ func sameCore(a, b []coreItem) bool {
 // masks maps every stored core that is fully expressible in the given item
 // universe into that universe's bitmask space, bumping the hit count of each
 // returned core (a core a search can use is a core worth keeping).
-func (cs *coreStore) masks(indexOf map[coreItem]int, width int) []bitmask {
+func (cs *CoreStore) masks(indexOf map[coreItem]int, width int) []bitmask {
 	var out []bitmask
 	for s := range cs.shards {
 		sh := &cs.shards[s]
@@ -131,4 +138,4 @@ func (cs *coreStore) masks(indexOf map[coreItem]int, width int) []bitmask {
 }
 
 // NumEvicted returns how many stored cores were evicted to admit newer ones.
-func (cs *coreStore) NumEvicted() int64 { return cs.evicted.Load() }
+func (cs *CoreStore) NumEvicted() int64 { return cs.evicted.Load() }

@@ -91,7 +91,7 @@ type Engine struct {
 	// round keeps killing the same sublattice in every later round (as
 	// bitmask pruning in negBFS, as blocking clauses in negMap). corePruned
 	// counts candidates rejected because a stored or fresh core applied.
-	cores      coreStore
+	cores      *CoreStore
 	corePruned atomic.Int64
 }
 
@@ -109,9 +109,18 @@ type coreItem struct {
 	pred    *logic.IFormula
 }
 
-// New returns an engine with default bounds.
+// New returns an engine with default bounds and a private core store.
 func New(s *smt.Solver) *Engine {
-	return &Engine{S: s, MaxDepth: 4, MaxSolutions: 64}
+	return &Engine{S: s, MaxDepth: 4, MaxSolutions: 64, cores: NewCoreStore()}
+}
+
+// ShareCores replaces the engine's core store, typically with one shared by
+// a pool of engines so an inconsistency proven by any of them prunes the
+// others' lattice searches. Must be called before the engine is used.
+func (e *Engine) ShareCores(cs *CoreStore) {
+	if cs != nil {
+		e.cores = cs
+	}
 }
 
 func (e *Engine) maxDepth() int {

@@ -24,15 +24,31 @@ type Precondition struct {
 	Solution template.Solution
 }
 
+// Enumeration reports how complete a §6 exhaustive run was. The extremal
+// sets are computed from whatever fixed-point solutions the underlying run
+// produced; a truncated or aborted enumeration may therefore be missing
+// maximally-weak (-strong) members, and callers surfacing results to users
+// should say so.
+type Enumeration struct {
+	// Truncated reports that the fixed-point search was clipped (candidate
+	// cap hit or MaxSteps exhausted with candidates pending).
+	Truncated bool
+	// Aborted reports that Options.Stop fired and the search was abandoned.
+	Aborted bool
+	// Steps is the number of worklist iterations the underlying run executed.
+	Steps int
+}
+
 // MaximallyWeak returns the maximally-weak preconditions of the problem's
 // entry template: instantiations σ(τe) such that all assertions hold and no
 // other discovered solution is strictly weaker at entry (Defn. 3). The
 // problem's entry template must contain unknowns.
-func MaximallyWeak(p *spec.Problem, eng *optimal.Engine, opts fixpoint.Options) ([]Precondition, error) {
+func MaximallyWeak(p *spec.Problem, eng *optimal.Engine, opts fixpoint.Options) ([]Precondition, Enumeration, error) {
 	opts.All = true
 	res, err := fixpoint.GreatestFixedPoint(p, eng, opts)
+	enum := Enumeration{Truncated: res.Truncated, Aborted: res.Aborted, Steps: res.Steps}
 	if err != nil {
-		return nil, err
+		return nil, enum, err
 	}
 	entry := p.TemplateAt(vc.Entry)
 	keep := filterExtremal(eng, entry, res.All, weaker)
@@ -40,7 +56,7 @@ func MaximallyWeak(p *spec.Problem, eng *optimal.Engine, opts fixpoint.Options) 
 	for _, s := range keep {
 		out = append(out, Precondition{Pre: logic.Simplify(s.Fill(entry)), Solution: s})
 	}
-	return out, nil
+	return out, enum, nil
 }
 
 // Postcondition is one maximally-strong postcondition with its witness.
@@ -54,11 +70,12 @@ type Postcondition struct {
 // MaximallyStrong returns the maximally-strong postconditions of the
 // problem's exit template via the least fixed-point algorithm run to
 // exhaustion (the dual of MaximallyWeak, §6).
-func MaximallyStrong(p *spec.Problem, eng *optimal.Engine, opts fixpoint.Options) ([]Postcondition, error) {
+func MaximallyStrong(p *spec.Problem, eng *optimal.Engine, opts fixpoint.Options) ([]Postcondition, Enumeration, error) {
 	opts.All = true
 	res, err := fixpoint.LeastFixedPoint(p, eng, opts)
+	enum := Enumeration{Truncated: res.Truncated, Aborted: res.Aborted, Steps: res.Steps}
 	if err != nil {
-		return nil, err
+		return nil, enum, err
 	}
 	exit := p.TemplateAt(vc.Exit)
 	keep := filterExtremal(eng, exit, res.All, stronger)
@@ -66,7 +83,7 @@ func MaximallyStrong(p *spec.Problem, eng *optimal.Engine, opts fixpoint.Options
 	for _, s := range keep {
 		out = append(out, Postcondition{Post: logic.Simplify(s.Fill(exit)), Solution: s})
 	}
-	return out, nil
+	return out, enum, nil
 }
 
 // weaker reports whether a is strictly weaker than b (b ⇒ a but not a ⇒ b).

@@ -44,7 +44,7 @@ func newEngine() *optimal.Engine { return optimal.New(smt.NewSolver(smt.Options{
 
 func TestMaximallyWeakFindsPre(t *testing.T) {
 	eng := newEngine()
-	pres, err := MaximallyWeak(guardedInit(), eng, fixpoint.Options{})
+	pres, _, err := MaximallyWeak(guardedInit(), eng, fixpoint.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestMaximallyStrongPost(t *testing.T) {
 		},
 	}
 	eng := newEngine()
-	posts, err := MaximallyStrong(p, eng, fixpoint.Options{})
+	posts, _, err := MaximallyStrong(p, eng, fixpoint.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,544 @@
+// Package serve wraps core.Verifier in a long-lived, concurrent HTTP
+// daemon. A per-process CLI run throws away every cache the engine builds —
+// interned formulas, compiled fillers, persistent smt.Context lane groups,
+// the engine-global unsat-core store — with the process; the daemon keeps a
+// pool of verifier sessions alive so repeated and related problems amortize
+// that work across requests (see DESIGN.md §12).
+//
+// API (JSON over HTTP):
+//
+//	POST /v1/verify         {"spec": "<vs3 source>", "method": "lfp|gfp|cfp", "timeout_ms": 5000}
+//	POST /v1/preconditions  {"spec": "<vs3 source>", "timeout_ms": 5000}
+//	GET  /v1/stats          server-lifetime counters (pool, solver caches, merged collector)
+//	GET  /healthz           liveness probe
+//
+// core.Verifier is not safe for concurrent use, so the server owns a fixed
+// pool of sessions, each a verifier bound to one request at a time. All
+// sessions share one unsat-core store (optimal.CoreStore) and the
+// process-global formula interner; parsed problems (with their compiled VC
+// skeletons) are shared through a bounded cache. Each request's deadline and
+// client disconnect are bridged into the verifier's cooperative Stop flag,
+// so an abandoned request stops consuming CPU promptly and is reported as
+// Aborted (HTTP 504) rather than as a false "no invariant found". When every
+// session is busy and the wait queue is full the server sheds load with
+// HTTP 429 and a Retry-After hint.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/optimal"
+	"repro/internal/spec"
+	"repro/internal/stats"
+	"repro/internal/template"
+)
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// Pool is the number of verifier sessions (default GOMAXPROCS). Each
+	// session serves one request at a time; sessions share the formula
+	// interner, one unsat-core store, and the parsed-problem cache, but
+	// keep their own SMT solver (validity cache, incremental contexts).
+	Pool int
+	// Queue bounds how many requests may wait for a session beyond the ones
+	// in flight (default 4×Pool). Beyond it the server answers 429.
+	Queue int
+	// DefaultTimeout bounds a request that does not set timeout_ms
+	// (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 5m).
+	MaxTimeout time.Duration
+	// Core is the base verifier configuration. The server owns cancellation
+	// and measurement: Fixpoint.Stop, SMT.Stop, CBI.Stop, Stats, and Cores
+	// are overwritten per session.
+	Core core.Config
+}
+
+func (c Config) normalize() Config {
+	if c.Pool <= 0 {
+		c.Pool = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.Pool
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// maxSpecBytes bounds a request body; vs3 spec files are a few KB.
+const maxSpecBytes = 1 << 20
+
+// maxCachedProblems bounds the parsed-problem cache.
+const maxCachedProblems = 256
+
+// session is one pooled verifier. The verifier is constructed once (so its
+// solver's caches live as long as the server) with a Stop hook that reads
+// the session's current request context through an atomic cell; bind/unbind
+// swap the context around each request.
+type session struct {
+	v   *core.Verifier
+	col *stats.Collector // session-lifetime collector (snapshot-diffed per request)
+	ctx atomic.Pointer[context.Context]
+}
+
+func (s *session) stop() bool {
+	ctx := *s.ctx.Load()
+	return ctx.Err() != nil
+}
+
+func (s *session) bind(ctx context.Context) { s.ctx.Store(&ctx) }
+func (s *session) unbind()                  { s.bind(context.Background()) }
+
+// Server is the verification service.
+type Server struct {
+	cfg      Config
+	idle     chan *session
+	sessions []*session // stable list, for stats aggregation
+	waiters  atomic.Int64
+
+	mu       sync.Mutex
+	agg      stats.Snapshot // request-scoped collector deltas merged server-lifetime
+	problems map[string]*spec.Problem
+
+	started time.Time
+
+	requests  atomic.Int64 // requests that reached a verifier
+	rejected  atomic.Int64 // 429s
+	aborted   atomic.Int64 // runs cancelled by deadline/disconnect
+	truncated atomic.Int64 // runs that reported a clipped search
+	inflight  atomic.Int64
+	probHits  atomic.Int64 // parsed-problem cache hits
+}
+
+// New returns a Server with cfg.Pool warmed-up sessions.
+func New(cfg Config) *Server {
+	cfg = cfg.normalize()
+	s := &Server{
+		cfg:      cfg,
+		idle:     make(chan *session, cfg.Pool),
+		problems: map[string]*spec.Problem{},
+		started:  time.Now(),
+	}
+	shared := cfg.Core.Cores
+	if shared == nil {
+		shared = optimal.NewCoreStore()
+	}
+	for i := 0; i < cfg.Pool; i++ {
+		sess := &session{col: stats.New()}
+		sess.unbind()
+		cc := cfg.Core
+		cc.Stats = sess.col
+		cc.Cores = shared
+		cc.Fixpoint.Stop = sess.stop
+		cc.SMT.Stop = nil // re-derived from Fixpoint.Stop by core.New
+		cc.CBI.Stop = nil
+		sess.v = core.New(cc)
+		s.sessions = append(s.sessions, sess)
+		s.idle <- sess
+	}
+	return s
+}
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/preconditions", s.handlePreconditions)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+var errBusy = errors.New("serve: all sessions busy and the wait queue is full")
+
+// acquire hands out an idle session, waiting in the bounded queue when all
+// are busy. It fails fast with errBusy beyond the queue bound, and with the
+// context's error when the caller's deadline fires while queued.
+func (s *Server) acquire(ctx context.Context) (*session, error) {
+	select {
+	case sess := <-s.idle:
+		return sess, nil
+	default:
+	}
+	if s.waiters.Add(1) > int64(s.cfg.Queue) {
+		s.waiters.Add(-1)
+		return nil, errBusy
+	}
+	defer s.waiters.Add(-1)
+	select {
+	case sess := <-s.idle:
+		return sess, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) release(sess *session) {
+	sess.unbind()
+	s.idle <- sess
+}
+
+// problem parses (or re-uses a previously parsed) spec.Problem. Problems are
+// immutable after construction and documented safe for concurrent use, so a
+// cache hit shares the compiled per-path VC skeletons across sessions.
+func (s *Server) problem(src string) (*spec.Problem, error) {
+	key := fmt.Sprintf("%x", sha256.Sum256([]byte(src)))
+	s.mu.Lock()
+	if p, ok := s.problems[key]; ok {
+		s.mu.Unlock()
+		s.probHits.Add(1)
+		return p, nil
+	}
+	s.mu.Unlock()
+
+	sf, err := lang.ParseSpecFile(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &spec.Problem{
+		Prog:      sf.Program,
+		Templates: sf.Templates,
+		Q:         template.Domain(sf.Predicates),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.problems[key]; ok {
+		return prev, nil
+	}
+	if len(s.problems) >= maxCachedProblems {
+		// Arbitrary single eviction keeps the cache bounded without
+		// bookkeeping; the workload this serves is a small warm set.
+		for k := range s.problems {
+			delete(s.problems, k)
+			break
+		}
+	}
+	s.problems[key] = p
+	return p, nil
+}
+
+// timeout resolves a request's effective deadline.
+func (s *Server) timeout(ms int64) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// verifyRequest is the body of POST /v1/verify and /v1/preconditions
+// (method is ignored for preconditions).
+type verifyRequest struct {
+	// Spec is a vs3 spec file: program + template/predicates directives
+	// (the same encoding cmd/vs3 and examples/ use).
+	Spec string `json:"spec"`
+	// Method selects the algorithm: "lfp", "gfp", or "cfp" (default "lfp").
+	Method string `json:"method"`
+	// TimeoutMS bounds the run; 0 means the server default. Values above
+	// the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// verifyResponse reports one verification run.
+type verifyResponse struct {
+	Method     string            `json:"method"`
+	Proved     bool              `json:"proved"`
+	Aborted    bool              `json:"aborted"`
+	Truncated  bool              `json:"truncated"`
+	Steps      int               `json:"steps"`
+	DurationMS float64           `json:"duration_ms"`
+	Invariants map[string]string `json:"invariants,omitempty"`
+	// Stats is the request-scoped collector delta (what this run recorded).
+	Stats stats.Snapshot `json:"stats"`
+}
+
+// preconditionsResponse reports one §6 enumeration run.
+type preconditionsResponse struct {
+	Preconditions []string       `json:"preconditions"`
+	Aborted       bool           `json:"aborted"`
+	Truncated     bool           `json:"truncated"`
+	Steps         int            `json:"steps"`
+	DurationMS    float64        `json:"duration_ms"`
+	Stats         stats.Snapshot `json:"stats"`
+}
+
+// errorResponse is the body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch s {
+	case "", "lfp", "LFP":
+		return core.LFP, nil
+	case "gfp", "GFP":
+		return core.GFP, nil
+	case "cfp", "CFP":
+		return core.CFP, nil
+	}
+	return 0, fmt.Errorf("unknown method %q (want lfp, gfp, or cfp)", s)
+}
+
+// begin decodes the request, resolves the problem, and leases a session with
+// the deadline-bound context installed. On success the caller must run
+// finish() (which releases the session) exactly once.
+func (s *Server) begin(w http.ResponseWriter, r *http.Request) (req verifyRequest, p *spec.Problem, sess *session, ctx context.Context, finish func() stats.Snapshot, ok bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if req.Spec == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"spec\""))
+		return
+	}
+	p, err := s.problem(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err = s.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errBusy) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		} else {
+			// The client's deadline or disconnect fired while queued.
+			writeError(w, http.StatusGatewayTimeout, err)
+		}
+		return
+	}
+	reqCtx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	sess.bind(reqCtx)
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	before := sess.col.Snapshot()
+	finish = func() stats.Snapshot {
+		delta := sess.col.Snapshot().Sub(before)
+		cancel()
+		s.release(sess)
+		s.inflight.Add(-1)
+		s.mu.Lock()
+		s.agg = s.agg.Add(delta)
+		s.mu.Unlock()
+		return delta
+	}
+	return req, p, sess, reqCtx, finish, true
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	req, p, sess, ctx, finish, ok := s.begin(w, r)
+	if !ok {
+		return
+	}
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		finish()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := sess.v.Verify(p, m)
+	delta := finish()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := verifyResponse{
+		Method:     out.Method.String(),
+		Proved:     out.Proved,
+		Aborted:    out.Aborted,
+		Truncated:  out.Truncated,
+		Steps:      out.Steps,
+		DurationMS: float64(out.Duration) / float64(time.Millisecond),
+		Stats:      delta,
+	}
+	if len(out.Invariants) > 0 {
+		resp.Invariants = map[string]string{}
+		for cut, inv := range out.Invariants {
+			resp.Invariants[cut] = inv.String()
+		}
+	}
+	if resp.Truncated {
+		s.truncated.Add(1)
+	}
+	if resp.Aborted {
+		s.aborted.Add(1)
+		writeJSON(w, s.abortStatus(ctx), resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePreconditions(w http.ResponseWriter, r *http.Request) {
+	_, p, sess, ctx, finish, ok := s.begin(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	pres, enum, err := sess.v.InferPreconditions(p)
+	delta := finish()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := preconditionsResponse{
+		Preconditions: []string{},
+		Aborted:       enum.Aborted,
+		Truncated:     enum.Truncated,
+		Steps:         enum.Steps,
+		DurationMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		Stats:         delta,
+	}
+	for _, pre := range pres {
+		resp.Preconditions = append(resp.Preconditions, pre.Pre.String())
+	}
+	sort.Strings(resp.Preconditions)
+	if resp.Truncated {
+		s.truncated.Add(1)
+	}
+	if resp.Aborted {
+		s.aborted.Add(1)
+		writeJSON(w, s.abortStatus(ctx), resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// abortStatus maps an aborted run to its HTTP status: 504 for a deadline,
+// 499 (nginx's client-closed-request convention) for a disconnect.
+func (s *Server) abortStatus(ctx context.Context) int {
+	if errors.Is(ctx.Err(), context.Canceled) {
+		return 499
+	}
+	return http.StatusGatewayTimeout
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Pool          int     `json:"pool"`
+	QueueCapacity int     `json:"queue_capacity"`
+	InFlight      int64   `json:"in_flight"`
+	Queued        int64   `json:"queued"`
+	Requests      int64   `json:"requests"`
+	Rejected      int64   `json:"rejected"`
+	Aborted       int64   `json:"aborted"`
+	Truncated     int64   `json:"truncated"`
+
+	// ProblemsCached / ProblemCacheHits describe the shared parsed-problem
+	// cache (compiled VC skeletons reused across sessions).
+	ProblemsCached   int   `json:"problems_cached"`
+	ProblemCacheHits int64 `json:"problem_cache_hits"`
+
+	// Solver counters summed over all pooled sessions' SMT solvers and
+	// engines. Cache hits climbing across requests for the same problem is
+	// the fleet-amortization signal the daemon exists for.
+	Queries          int64 `json:"smt_queries"`
+	CacheHits        int64 `json:"smt_cache_hits"`
+	Contexts         int64 `json:"smt_contexts"`
+	AssumptionProbes int64 `json:"assumption_probes"`
+	LemmaReuse       int64 `json:"lemma_reuse"`
+	SharedLemmas     int64 `json:"shared_lemmas"`
+	CorePruned       int64 `json:"core_pruned"`
+	CoreEvicted      int64 `json:"core_evicted"`
+
+	// Collector is the merge of every finished request's collector delta.
+	Collector stats.Snapshot `json:"collector"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	s.mu.Lock()
+	agg := s.agg
+	cached := len(s.problems)
+	s.mu.Unlock()
+	resp := statsResponse{
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		Pool:             s.cfg.Pool,
+		QueueCapacity:    s.cfg.Queue,
+		InFlight:         s.inflight.Load(),
+		Queued:           s.waiters.Load(),
+		Requests:         s.requests.Load(),
+		Rejected:         s.rejected.Load(),
+		Aborted:          s.aborted.Load(),
+		Truncated:        s.truncated.Load(),
+		ProblemsCached:   cached,
+		ProblemCacheHits: s.probHits.Load(),
+		Collector:        agg,
+	}
+	for _, sess := range s.sessions {
+		eng := sess.v.Engine()
+		resp.Queries += eng.S.NumQueries()
+		resp.CacheHits += eng.S.NumCacheHits()
+		resp.Contexts += eng.S.NumContexts()
+		resp.AssumptionProbes += eng.S.NumAssumptionProbes()
+		resp.LemmaReuse += eng.S.NumLemmaReuseHits()
+		resp.SharedLemmas += eng.S.NumSharedLemmas()
+		resp.CorePruned += eng.NumCorePruned()
+		resp.CoreEvicted += eng.NumCoreEvicted()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RetryAfter parses a 429 response's Retry-After header (helper for clients
+// and tests).
+func RetryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}

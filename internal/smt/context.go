@@ -544,7 +544,10 @@ func (c *Context) emitAckermann() bool {
 // only approximate, and running it over the context's full atom set could
 // diverge from the fresh path's per-probe set, so the context goes dormant.
 func (c *Context) syncAtoms() bool {
-	if len(c.atomVars) == len(c.g.lins) {
+	// c.diff must exist even when the grounder produced no linear atoms at
+	// all (every predicate constant-folded away): probeLoop still consults
+	// it, and 0 == 0 atom counts must not skip its construction.
+	if c.diff != nil && len(c.atomVars) == len(c.g.lins) {
 		return true
 	}
 	for i := len(c.atomVars); i < len(c.g.lins); i++ {

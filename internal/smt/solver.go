@@ -79,8 +79,8 @@ type Solver struct {
 
 	// Incremental-context registry (one persistent Context per compiled VC
 	// skeleton) and its counters.
-	ctxMu      sync.RWMutex
-	ctxs       map[*logic.IFormula]*Context
+	ctxMu        sync.RWMutex
+	ctxs         map[*logic.IFormula]*Context
 	ctxCreated   atomic.Int64 // contexts created (registry + standalone + lanes)
 	ctxProbes    atomic.Int64 // probes decided incrementally under assumptions
 	lemmaReuse   atomic.Int64 // probes that reused learnt clauses or theory lemmas

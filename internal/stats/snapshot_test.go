@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func record(c *Collector, queries int) {
+	for i := 0; i < queries; i++ {
+		c.RecordQuery(time.Duration(i) * time.Millisecond)
+	}
+	c.RecordNegSolutionSize(2)
+	c.RecordOptSolutionCount(3)
+	c.RecordCandidates(4)
+	c.RecordSATSize(10, 5)
+	c.RecordCoreSize(1)
+	c.RecordCoreEviction()
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	c := New()
+	record(c, 3)
+	s := c.Snapshot()
+	want := Snapshot{
+		Queries:        3,
+		NegSolutions:   1,
+		OptCalls:       1,
+		CandidateSteps: 1,
+		SATFormulas:    1,
+		UnsatCores:     1,
+		CoreEvictions:  1,
+	}
+	want.QueryBuckets[0] = 2 // 0ms, 1ms
+	want.QueryBuckets[1] = 1 // 2ms
+	if s != want {
+		t.Errorf("Snapshot() = %+v, want %+v", s, want)
+	}
+	if (&Collector{}).Snapshot() != (Snapshot{}) {
+		t.Error("empty collector snapshot not zero")
+	}
+	var nilc *Collector
+	if nilc.Snapshot() != (Snapshot{}) {
+		t.Error("nil collector snapshot not zero")
+	}
+}
+
+// TestSnapshotAddSub checks the two laws the server relies on: Sub of a
+// later snapshot against an earlier one on the same collector yields exactly
+// the activity in between (request-scoped deltas), and Add folds deltas into
+// a fleet aggregate.
+func TestSnapshotAddSub(t *testing.T) {
+	c := New()
+	record(c, 2)
+	before := c.Snapshot()
+	record(c, 5)
+	delta := c.Snapshot().Sub(before)
+	if delta.Queries != 5 {
+		t.Errorf("delta queries = %d, want 5", delta.Queries)
+	}
+	if delta.NegSolutions != 1 || delta.CoreEvictions != 1 {
+		t.Errorf("delta = %+v, want one of each non-query record", delta)
+	}
+	if got := before.Add(delta); got != c.Snapshot() {
+		t.Errorf("before + delta = %+v, want %+v", got, c.Snapshot())
+	}
+	if got := c.Snapshot().Sub(c.Snapshot()); got != (Snapshot{}) {
+		t.Errorf("s - s = %+v, want zero", got)
+	}
+}
+
+func TestMergeFoldsCollectors(t *testing.T) {
+	agg := New()
+	record(agg, 1)
+	req := New()
+	record(req, 4)
+	agg.Merge(req)
+	got := agg.Snapshot()
+	if got.Queries != 5 {
+		t.Errorf("merged queries = %d, want 5", got.Queries)
+	}
+	if got.NegSolutions != 2 || got.SATFormulas != 2 || got.CoreEvictions != 2 {
+		t.Errorf("merged snapshot = %+v, want two of each record", got)
+	}
+	// The source is unchanged, and merging nil is a no-op.
+	if req.Snapshot().Queries != 4 {
+		t.Error("Merge mutated its source")
+	}
+	agg.Merge(nil)
+	var nilc *Collector
+	nilc.Merge(req)
+	if agg.Snapshot().Queries != 5 {
+		t.Error("Merge(nil) changed the aggregate")
+	}
+}

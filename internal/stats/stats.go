@@ -113,6 +113,107 @@ func (c *Collector) CoreEvictions() int {
 	return c.coreEvictions
 }
 
+// Merge appends everything recorded in o into c. Safe for concurrent use on
+// c; o must not be concurrently recorded into while it is being merged.
+// It lets short-lived collectors (one per request or benchmark cell) fold
+// into a long-lived aggregate.
+func (c *Collector) Merge(o *Collector) {
+	if c == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	qd := append([]time.Duration(nil), o.queryDurations...)
+	ns := append([]int(nil), o.negSolSizes...)
+	oc := append([]int(nil), o.optSolCounts...)
+	cd := append([]int(nil), o.candidates...)
+	sc := append([]int(nil), o.satClauses...)
+	sv := append([]int(nil), o.satVars...)
+	cs := append([]int(nil), o.coreSizes...)
+	ce := o.coreEvictions
+	o.mu.Unlock()
+	c.mu.Lock()
+	c.queryDurations = append(c.queryDurations, qd...)
+	c.negSolSizes = append(c.negSolSizes, ns...)
+	c.optSolCounts = append(c.optSolCounts, oc...)
+	c.candidates = append(c.candidates, cd...)
+	c.satClauses = append(c.satClauses, sc...)
+	c.satVars = append(c.satVars, sv...)
+	c.coreSizes = append(c.coreSizes, cs...)
+	c.coreEvictions += ce
+	c.mu.Unlock()
+}
+
+// Snapshot is a fixed-size, mergeable summary of a Collector: every field is
+// a count, so snapshots can be added (fleet aggregation) and subtracted
+// (request-scoped deltas between two points of a long-lived collector). The
+// latency histogram uses the Figure 4 buckets in DurationHistogram order.
+type Snapshot struct {
+	Queries        int    `json:"smt_queries"`
+	QueryBuckets   [5]int `json:"smt_query_latency_buckets"`
+	NegSolutions   int    `json:"neg_solutions"`
+	OptCalls       int    `json:"optimal_calls"`
+	CandidateSteps int    `json:"candidate_steps"`
+	SATFormulas    int    `json:"sat_formulas"`
+	UnsatCores     int    `json:"unsat_cores"`
+	CoreEvictions  int    `json:"core_evictions"`
+}
+
+// QueryBucketLabels labels Snapshot.QueryBuckets, matching DurationHistogram.
+var QueryBucketLabels = [5]string{"<=1ms", "<=10ms", "<=100ms", "<=1s", ">1s"}
+
+// Snapshot summarizes everything recorded so far.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Queries:        len(c.queryDurations),
+		NegSolutions:   len(c.negSolSizes),
+		OptCalls:       len(c.optSolCounts),
+		CandidateSteps: len(c.candidates),
+		SATFormulas:    len(c.satClauses),
+		UnsatCores:     len(c.coreSizes),
+		CoreEvictions:  c.coreEvictions,
+	}
+	for i, b := range DurationHistogram(c.queryDurations) {
+		s.QueryBuckets[i] = b.Count
+	}
+	return s
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	s.Queries += o.Queries
+	for i := range s.QueryBuckets {
+		s.QueryBuckets[i] += o.QueryBuckets[i]
+	}
+	s.NegSolutions += o.NegSolutions
+	s.OptCalls += o.OptCalls
+	s.CandidateSteps += o.CandidateSteps
+	s.SATFormulas += o.SATFormulas
+	s.UnsatCores += o.UnsatCores
+	s.CoreEvictions += o.CoreEvictions
+	return s
+}
+
+// Sub returns the field-wise difference s − o: the activity recorded between
+// the moment o was taken and the moment s was taken on the same collector.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	s.Queries -= o.Queries
+	for i := range s.QueryBuckets {
+		s.QueryBuckets[i] -= o.QueryBuckets[i]
+	}
+	s.NegSolutions -= o.NegSolutions
+	s.OptCalls -= o.OptCalls
+	s.CandidateSteps -= o.CandidateSteps
+	s.SATFormulas -= o.SATFormulas
+	s.UnsatCores -= o.UnsatCores
+	s.CoreEvictions -= o.CoreEvictions
+	return s
+}
+
 // CoreSizes returns a copy of the recorded unsat-core sizes.
 func (c *Collector) CoreSizes() []int {
 	c.mu.Lock()
