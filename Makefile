@@ -14,7 +14,7 @@ BENCH_N ?= 4
 # Baseline report that bench-compare diffs against.
 BENCH_BASE ?= BENCH_3.json
 
-.PHONY: all build vet test test-short test-race test-differential serve-smoke bench bench-json bench-compare bench-quick profile check clean
+.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke bench-cluster bench bench-json bench-compare bench-quick profile check clean
 
 all: check
 
@@ -57,6 +57,19 @@ test-differential:
 # preconditions, reads /v1/stats, and shuts down cleanly.
 serve-smoke:
 	$(GO) test -run TestServeSmoke -v ./cmd/vs3d/
+
+# End-to-end check of the scale-out tier: the real vs3router daemon over TCP
+# in front of two real vs3d backends — affinity headers, batch split/merge,
+# failover after a backend death, stats, clean shutdown.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/vs3router/
+
+# Head-to-head routing benchmark (the tentpole proof for PR 6): single node
+# vs affinity routing vs random routing over 2 backends on the default
+# corpus, asserting affinity wins on from-scratch SMT queries and warm
+# cache-hit ratio. Writes BENCH_6.json.
+bench-cluster:
+	VS3_BENCH_OUT=$(CURDIR)/BENCH_6.json $(GO) test -run TestClusterBench -count=1 -v ./cmd/vs3router/
 
 # Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
 # interning/hot-path benchmarks (cache-hit keying, structural equality,

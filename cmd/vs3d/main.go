@@ -1,18 +1,25 @@
 // Command vs3d serves the verifier as a long-lived HTTP daemon, amortizing
 // the engine's caches (interned formulas, compiled fillers, incremental SMT
 // contexts, the shared unsat-core store) across requests instead of
-// rebuilding them per process.
+// rebuilding them per process. Scale horizontally by running N instances
+// behind cmd/vs3router, which keeps each instance warm for its
+// consistent-hash slice of the problem keyspace.
 //
 // Usage:
 //
-//	vs3d [-addr :8080] [-pool N] [-queue N] [-timeout 60s] [-max-timeout 5m]
+//	vs3d [-addr :8080] [-id NAME] [-pool N] [-queue N] [-timeout 60s] [-max-timeout 5m]
 //
 // Endpoints (see internal/serve and the README "Serving" section):
 //
 //	POST /v1/verify         run one algorithm on a vs3 spec
 //	POST /v1/preconditions  infer maximally-weak preconditions (§6)
+//	POST /v1/batch          many problems, one NDJSON result stream
 //	GET  /v1/stats          pool, queue, and solver-cache counters
-//	GET  /healthz           liveness probe
+//	GET  /metrics           the same counters in Prometheus text format
+//	GET  /healthz           liveness probe (503 once draining)
+//
+// On SIGINT/SIGTERM the daemon drains: /healthz flips to 503 so routers
+// stop sending new work, in-flight requests finish, then the process exits.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	id := flag.String("id", "", "backend identity reported in X-VS3-Backend and stats (default vs3d-<host>-<pid>)")
 	pool := flag.Int("pool", 0, "verifier sessions (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "queued requests beyond the pool before 429 (0 = 4×pool)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
@@ -40,6 +48,7 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{
+		ID:             *id,
 		Pool:           *pool,
 		Queue:          *queue,
 		DefaultTimeout: *timeout,
@@ -58,20 +67,24 @@ func main() {
 	}
 }
 
-// run serves on ln until ctx is cancelled, then drains in-flight requests
-// (bounded by the configured max timeout) before returning. Split from main
-// so the smoke test can drive the real daemon on an ephemeral port.
+// run serves on ln until ctx is cancelled, then drains: /healthz flips to
+// 503 (taking the backend out of router rotation) and in-flight requests
+// finish (bounded by the configured max timeout) before returning. Split
+// from main so the smoke tests can drive the real daemon on an ephemeral
+// port.
 func run(ctx context.Context, ln net.Listener, cfg serve.Config, logger *log.Logger) error {
-	srv := &http.Server{Handler: serve.New(cfg).Handler()}
+	backend := serve.New(cfg)
+	srv := &http.Server{Handler: backend.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	logger.Printf("vs3d: serving on %s", ln.Addr())
+	logger.Printf("vs3d: %s serving on %s", backend.ID(), ln.Addr())
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("vs3d: shutting down")
+	backend.StartDrain()
+	logger.Printf("vs3d: draining (healthz now 503), waiting for in-flight requests")
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout+5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,77 @@
+// Command vs3load is the load generator and regression gate for the
+// serving tier: it drives a vs3d backend or a vs3router front tier with a
+// mixed problem corpus at configurable concurrency and reports p50/p95/p99
+// latency, throughput, shed rate, verdict correctness, and the server-side
+// cache economics (from-scratch SMT queries, cache-hit ratio). Scale-out
+// and persistence PRs run it before/after to prove they did not regress the
+// warm path.
+//
+// Usage:
+//
+//	vs3load -url http://localhost:8079 [-c 8] [-n 200] [-timeout-ms 0]
+//	        [-corpus default|smoke] [-client KEY] [-json out.json]
+//
+// Exit status: 0 on success, 1 on setup errors, 2 when any verdict was
+// incorrect or any request failed at the transport level (the gate).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/load"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "vs3d or vs3router base URL")
+	conc := flag.Int("c", 8, "concurrent requests")
+	n := flag.Int("n", 0, "total requests (0 = 4 passes over the corpus)")
+	timeoutMS := flag.Int64("timeout-ms", 0, "per-request deadline forwarded to the server (0 = server default)")
+	corpusName := flag.String("corpus", "default", "corpus: default or smoke")
+	clientKey := flag.String("client", "vs3load", "client key for per-client fair queueing")
+	jsonOut := flag.String("json", "", "also write the report as JSON to this file")
+	flag.Parse()
+
+	var corpus []load.Item
+	switch *corpusName {
+	case "default":
+		corpus = load.DefaultCorpus()
+	case "smoke":
+		corpus = load.SmokeCorpus()
+	default:
+		fmt.Fprintf(os.Stderr, "vs3load: unknown corpus %q (want default or smoke)\n", *corpusName)
+		os.Exit(1)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	res, err := load.Run(ctx, load.Options{
+		BaseURL:     *url,
+		Corpus:      corpus,
+		Concurrency: *conc,
+		Requests:    *n,
+		TimeoutMS:   *timeoutMS,
+		ClientKey:   *clientKey,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vs3load:", err)
+		os.Exit(1)
+	}
+	res.WriteReport(os.Stdout)
+	if *jsonOut != "" {
+		b, _ := json.MarshalIndent(res, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vs3load:", err)
+			os.Exit(1)
+		}
+	}
+	if res.Incorrect > 0 || res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "vs3load: REGRESSION: %d incorrect verdicts, %d errors\n", res.Incorrect, res.Errors)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,109 @@
+// Command vs3router is the horizontal scale-out front tier: it consistently
+// hashes every request's problem key onto a fleet of vs3d backends, so each
+// backend's interner, incremental smt.Context lanes, and unsat-core store
+// stay hot for its slice of the keyspace (see internal/route and DESIGN.md
+// §13). It health-checks the fleet, fails requests over to the next live
+// node in ring order, splits /v1/batch requests by backend affinity, and
+// reuses backend connections.
+//
+// Usage:
+//
+//	vs3router -backends http://10.0.0.1:8080,http://10.0.0.2:8080 \
+//	          [-addr :8079] [-policy affinity|random] [-replicas 128] \
+//	          [-health-interval 2s] [-id NAME]
+//
+// Endpoints:
+//
+//	POST /v1/verify         routed by problem key
+//	POST /v1/preconditions  routed by problem key
+//	POST /v1/batch          split by affinity, fanned out, merged
+//	GET  /v1/stats          router counters + per-backend rows + fleet totals
+//	GET  /metrics           Prometheus text format
+//	GET  /healthz           200 while at least one backend is live
+//
+// -policy random exists as the control arm for benchmarks: same fleet, no
+// affinity. Production use is affinity.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/route"
+)
+
+func main() {
+	addr := flag.String("addr", ":8079", "listen address")
+	backends := flag.String("backends", "", "comma-separated vs3d base URLs (required)")
+	policy := flag.String("policy", "affinity", "routing policy: affinity or random")
+	replicas := flag.Int("replicas", 128, "virtual nodes per backend on the hash ring")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "period between backend health sweeps")
+	id := flag.String("id", "vs3router", "router identity reported in stats and metrics")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	cfg := route.Config{
+		Backends:       urls,
+		Replicas:       *replicas,
+		Policy:         route.Policy(*policy),
+		HealthInterval: *healthInterval,
+		ID:             *id,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vs3router:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, ln, cfg, log.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "vs3router:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves on ln until ctx is cancelled, then shuts down gracefully.
+// Split from main so the cluster smoke test and benchmark can drive the
+// real router on an ephemeral port.
+func run(ctx context.Context, ln net.Listener, cfg route.Config, logger *log.Logger) error {
+	router, err := route.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	srv := &http.Server{Handler: router.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Printf("vs3router: serving on %s, %s routing over %d backends",
+		ln.Addr(), cfg.Policy, len(cfg.Backends))
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("vs3router: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/route"
+	"repro/internal/serve"
+)
+
+// startBackend boots a real vs3d backend (engine and all) on a TCP port.
+func startBackend(t *testing.T, id string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(serve.Config{ID: id, Pool: 2}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// startRouter boots the real vs3router daemon (the same run() main drives)
+// on an ephemeral port and returns its base URL plus a shutdown func.
+func startRouter(t *testing.T, cfg route.Config) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 100 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, ln, cfg, log.New(io.Discard, "", 0)) }()
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+	stop := func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("router exited with %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("router did not shut down")
+		}
+	}
+	return base, stop
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func verifyVia(t *testing.T, base, spec, method string) (*http.Response, serve.VerifyResponse) {
+	t.Helper()
+	body, _ := json.Marshal(serve.VerifyRequest{Spec: spec, Method: method})
+	resp, err := http.Post(base+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vr serve.VerifyResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp, vr
+}
+
+// TestClusterSmoke is `make cluster-smoke`: the real router daemon over TCP
+// in front of two real engine backends — affinity, batch split/merge,
+// failover after a backend death, stats, and clean shutdown.
+func TestClusterSmoke(t *testing.T) {
+	b1 := startBackend(t, "smoke-1")
+	b2 := startBackend(t, "smoke-2")
+	base, stop := startRouter(t, route.Config{Backends: []string{b1.URL, b2.URL}})
+	defer stop()
+
+	corpus := load.SmokeCorpus()
+
+	// Affinity: repeats of the same spec land on the same backend, and the
+	// backend proves it (second hit warm).
+	owners := map[string]string{}
+	for round := 0; round < 2; round++ {
+		for _, item := range corpus {
+			resp, vr := verifyVia(t, base, item.Spec, item.Method)
+			if resp.StatusCode != http.StatusOK || !vr.Proved {
+				t.Fatalf("%s: status=%d proved=%v", item.Name, resp.StatusCode, vr.Proved)
+			}
+			backend := resp.Header.Get("X-VS3-Backend")
+			if backend == "" {
+				t.Fatal("no X-VS3-Backend header through the router")
+			}
+			if prev, ok := owners[item.Name]; ok && prev != backend {
+				t.Fatalf("%s routed to %s then %s — affinity broken", item.Name, prev, backend)
+			}
+			owners[item.Name] = backend
+			if k := resp.Header.Get("X-VS3-Problem-Key"); k != serve.ProblemKey(item.Spec) {
+				t.Errorf("%s: problem key %q", item.Name, k)
+			}
+		}
+	}
+
+	// Batch through the router: every index answered OK exactly once.
+	var items []serve.VerifyRequest
+	for _, it := range corpus {
+		items = append(items, serve.VerifyRequest{Spec: it.Spec, Method: it.Method})
+		items = append(items, serve.VerifyRequest{Spec: it.Spec, Method: "gfp"})
+	}
+	body, _ := json.Marshal(serve.BatchRequest{Items: items})
+	resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var res serve.BatchResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("bad batch line %q: %v", sc.Text(), err)
+		}
+		if seen[res.Index] || !res.OK || res.Verify == nil || !res.Verify.Proved {
+			t.Fatalf("batch item %d: %+v", res.Index, res)
+		}
+		seen[res.Index] = true
+	}
+	resp.Body.Close()
+	if len(seen) != len(items) {
+		t.Fatalf("batch answered %d of %d items", len(seen), len(items))
+	}
+
+	// Failover: kill one backend; every spec must still verify (rehashed to
+	// the survivor) with no client-visible error.
+	b1.CloseClientConnections()
+	b1.Close()
+	for _, item := range corpus {
+		resp, vr := verifyVia(t, base, item.Spec, item.Method)
+		if resp.StatusCode != http.StatusOK || !vr.Proved {
+			t.Fatalf("%s after backend death: status=%d proved=%v", item.Name, resp.StatusCode, vr.Proved)
+		}
+		if got := resp.Header.Get("X-VS3-Backend"); got != "smoke-2" {
+			t.Fatalf("%s served by %q after smoke-1 died", item.Name, got)
+		}
+	}
+
+	// Router stats: per-backend rows with identity, and the health sweep
+	// (or passive failover marking) takes the dead backend out of rotation.
+	var stats struct {
+		Requests  int64 `json:"requests_proxied"`
+		Failovers int64 `json:"failovers"`
+		Backends  []struct {
+			ServerID string `json:"server_id"`
+			Healthy  bool   `json:"healthy"`
+			Routed   int64  `json:"routed"`
+		} `json:"backends"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sresp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats.Backends = nil
+		if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		sresp.Body.Close()
+		alive := 0
+		for _, b := range stats.Backends {
+			if b.Healthy {
+				alive++
+			}
+		}
+		if alive == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead backend never left rotation: %+v", stats)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if stats.Requests == 0 || len(stats.Backends) != 2 {
+		t.Fatalf("router stats: %+v", stats)
+	}
+}
+
+// benchArm runs the default corpus against base and returns the report.
+func benchArm(t *testing.T, base string, requests int) load.Result {
+	t.Helper()
+	res, err := load.Run(context.Background(), load.Options{
+		BaseURL:     base,
+		Concurrency: 4,
+		Requests:    requests,
+		ClientKey:   "bench",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incorrect != 0 || res.Errors != 0 || res.Aborted != 0 || res.Shed != 0 {
+		t.Fatalf("arm %s degraded: %+v", base, res)
+	}
+	return res
+}
+
+// bench6Report is the BENCH_6.json schema.
+type bench6Report struct {
+	Report   string                 `json:"report"`
+	Purpose  string                 `json:"purpose"`
+	Host     string                 `json:"host"`
+	GoMaxP   int                    `json:"gomaxprocs"`
+	Corpus   int                    `json:"corpus_items"`
+	Distinct int                    `json:"distinct_problems"`
+	Requests int                    `json:"requests_per_arm"`
+	Arms     map[string]load.Result `json:"arms"`
+	Findings struct {
+		AffinityQueries        int64   `json:"affinity_smt_queries"`
+		RandomQueries          int64   `json:"random_smt_queries"`
+		QueriesSavedRatio      float64 `json:"random_over_affinity_queries"`
+		AffinityHitRatio       float64 `json:"affinity_cache_hit_ratio"`
+		RandomHitRatio         float64 `json:"random_cache_hit_ratio"`
+		AffinityP95MS          float64 `json:"affinity_p95_ms"`
+		RandomP95MS            float64 `json:"random_p95_ms"`
+		VerdictsIdenticalToOne bool    `json:"verdicts_identical_to_single_node"`
+	} `json:"findings"`
+	Notes []string `json:"notes"`
+}
+
+// TestClusterBench is `make bench-cluster`: the head-to-head perf proof for
+// the tentpole. Three arms over the same mixed corpus — one backend alone,
+// two backends behind affinity routing, two behind random routing — and the
+// claim under test is that affinity keeps the fleet warm: fewer from-scratch
+// SMT queries and a higher cache-hit ratio than random routing, with
+// verdicts identical everywhere. Writes BENCH_6.json when VS3_BENCH_OUT is
+// set.
+func TestClusterBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster benchmark is not a -short test")
+	}
+	corpus := load.DefaultCorpus()
+	distinct := map[string]bool{}
+	for _, it := range corpus {
+		distinct[serve.ProblemKey(it.Spec)] = true
+	}
+	requests := 3 * len(corpus)
+
+	arms := map[string]load.Result{}
+
+	// Arm 1: single node, no router — the verdict baseline.
+	single := startBackend(t, "bench-single")
+	arms["single"] = benchArm(t, single.URL, requests)
+
+	// Arm 2: two fresh backends behind affinity routing.
+	a1, a2 := startBackend(t, "bench-aff-1"), startBackend(t, "bench-aff-2")
+	affBase, affStop := startRouter(t, route.Config{
+		Backends: []string{a1.URL, a2.URL}, Policy: route.Affinity,
+	})
+	arms["affinity"] = benchArm(t, affBase, requests)
+	affStop()
+
+	// Arm 3: two fresh backends behind random routing — the control.
+	r1, r2 := startBackend(t, "bench-rand-1"), startBackend(t, "bench-rand-2")
+	randBase, randStop := startRouter(t, route.Config{
+		Backends: []string{r1.URL, r2.URL}, Policy: route.Random,
+	})
+	arms["random"] = benchArm(t, randBase, requests)
+	randStop()
+
+	aff, rnd := arms["affinity"], arms["random"]
+	t.Logf("single:   %d queries, hit ratio %.3f, p95 %.1fms", arms["single"].SMTQueries, arms["single"].CacheHitRatio, arms["single"].P95MS)
+	t.Logf("affinity: %d queries, hit ratio %.3f, p95 %.1fms", aff.SMTQueries, aff.CacheHitRatio, aff.P95MS)
+	t.Logf("random:   %d queries, hit ratio %.3f, p95 %.1fms", rnd.SMTQueries, rnd.CacheHitRatio, rnd.P95MS)
+
+	if aff.SMTQueries >= rnd.SMTQueries {
+		t.Errorf("affinity made %d from-scratch queries, random %d — affinity should be strictly cheaper",
+			aff.SMTQueries, rnd.SMTQueries)
+	}
+	if aff.CacheHitRatio <= rnd.CacheHitRatio {
+		t.Errorf("affinity hit ratio %.3f not above random %.3f", aff.CacheHitRatio, rnd.CacheHitRatio)
+	}
+
+	out := os.Getenv("VS3_BENCH_OUT")
+	if out == "" {
+		return
+	}
+	rep := bench6Report{
+		Report:   "BENCH_6",
+		Purpose:  "affinity vs random routing across 2 vs3d backends on the default mixed corpus (cmd/vs3load harness)",
+		Host:     runtime.GOOS + "/" + runtime.GOARCH,
+		GoMaxP:   runtime.GOMAXPROCS(0),
+		Corpus:   len(corpus),
+		Distinct: len(distinct),
+		Requests: requests,
+		Arms:     arms,
+	}
+	rep.Findings.AffinityQueries = aff.SMTQueries
+	rep.Findings.RandomQueries = rnd.SMTQueries
+	if aff.SMTQueries > 0 {
+		rep.Findings.QueriesSavedRatio = float64(rnd.SMTQueries) / float64(aff.SMTQueries)
+	}
+	rep.Findings.AffinityHitRatio = aff.CacheHitRatio
+	rep.Findings.RandomHitRatio = rnd.CacheHitRatio
+	rep.Findings.AffinityP95MS = aff.P95MS
+	rep.Findings.RandomP95MS = rnd.P95MS
+	rep.Findings.VerdictsIdenticalToOne = true // benchArm fails the test on any verdict mismatch in any arm
+	rep.Notes = []string{
+		"backends are separate serve.Server instances (own session pools, SMT solvers, validity caches, core stores) on distinct TCP ports within one test process; the process-global formula interner is shared, which affects allocation only, not the SMT query/cache counters compared here",
+		"every arm starts cold; each runs 3 passes over the corpus at concurrency 4",
+		"verdicts_identical_to_single_node: benchArm fails the run if any arm returns a verdict differing from the corpus expectation, and the single-node arm establishes that expectation holds there too",
+		fmt.Sprintf("reference box GOMAXPROCS=%d; latency comparisons across arms share one machine, so queries/hit-ratio are the primary signal", runtime.GOMAXPROCS(0)),
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

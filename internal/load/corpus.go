@@ -1,0 +1,77 @@
+package load
+
+import "fmt"
+
+// arrayInitVariant is the paper's running example (§1 ArrayInit) with one
+// variant-specific junk predicate appended, so every k yields a distinct
+// spec source — a distinct problem key, parsed problem, and compiled VC
+// skeleton — while staying cheap to verify. Distinctness is what makes the
+// corpus "mixed": under affinity routing each variant warms exactly one
+// backend; under random routing every backend pays the cold cost of every
+// variant.
+func arrayInitVariant(k int) string {
+	src := `
+program ArrayInit(array A, n) {
+  i := 0;
+  while loop (i < n) {
+    A[i] := 0;
+    i := i + 1;
+  }
+  assert(forall j. (0 <= j && j < n) => A[j] = 0);
+}
+template loop: forall j. ?v => A[j] = 0;
+predicates v: j < 0, j <= 0, j > 0, j >= 0, j < i, j <= i, j > i, j >= i, j < n, j <= n, j > n, j >= n`
+	if k > 0 {
+		src += fmt.Sprintf(", j + %d < n + %d", k, k+13)
+	}
+	return src + ";\n"
+}
+
+// guardedInitSpec is a variant whose loop guard covers only part of the
+// asserted range; with the m <= n entry template it still proves, giving
+// the corpus a second program shape.
+const guardedInitSpec = `
+program GuardedInit(array A, n, m) {
+  i := 0;
+  while loop (i < n) {
+    A[i] := 0;
+    i := i + 1;
+  }
+  assert(forall k. (0 <= k && k < m) => A[k] = 0);
+}
+template entry: m <= n;
+template loop: m <= n && (forall k. ?v1 => A[k] = 0);
+predicates v1: 0 <= k, k < i, k < n, k < m;
+`
+
+// DefaultCorpus returns the standard mixed corpus: 8 distinct ArrayInit
+// skeleton variants × {lfp, gfp}, CFP on the two cheapest variants, and the
+// GuardedInit shape — 19 items over 9 distinct problem keys, all expected
+// to prove. Cold cost per item is sub-second, so a few passes over the
+// corpus finish quickly while still exercising the warm/cold split the
+// cluster router exists for.
+func DefaultCorpus() []Item {
+	var items []Item
+	for k := 0; k < 8; k++ {
+		spec := arrayInitVariant(k)
+		items = append(items,
+			Item{Name: fmt.Sprintf("array-init-%d/lfp", k), Spec: spec, Method: "lfp", WantProved: true},
+			Item{Name: fmt.Sprintf("array-init-%d/gfp", k), Spec: spec, Method: "gfp", WantProved: true},
+		)
+	}
+	items = append(items,
+		Item{Name: "array-init-0/cfp", Spec: arrayInitVariant(0), Method: "cfp", WantProved: true},
+		Item{Name: "array-init-1/cfp", Spec: arrayInitVariant(1), Method: "cfp", WantProved: true},
+		Item{Name: "guarded-init/lfp", Spec: guardedInitSpec, Method: "lfp", WantProved: true},
+	)
+	return items
+}
+
+// SmokeCorpus is a minimal fast corpus for CI smoke runs: two skeletons,
+// lfp only.
+func SmokeCorpus() []Item {
+	return []Item{
+		{Name: "array-init-0/lfp", Spec: arrayInitVariant(0), Method: "lfp", WantProved: true},
+		{Name: "array-init-1/lfp", Spec: arrayInitVariant(1), Method: "lfp", WantProved: true},
+	}
+}

@@ -1,0 +1,85 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestRunAgainstRealBackend drives a real in-process vs3d server with the
+// default corpus and checks the report: every verdict correct, latency and
+// server-side counters populated, and a second (warm) pass showing the
+// cache-hit ratio climbing — the signal the whole cluster design optimizes.
+func TestRunAgainstRealBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run against a real engine is not a -short test")
+	}
+	ts := httptest.NewServer(serve.New(serve.Config{Pool: 2}).Handler())
+	defer ts.Close()
+
+	corpus := DefaultCorpus()
+	cold, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Corpus:      corpus,
+		Concurrency: 2,
+		Requests:    len(corpus),
+		ClientKey:   "load-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Incorrect != 0 || cold.Errors != 0 || cold.Aborted != 0 {
+		t.Fatalf("cold pass: %+v", cold)
+	}
+	if cold.OK != len(corpus) {
+		t.Fatalf("ok = %d, want %d", cold.OK, len(corpus))
+	}
+	if cold.P50MS <= 0 || cold.P95MS < cold.P50MS || cold.P99MS < cold.P95MS {
+		t.Errorf("implausible percentiles: %+v", cold)
+	}
+	if cold.SMTQueries == 0 {
+		t.Errorf("no SMT queries measured on a cold pass")
+	}
+
+	warm, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Corpus:      corpus,
+		Concurrency: 2,
+		Requests:    len(corpus),
+		ClientKey:   "load-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Incorrect != 0 || warm.Errors != 0 {
+		t.Fatalf("warm pass: %+v", warm)
+	}
+	if warm.SMTQueries >= cold.SMTQueries {
+		t.Errorf("warm pass made %d from-scratch queries, cold %d — caches not engaged",
+			warm.SMTQueries, cold.SMTQueries)
+	}
+	if warm.CacheHitRatio <= cold.CacheHitRatio {
+		t.Errorf("warm hit ratio %.3f not above cold %.3f", warm.CacheHitRatio, cold.CacheHitRatio)
+	}
+	t.Logf("cold: %d queries, hit ratio %.3f, p95 %.1fms", cold.SMTQueries, cold.CacheHitRatio, cold.P95MS)
+	t.Logf("warm: %d queries, hit ratio %.3f, p95 %.1fms", warm.SMTQueries, warm.CacheHitRatio, warm.P95MS)
+}
+
+func TestPercentiles(t *testing.T) {
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(i + 1)
+	}
+	p50, p95, p99, mean := percentiles(ms)
+	if p50 != 50 || p95 != 95 || p99 != 99 {
+		t.Errorf("p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if mean != 50.5 {
+		t.Errorf("mean=%v", mean)
+	}
+	if a, b, c, d := percentiles(nil); a != 0 || b != 0 || c != 0 || d != 0 {
+		t.Error("empty percentiles not zero")
+	}
+}

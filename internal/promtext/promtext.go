@@ -1,0 +1,116 @@
+// Package promtext renders counters and gauges in the Prometheus text
+// exposition format (version 0.0.4) without importing a client library.
+// vs3d and vs3router expose their existing atomic counters through it on
+// GET /metrics so a stock Prometheus scraper can watch a fleet; the format
+// is append-only text, so a tiny writer is all the dependency we need.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Writer accumulates metric families and renders them in a deterministic
+// order (families sorted by name, series sorted by label signature), which
+// keeps /metrics diffs and tests stable.
+type Writer struct {
+	families map[string]*family
+	names    []string
+}
+
+type family struct {
+	help   string
+	kind   string // "counter" or "gauge"
+	series []series
+}
+
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	value  float64
+}
+
+// New returns an empty Writer.
+func New() *Writer {
+	return &Writer{families: map[string]*family{}}
+}
+
+func (w *Writer) add(kind, name, help string, value float64, labels ...string) {
+	f, ok := w.families[name]
+	if !ok {
+		f = &family{help: help, kind: kind}
+		w.families[name] = f
+		w.names = append(w.names, name)
+	}
+	f.series = append(f.series, series{labels: renderLabels(labels), value: value})
+}
+
+// Counter records one sample of a monotonically increasing metric. Labels
+// are alternating key, value pairs.
+func (w *Writer) Counter(name, help string, value float64, labels ...string) {
+	w.add("counter", name, help, value, labels...)
+}
+
+// Gauge records one sample of a metric that can go up and down.
+func (w *Writer) Gauge(name, help string, value float64, labels ...string) {
+	w.add("gauge", name, help, value, labels...)
+}
+
+// renderLabels renders alternating key, value pairs as {k="v",...},
+// escaping backslash, double quote, and newline in values per the format.
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteTo renders every recorded family. Families appear in first-recorded
+// order; series within a family sort by label signature.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	var n int64
+	for _, name := range w.names {
+		f := w.families[name]
+		sort.SliceStable(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		c, err := fmt.Fprintf(out, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.kind)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+		for _, s := range f.series {
+			c, err := fmt.Fprintf(out, "%s%s %s\n", name, s.labels, formatValue(s.value))
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// formatValue prints integers without an exponent or trailing zeros (the
+// common case for counters) and falls back to %g.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

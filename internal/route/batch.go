@@ -1,0 +1,198 @@
+package route
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/serve"
+)
+
+// handleBatch splits one client batch by backend affinity, fans the
+// sub-batches out concurrently, and merges the per-item NDJSON result
+// streams back into one stream with the client's original item indices.
+// Splitting by affinity is the point: every item still lands on the backend
+// that is warm for its skeleton, so a bulk client pays one HTTP round trip
+// while keeping the per-key cache economics of single routed requests.
+//
+// Failover is per item, mid-stream: when a backend dies partway through its
+// sub-batch (connection refused, stream cut), the items it never answered
+// are re-grouped over the remaining live backends and re-sent; only items
+// no live backend can serve come back as 502 results. Items that already
+// produced a result are never re-run.
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var batch serve.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxProxyBody)).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if len(batch.Items) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty \"items\""))
+		return
+	}
+	r.batches.Add(1)
+	r.batchItems.Add(int64(len(batch.Items)))
+	client := serve.ClientKey(req)
+
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.RequestTimeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(res serve.BatchResult) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = enc.Encode(res)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	maxAttempts := len(r.backends) + 1
+	var wg sync.WaitGroup
+	var send func(indices []int, attempt int)
+
+	// fail emits terminal 502 results for items no backend could serve.
+	fail := func(indices []int, err error) {
+		r.noBackend.Add(int64(len(indices)))
+		for _, gi := range indices {
+			emit(serve.BatchResult{
+				Index:  gi,
+				Status: http.StatusBadGateway,
+				Error:  fmt.Sprintf("no live backend: %v", err),
+			})
+		}
+	}
+
+	// send groups the given (global) item indices by their current best
+	// backend and streams each group; unanswered items recurse with the
+	// next attempt.
+	send = func(indices []int, attempt int) {
+		if attempt >= maxAttempts {
+			fail(indices, errors.New("failover attempts exhausted"))
+			return
+		}
+		groups := map[int][]int{}
+		for _, gi := range indices {
+			cands := r.candidates(serve.ProblemKey(batch.Items[gi].Spec))
+			if len(cands) == 0 {
+				fail([]int{gi}, errors.New("no backends configured"))
+				continue
+			}
+			groups[cands[0]] = append(groups[cands[0]], gi)
+		}
+		for bidx, group := range groups {
+			wg.Add(1)
+			go func(bidx int, group []int) {
+				defer wg.Done()
+				remaining, err := r.streamGroup(ctx, r.backends[bidx], client, &batch, group, emit)
+				if len(remaining) == 0 {
+					return
+				}
+				r.backends[bidx].failovers.Add(int64(len(remaining)))
+				r.failovers.Add(int64(len(remaining)))
+				if ctx.Err() != nil {
+					fail(remaining, ctx.Err())
+					return
+				}
+				_ = err
+				send(remaining, attempt+1)
+			}(bidx, group)
+		}
+	}
+
+	all := make([]int, len(batch.Items))
+	for i := range all {
+		all[i] = i
+	}
+	send(all, 0)
+	wg.Wait()
+}
+
+// streamGroup sends one sub-batch to b and re-emits its results with global
+// indices. It returns the global indices that never produced a result (the
+// failover set) and the transport error that cut the stream, if any. A
+// backend that answers fewer lines than items without a transport error is
+// also treated as a cut stream.
+func (r *Router) streamGroup(ctx context.Context, b *backend, client string, batch *serve.BatchRequest, group []int, emit func(serve.BatchResult)) (remaining []int, err error) {
+	sub := serve.BatchRequest{Items: make([]serve.VerifyRequest, len(group))}
+	for li, gi := range group {
+		sub.Items[li] = batch.Items[gi]
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return group, err
+	}
+	done := make([]bool, len(group))
+	pending := func() []int {
+		var out []int
+		for li, d := range done {
+			if !d {
+				out = append(out, group[li])
+			}
+		}
+		return out
+	}
+
+	resp, err := r.forward(ctx, b, "/v1/batch", client, body)
+	if err != nil {
+		b.healthy.Store(false)
+		return group, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The backend rejected the whole sub-batch (e.g. over its item
+		// cap); surface its error on every item rather than failing over —
+		// another backend would reject it the same way.
+		var eresp errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&eresp)
+		for _, gi := range group {
+			emit(serve.BatchResult{Index: gi, Status: resp.StatusCode, Error: eresp.Error})
+		}
+		return nil, nil
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var res serve.BatchResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			b.healthy.Store(false)
+			return pending(), fmt.Errorf("corrupt batch stream from %s: %w", b.url, err)
+		}
+		if res.Index < 0 || res.Index >= len(group) || done[res.Index] {
+			continue // defensive: never emit a duplicate or out-of-range index
+		}
+		done[res.Index] = true
+		b.routed.Add(1)
+		res.Index = group[res.Index]
+		emit(res)
+	}
+	if err := sc.Err(); err != nil {
+		b.healthy.Store(false)
+		return pending(), err
+	}
+	if rem := pending(); len(rem) > 0 {
+		// EOF before every item answered: the backend shut down mid-batch.
+		b.healthy.Store(false)
+		return rem, fmt.Errorf("batch stream from %s ended after %d of %d items", b.url, len(group)-len(rem), len(group))
+	}
+	return nil, nil
+}

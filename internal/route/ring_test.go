@@ -1,0 +1,86 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicAndComplete checks every key maps to a stable,
+// complete failover sequence: deterministic across ring rebuilds (two
+// router processes agree), every backend exactly once.
+func TestRingDeterministicAndComplete(t *testing.T) {
+	r1 := newRing(5, 64)
+	r2 := newRing(5, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("problem-%d", i)
+		s1, s2 := r1.sequence(key), r2.sequence(key)
+		if len(s1) != 5 {
+			t.Fatalf("sequence(%q) = %v, want all 5 backends", key, s1)
+		}
+		seen := map[int]bool{}
+		for _, b := range s1 {
+			if b < 0 || b >= 5 || seen[b] {
+				t.Fatalf("sequence(%q) = %v: invalid or duplicate backend", key, s1)
+			}
+			seen[b] = true
+		}
+		for j := range s1 {
+			if s1[j] != s2[j] {
+				t.Fatalf("rings disagree for %q: %v vs %v", key, s1, s2)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks vnode placement spreads the keyspace roughly
+// evenly: no backend owns more than ~2.5x its fair share over many keys.
+func TestRingBalance(t *testing.T) {
+	const backends, keys = 4, 4000
+	r := newRing(backends, 128)
+	counts := make([]int, backends)
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("%x-key-%d", i*7919, i))]++
+	}
+	fair := keys / backends
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("backend %d owns no keys: %v", b, counts)
+		}
+		if c > fair*5/2 {
+			t.Errorf("backend %d owns %d of %d keys (fair share %d): %v", b, c, keys, fair, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderNodeLoss checks the consistent-hashing property the
+// whole design leans on: removing one backend only moves the keys it owned;
+// every other key keeps its owner (so the fleet's warm caches survive a
+// node death).
+func TestRingStabilityUnderNodeLoss(t *testing.T) {
+	r := newRing(4, 128)
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.sequence(key)
+		owner := seq[0]
+		// Simulate backend 0 dying: the effective owner is the first
+		// element of the sequence that is not 0.
+		var after int
+		for _, b := range seq {
+			if b != 0 {
+				after = b
+				break
+			}
+		}
+		if owner == 0 {
+			moved++
+		} else if after != owner {
+			t.Fatalf("key %q moved from %d to %d though backend 0 died", key, owner, after)
+		} else {
+			kept++
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+}

@@ -1,0 +1,370 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Policy selects how single requests and batch items map to backends.
+type Policy string
+
+const (
+	// Affinity (the default) consistently hashes each request's problem key
+	// onto the backend ring, so every backend stays warm for its slice of
+	// the keyspace.
+	Affinity Policy = "affinity"
+	// Random spreads requests uniformly over live backends. It exists as
+	// the control arm for benchmarks (BENCH_6): same fleet, no affinity,
+	// so the warm-path advantage collapses to 1/N.
+	Random Policy = "random"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Backends are the vs3d base URLs (e.g. "http://10.0.0.1:8080"). At
+	// least one is required.
+	Backends []string
+	// Replicas is the virtual-node count per backend (default 128).
+	Replicas int
+	// Policy is Affinity or Random (default Affinity).
+	Policy Policy
+	// HealthInterval is the period between /healthz sweeps (default 2s);
+	// HealthTimeout bounds one probe (default 1s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// RequestTimeout bounds one proxied request end to end, as a safety net
+	// over the backend's own deadline handling (default 10m).
+	RequestTimeout time.Duration
+	// Client overrides the HTTP client used to reach backends. The default
+	// keeps connections alive with a generous idle pool per backend, so a
+	// hot keyspace slice rides one warm TCP connection set.
+	Client *http.Client
+	// ID identifies the router in stats and metrics (default "vs3router").
+	ID string
+}
+
+func (c Config) normalize() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 128
+	}
+	if c.Policy == "" {
+		c.Policy = Affinity
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Minute
+	}
+	if c.ID == "" {
+		c.ID = "vs3router"
+	}
+	if c.Client == nil {
+		transport := &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}
+		c.Client = &http.Client{Transport: transport}
+	}
+	return c
+}
+
+// backend is one vs3d node plus its router-side state.
+type backend struct {
+	url       string
+	healthy   atomic.Bool
+	serverID  atomic.Pointer[string] // last X-VS3-Backend seen
+	routed    atomic.Int64           // requests/items routed here
+	failovers atomic.Int64           // requests moved OFF this backend after a transport failure
+}
+
+func (b *backend) id() string {
+	if p := b.serverID.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Router fronts a fleet of vs3d backends.
+type Router struct {
+	cfg      Config
+	backends []*backend
+	ring     *ring
+	client   *http.Client
+	started  time.Time
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	requests   atomic.Int64 // single verify/preconditions requests proxied
+	batches    atomic.Int64
+	batchItems atomic.Int64
+	failovers  atomic.Int64 // total failover hops
+	noBackend  atomic.Int64 // requests failed because no backend answered
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a Router and starts its health-check loop. Backends start
+// healthy (optimistically) and are corrected by the first sweep; transport
+// failures also mark a backend unhealthy immediately (passive detection),
+// so failover does not wait for the next probe.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.normalize()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("route: at least one backend is required")
+	}
+	if cfg.Policy != Affinity && cfg.Policy != Random {
+		return nil, fmt.Errorf("route: unknown policy %q", cfg.Policy)
+	}
+	r := &Router{
+		cfg:     cfg,
+		ring:    newRing(len(cfg.Backends), cfg.Replicas),
+		client:  cfg.Client,
+		started: time.Now(),
+		rnd:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		stopc:   make(chan struct{}),
+	}
+	for _, u := range cfg.Backends {
+		b := &backend{url: u}
+		b.healthy.Store(true)
+		r.backends = append(r.backends, b)
+	}
+	r.wg.Add(1)
+	go r.healthLoop()
+	return r, nil
+}
+
+// Close stops the health loop and idles kept-alive connections.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stopc) })
+	r.wg.Wait()
+	if t, ok := r.client.Transport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+}
+
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	r.sweep()
+	ticker := time.NewTicker(r.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stopc:
+			return
+		case <-ticker.C:
+			r.sweep()
+		}
+	}
+}
+
+// sweep probes every backend's /healthz concurrently. A backend is healthy
+// only on HTTP 200 — a draining backend answers 503, so drain takes it out
+// of rotation without dropping its in-flight work.
+func (r *Router) sweep() {
+	var wg sync.WaitGroup
+	for _, b := range r.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+			if err != nil {
+				b.healthy.Store(false)
+				return
+			}
+			resp, err := r.client.Do(req)
+			if err != nil {
+				b.healthy.Store(false)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if id := resp.Header.Get("X-VS3-Backend"); id != "" {
+				b.serverID.Store(&id)
+			}
+			b.healthy.Store(resp.StatusCode == http.StatusOK)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// candidates returns backend indices to try for key, best first. Affinity:
+// ring order from the key's hash, live nodes first (so a key whose owner
+// died lands deterministically on the owner's ring successor, and moves
+// back when the owner recovers). Random: a random permutation of live
+// nodes, dead ones appended as a last resort.
+func (r *Router) candidates(key string) []int {
+	seq := r.ring.sequence(key)
+	if r.cfg.Policy == Random {
+		r.rndMu.Lock()
+		r.rnd.Shuffle(len(seq), func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+		r.rndMu.Unlock()
+	}
+	live := make([]int, 0, len(seq))
+	dead := make([]int, 0, len(seq))
+	for _, i := range seq {
+		if r.backends[i].healthy.Load() {
+			live = append(live, i)
+		} else {
+			dead = append(dead, i)
+		}
+	}
+	return append(live, dead...)
+}
+
+// Handler returns the router's HTTP mux.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/verify", func(w http.ResponseWriter, req *http.Request) { r.proxySingle(w, req, "/v1/verify") })
+	mux.HandleFunc("/v1/preconditions", func(w http.ResponseWriter, req *http.Request) { r.proxySingle(w, req, "/v1/preconditions") })
+	mux.HandleFunc("/v1/batch", r.handleBatch)
+	mux.HandleFunc("/v1/stats", r.handleStats)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, b := range r.backends {
+			if b.healthy.Load() {
+				fmt.Fprintln(w, "ok")
+				return
+			}
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no live backends")
+	})
+	id := r.cfg.ID
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("X-VS3-Router", id)
+		mux.ServeHTTP(w, req)
+	})
+}
+
+// maxProxyBody bounds a proxied request body.
+const maxProxyBody = 32 << 20
+
+// proxySingle routes one verify/preconditions request by its problem key.
+// Verification requests are idempotent, so a transport failure (connection
+// refused, reset mid-response) fails over to the next candidate backend;
+// HTTP-level answers (including 429 shed and 5xx) pass through untouched —
+// rerouting overload would defeat both affinity and load shedding.
+func (r *Router) proxySingle(w http.ResponseWriter, req *http.Request, path string) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxProxyBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	var peek struct {
+		Spec string `json:"spec"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if peek.Spec == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing \"spec\""))
+		return
+	}
+	r.requests.Add(1)
+	key := serve.ProblemKey(peek.Spec)
+	client := serve.ClientKey(req)
+
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.RequestTimeout)
+	defer cancel()
+	var lastErr error
+	for _, idx := range r.candidates(key) {
+		b := r.backends[idx]
+		resp, err := r.forward(ctx, b, path, client, body)
+		if err != nil {
+			// Transport failure: the backend never produced an answer. Mark
+			// it down and rehash to the next node in ring order.
+			b.healthy.Store(false)
+			b.failovers.Add(1)
+			r.failovers.Add(1)
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		b.routed.Add(1)
+		copyHeader(w.Header(), resp.Header, "Content-Type", "X-VS3-Backend", "X-VS3-Problem-Key", "Retry-After")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		return
+	}
+	r.noBackend.Add(1)
+	if lastErr == nil {
+		lastErr = errors.New("no backends configured")
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("no live backend: %w", lastErr))
+}
+
+// forward sends one request to a backend, propagating the originating
+// client's fair-queue key so backends schedule by end client, not by
+// router address.
+func (r *Router) forward(ctx context.Context, b *backend, path, client string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-VS3-Client", client)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if id := resp.Header.Get("X-VS3-Backend"); id != "" {
+		b.serverID.Store(&id)
+	}
+	return resp, nil
+}
+
+func copyHeader(dst, src http.Header, keys ...string) {
+	for _, k := range keys {
+		if v := src.Get(k); v != "" {
+			dst.Set(k, v)
+		}
+	}
+}
+
+// errorResponse mirrors the backend error body shape.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

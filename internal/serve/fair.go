@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// fairQueue admits waiting requests to the session pool round-robin across
+// client keys instead of global FIFO. With one FIFO, a bulk client that
+// keeps the queue full starves an interactive client indefinitely; with
+// per-client queues and round-robin dispatch, every client with work waiting
+// gets one session grant per rotation, so a greedy client's backlog costs
+// only itself. Within one client, grants stay FIFO.
+type fairQueue struct {
+	mu       sync.Mutex
+	queueCap int // total waiters admitted beyond the pool before errBusy
+
+	idle    []*session
+	waiting int // live (non-cancelled) waiters across all clients
+
+	clients map[string]*clientQueue
+	order   []*clientQueue // rotation order; next indexes the client served next
+	next    int
+}
+
+// clientQueue is one client's FIFO of waiters.
+type clientQueue struct {
+	key     string
+	waiters []*waiter
+}
+
+// waiter is one parked acquire. Grants are delivered under fq.mu through ch
+// (buffered so the granter never blocks); cancelled marks a waiter whose
+// context fired before a grant, to be skipped and dropped at dispatch.
+type waiter struct {
+	ch        chan *session
+	cancelled bool
+}
+
+func newFairQueue(sessions []*session, queueCap int) *fairQueue {
+	fq := &fairQueue{
+		queueCap: queueCap,
+		idle:     append([]*session(nil), sessions...),
+		clients:  map[string]*clientQueue{},
+	}
+	return fq
+}
+
+// acquire hands out an idle session immediately when one is free; otherwise
+// it parks the caller in its client's queue (admitting at most queueCap
+// total waiters, errBusy beyond) until release dispatches a session to it or
+// its context fires.
+func (fq *fairQueue) acquire(ctx context.Context, client string) (*session, error) {
+	fq.mu.Lock()
+	if n := len(fq.idle); n > 0 {
+		sess := fq.idle[n-1]
+		fq.idle = fq.idle[:n-1]
+		fq.mu.Unlock()
+		return sess, nil
+	}
+	if fq.waiting >= fq.queueCap {
+		fq.mu.Unlock()
+		return nil, errBusy
+	}
+	w := &waiter{ch: make(chan *session, 1)}
+	cq, ok := fq.clients[client]
+	if !ok {
+		cq = &clientQueue{key: client}
+		fq.clients[client] = cq
+		fq.order = append(fq.order, cq)
+	}
+	cq.waiters = append(cq.waiters, w)
+	fq.waiting++
+	fq.mu.Unlock()
+
+	select {
+	case sess := <-w.ch:
+		return sess, nil
+	case <-ctx.Done():
+		fq.mu.Lock()
+		select {
+		case sess := <-w.ch:
+			// The grant raced the cancellation; pass the session on rather
+			// than leaking it.
+			fq.dispatchLocked(sess)
+			fq.mu.Unlock()
+		default:
+			w.cancelled = true
+			fq.waiting--
+			fq.mu.Unlock()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a session to the pool, granting it to the next waiter in
+// round-robin client order (or parking it idle).
+func (fq *fairQueue) release(sess *session) {
+	fq.mu.Lock()
+	fq.dispatchLocked(sess)
+	fq.mu.Unlock()
+}
+
+// dispatchLocked grants sess to the first live waiter of the next client in
+// rotation, dropping cancelled waiters and empty client queues as it scans.
+// Called with fq.mu held.
+func (fq *fairQueue) dispatchLocked(sess *session) {
+	for len(fq.order) > 0 {
+		if fq.next >= len(fq.order) {
+			fq.next = 0
+		}
+		cq := fq.order[fq.next]
+		// Drop waiters whose context already fired.
+		for len(cq.waiters) > 0 && cq.waiters[0].cancelled {
+			cq.waiters = cq.waiters[1:]
+		}
+		if len(cq.waiters) == 0 {
+			fq.removeClientLocked(fq.next)
+			continue
+		}
+		w := cq.waiters[0]
+		cq.waiters = cq.waiters[1:]
+		fq.waiting--
+		if len(cq.waiters) == 0 {
+			fq.removeClientLocked(fq.next)
+		} else {
+			fq.next++ // this client served; next rotation starts after it
+			if fq.next >= len(fq.order) {
+				fq.next = 0
+			}
+		}
+		w.ch <- sess
+		return
+	}
+	fq.idle = append(fq.idle, sess)
+}
+
+// removeClientLocked deletes order[i], keeping the rotation cursor pointed
+// at the element that followed it.
+func (fq *fairQueue) removeClientLocked(i int) {
+	cq := fq.order[i]
+	delete(fq.clients, cq.key)
+	fq.order = append(fq.order[:i], fq.order[i+1:]...)
+	if fq.next > i {
+		fq.next--
+	}
+	if fq.next >= len(fq.order) {
+		fq.next = 0
+	}
+}
+
+// queued reports live waiters; clientsWaiting reports distinct client keys
+// with at least one live waiter.
+func (fq *fairQueue) queued() int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	return fq.waiting
+}
+
+func (fq *fairQueue) clientsWaiting() int {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	n := 0
+	for _, cq := range fq.clients {
+		for _, w := range cq.waiters {
+			if !w.cancelled {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"container/list"
+
+	"repro/internal/spec"
+)
+
+// problemLRU is a hit-ordered bounded cache of parsed problems. Problems
+// carry their compiled per-path VC skeletons, so keeping the *hot* set
+// resident (rather than evicting an arbitrary entry, as the first serving
+// layer did) is what preserves the warm-path economics under churn: a
+// problem the fleet keeps asking about must survive a scan of one-off specs.
+// Methods are not locked; the Server guards the cache with its own mutex.
+type problemLRU struct {
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	index map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	p   *spec.Problem
+}
+
+func newProblemLRU(capacity int) *problemLRU {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &problemLRU{cap: capacity, order: list.New(), index: map[string]*list.Element{}}
+}
+
+// get returns the cached problem and promotes it to most-recently-used.
+func (c *problemLRU) get(key string) (*spec.Problem, bool) {
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).p, true
+}
+
+// put inserts (or refreshes) an entry, evicting the least-recently-used
+// entry when the cache is full.
+func (c *problemLRU) put(key string, p *spec.Problem) {
+	if el, ok := c.index[key]; ok {
+		el.Value.(*lruEntry).p = p
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.index, oldest.Value.(*lruEntry).key)
+		}
+	}
+	c.index[key] = c.order.PushFront(&lruEntry{key: key, p: p})
+}
+
+// len reports the number of cached problems.
+func (c *problemLRU) len() int { return c.order.Len() }

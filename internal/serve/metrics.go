@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+
+	"repro/internal/promtext"
+)
+
+// handleMetrics renders the same counters as /v1/stats in Prometheus text
+// format so a stock scraper can watch a backend without a JSON exporter.
+// Metric names are stable API; the router exposes its own vs3router_*
+// family on top of these.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	sr := s.statsSnapshot()
+	pw := promtext.New()
+	id := []string{"server", sr.ServerID}
+	pw.Gauge("vs3d_up", "1 while the backend is serving, 0 once draining.", boolGauge(!sr.Draining), id...)
+	pw.Gauge("vs3d_uptime_seconds", "Seconds since the server started.", sr.UptimeSeconds, id...)
+	pw.Gauge("vs3d_pool_sessions", "Configured verifier sessions.", float64(sr.Pool), id...)
+	pw.Gauge("vs3d_in_flight", "Requests currently holding a session.", float64(sr.InFlight), id...)
+	pw.Gauge("vs3d_queued", "Requests waiting for a session.", float64(sr.Queued), id...)
+	pw.Gauge("vs3d_clients_queued", "Distinct client keys with waiting requests.", float64(sr.ClientsQueued), id...)
+	pw.Counter("vs3d_requests_total", "Requests that reached a verifier (batch items included).", float64(sr.Requests), id...)
+	pw.Counter("vs3d_shed_total", "Requests shed with 429 (wait queue full).", float64(sr.Rejected), id...)
+	pw.Counter("vs3d_aborted_total", "Runs cancelled by deadline or client disconnect.", float64(sr.Aborted), id...)
+	pw.Counter("vs3d_truncated_total", "Runs that reported a clipped search.", float64(sr.Truncated), id...)
+	pw.Counter("vs3d_batches_total", "Accepted /v1/batch requests.", float64(sr.Batches), id...)
+	pw.Counter("vs3d_batch_items_total", "Items across all accepted batches.", float64(sr.BatchItems), id...)
+	pw.Gauge("vs3d_problems_cached", "Parsed problems resident in the LRU.", float64(sr.ProblemsCached), id...)
+	pw.Counter("vs3d_problem_cache_hits_total", "Parsed-problem LRU hits.", float64(sr.ProblemCacheHits), id...)
+	pw.Counter("vs3d_smt_queries_total", "From-scratch SMT validity queries across all sessions.", float64(sr.Queries), id...)
+	pw.Counter("vs3d_smt_cache_hits_total", "SMT validity-cache hits across all sessions.", float64(sr.CacheHits), id...)
+	pw.Counter("vs3d_smt_contexts_total", "Persistent incremental smt.Contexts created.", float64(sr.Contexts), id...)
+	pw.Counter("vs3d_assumption_probes_total", "Incremental assumption probes across all sessions.", float64(sr.AssumptionProbes), id...)
+	pw.Counter("vs3d_lemma_reuse_total", "Theory-lemma reuse hits across all sessions.", float64(sr.LemmaReuse), id...)
+	pw.Counter("vs3d_shared_lemmas_total", "Cross-lane theory-lemma exchanges.", float64(sr.SharedLemmas), id...)
+	pw.Counter("vs3d_core_pruned_total", "Lattice candidates pruned by stored unsat cores.", float64(sr.CorePruned), id...)
+	pw.Counter("vs3d_core_evicted_total", "Cores evicted from the engine-global store.", float64(sr.CoreEvicted), id...)
+
+	var buf bytes.Buffer
+	_, _ = pw.WriteTo(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -3,34 +3,42 @@
 // interned formulas, compiled fillers, persistent smt.Context lane groups,
 // the engine-global unsat-core store — with the process; the daemon keeps a
 // pool of verifier sessions alive so repeated and related problems amortize
-// that work across requests (see DESIGN.md §12).
+// that work across requests (see DESIGN.md §12–13).
 //
 // API (JSON over HTTP):
 //
 //	POST /v1/verify         {"spec": "<vs3 source>", "method": "lfp|gfp|cfp", "timeout_ms": 5000}
 //	POST /v1/preconditions  {"spec": "<vs3 source>", "timeout_ms": 5000}
+//	POST /v1/batch          {"items": [<verify request>, ...]} → NDJSON stream of per-item results
 //	GET  /v1/stats          server-lifetime counters (pool, solver caches, merged collector)
-//	GET  /healthz           liveness probe
+//	GET  /metrics           the same counters in Prometheus text format
+//	GET  /healthz           liveness probe (503 once draining)
 //
 // core.Verifier is not safe for concurrent use, so the server owns a fixed
 // pool of sessions, each a verifier bound to one request at a time. All
 // sessions share one unsat-core store (optimal.CoreStore) and the
 // process-global formula interner; parsed problems (with their compiled VC
-// skeletons) are shared through a bounded cache. Each request's deadline and
-// client disconnect are bridged into the verifier's cooperative Stop flag,
-// so an abandoned request stops consuming CPU promptly and is reported as
-// Aborted (HTTP 504) rather than as a false "no invariant found". When every
-// session is busy and the wait queue is full the server sheds load with
-// HTTP 429 and a Retry-After hint.
+// skeletons) are shared through an LRU cache. Waiting requests are admitted
+// round-robin across client keys (fairQueue), so one bulk client cannot
+// starve another. Each request's deadline and client disconnect are bridged
+// into the verifier's cooperative Stop flag, so an abandoned request stops
+// consuming CPU promptly and is reported as Aborted (HTTP 504) rather than
+// as a false "no invariant found". When every session is busy and the wait
+// queue is full the server sheds load with HTTP 429 and a Retry-After hint.
+//
+// Every response carries X-VS3-Backend (this server's identity) and, once
+// the spec is resolved, X-VS3-Problem-Key (the canonical routing key, see
+// ProblemKey) — the hooks cmd/vs3router uses to prove affinity end to end.
 package serve
 
 import (
 	"context"
 	"crypto/sha256"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -48,6 +56,10 @@ import (
 
 // Config tunes a Server. The zero value is usable.
 type Config struct {
+	// ID identifies this backend in X-VS3-Backend headers, /v1/stats, and
+	// /metrics (default "vs3d-<host>-<pid>"). The router reports per-backend
+	// traffic under this name.
+	ID string
 	// Pool is the number of verifier sessions (default GOMAXPROCS). Each
 	// session serves one request at a time; sessions share the formula
 	// interner, one unsat-core store, and the parsed-problem cache, but
@@ -61,6 +73,9 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts (default 5m).
 	MaxTimeout time.Duration
+	// MaxBatch caps the number of items in one /v1/batch request
+	// (default 1024).
+	MaxBatch int
 	// Core is the base verifier configuration. The server owns cancellation
 	// and measurement: Fixpoint.Stop, SMT.Stop, CBI.Stop, Stats, and Cores
 	// are overwritten per session.
@@ -68,6 +83,13 @@ type Config struct {
 }
 
 func (c Config) normalize() Config {
+	if c.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "localhost"
+		}
+		c.ID = fmt.Sprintf("vs3d-%s-%d", host, os.Getpid())
+	}
 	if c.Pool <= 0 {
 		c.Pool = runtime.GOMAXPROCS(0)
 	}
@@ -80,14 +102,39 @@ func (c Config) normalize() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
 	return c
 }
 
-// maxSpecBytes bounds a request body; vs3 spec files are a few KB.
+// maxSpecBytes bounds a single-request body; vs3 spec files are a few KB.
 const maxSpecBytes = 1 << 20
 
-// maxCachedProblems bounds the parsed-problem cache.
+// maxCachedProblems bounds the parsed-problem LRU.
 const maxCachedProblems = 256
+
+// ProblemKey returns the canonical cache/affinity key for a spec source:
+// the hex SHA-256 of its bytes. The router hashes this key onto its backend
+// ring, the problem LRU indexes by it, and backends echo it in the
+// X-VS3-Problem-Key response header so affinity is observable end to end.
+func ProblemKey(src string) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(src)))
+}
+
+// ClientKey extracts the fair-queueing identity of a request: the
+// X-VS3-Client header when present (set by trusted front tiers like
+// vs3router), else the remote IP.
+func ClientKey(r *http.Request) string {
+	if k := r.Header.Get("X-VS3-Client"); k != "" {
+		return k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
 
 // session is one pooled verifier. The verifier is constructed once (so its
 // solver's caches live as long as the server) with a Stop hook that reads
@@ -110,22 +157,24 @@ func (s *session) unbind()                  { s.bind(context.Background()) }
 // Server is the verification service.
 type Server struct {
 	cfg      Config
-	idle     chan *session
+	fq       *fairQueue
 	sessions []*session // stable list, for stats aggregation
-	waiters  atomic.Int64
 
 	mu       sync.Mutex
 	agg      stats.Snapshot // request-scoped collector deltas merged server-lifetime
-	problems map[string]*spec.Problem
+	problems *problemLRU
 
-	started time.Time
+	started  time.Time
+	draining atomic.Bool
 
-	requests  atomic.Int64 // requests that reached a verifier
-	rejected  atomic.Int64 // 429s
-	aborted   atomic.Int64 // runs cancelled by deadline/disconnect
-	truncated atomic.Int64 // runs that reported a clipped search
-	inflight  atomic.Int64
-	probHits  atomic.Int64 // parsed-problem cache hits
+	requests   atomic.Int64 // requests that reached a verifier (batch items included)
+	rejected   atomic.Int64 // 429s / shed batch items
+	aborted    atomic.Int64 // runs cancelled by deadline/disconnect
+	truncated  atomic.Int64 // runs that reported a clipped search
+	inflight   atomic.Int64
+	probHits   atomic.Int64 // parsed-problem cache hits
+	batches    atomic.Int64 // /v1/batch requests accepted
+	batchItems atomic.Int64 // items across all batches
 }
 
 // New returns a Server with cfg.Pool warmed-up sessions.
@@ -133,8 +182,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.normalize()
 	s := &Server{
 		cfg:      cfg,
-		idle:     make(chan *session, cfg.Pool),
-		problems: map[string]*spec.Problem{},
+		problems: newProblemLRU(maxCachedProblems),
 		started:  time.Now(),
 	}
 	shared := cfg.Core.Cores
@@ -152,69 +200,66 @@ func New(cfg Config) *Server {
 		cc.CBI.Stop = nil
 		sess.v = core.New(cc)
 		s.sessions = append(s.sessions, sess)
-		s.idle <- sess
 	}
+	s.fq = newFairQueue(s.sessions, cfg.Queue)
 	return s
 }
 
-// Handler returns the server's HTTP mux.
+// ID returns the server's backend identity.
+func (s *Server) ID() string { return s.cfg.ID }
+
+// StartDrain flips /healthz to 503 so load balancers and the router stop
+// sending new work; in-flight requests finish normally. cmd/vs3d calls this
+// on SIGTERM before http.Server.Shutdown.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the server's HTTP mux. Every response carries the
+// X-VS3-Backend identity header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/preconditions", s.handlePreconditions)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	id := s.cfg.ID
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-VS3-Backend", id)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 var errBusy = errors.New("serve: all sessions busy and the wait queue is full")
 
-// acquire hands out an idle session, waiting in the bounded queue when all
-// are busy. It fails fast with errBusy beyond the queue bound, and with the
-// context's error when the caller's deadline fires while queued.
-func (s *Server) acquire(ctx context.Context) (*session, error) {
-	select {
-	case sess := <-s.idle:
-		return sess, nil
-	default:
-	}
-	if s.waiters.Add(1) > int64(s.cfg.Queue) {
-		s.waiters.Add(-1)
-		return nil, errBusy
-	}
-	defer s.waiters.Add(-1)
-	select {
-	case sess := <-s.idle:
-		return sess, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-func (s *Server) release(sess *session) {
-	sess.unbind()
-	s.idle <- sess
-}
-
-// problem parses (or re-uses a previously parsed) spec.Problem. Problems are
-// immutable after construction and documented safe for concurrent use, so a
-// cache hit shares the compiled per-path VC skeletons across sessions.
-func (s *Server) problem(src string) (*spec.Problem, error) {
-	key := fmt.Sprintf("%x", sha256.Sum256([]byte(src)))
+// problem parses (or re-uses a previously parsed) spec.Problem and returns
+// it with its canonical key. Problems are immutable after construction and
+// documented safe for concurrent use, so a cache hit shares the compiled
+// per-path VC skeletons across sessions.
+func (s *Server) problem(src string) (*spec.Problem, string, error) {
+	key := ProblemKey(src)
 	s.mu.Lock()
-	if p, ok := s.problems[key]; ok {
+	if p, ok := s.problems.get(key); ok {
 		s.mu.Unlock()
 		s.probHits.Add(1)
-		return p, nil
+		return p, key, nil
 	}
 	s.mu.Unlock()
 
 	sf, err := lang.ParseSpecFile(src)
 	if err != nil {
-		return nil, err
+		return nil, key, err
 	}
 	p := &spec.Problem{
 		Prog:      sf.Program,
@@ -222,23 +267,15 @@ func (s *Server) problem(src string) (*spec.Problem, error) {
 		Q:         template.Domain(sf.Predicates),
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, key, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if prev, ok := s.problems[key]; ok {
-		return prev, nil
+	if prev, ok := s.problems.get(key); ok {
+		return prev, key, nil
 	}
-	if len(s.problems) >= maxCachedProblems {
-		// Arbitrary single eviction keeps the cache bounded without
-		// bookkeeping; the workload this serves is a small warm set.
-		for k := range s.problems {
-			delete(s.problems, k)
-			break
-		}
-	}
-	s.problems[key] = p
-	return p, nil
+	s.problems.put(key, p)
+	return p, key, nil
 }
 
 // timeout resolves a request's effective deadline.
@@ -253,9 +290,10 @@ func (s *Server) timeout(ms int64) time.Duration {
 	return d
 }
 
-// verifyRequest is the body of POST /v1/verify and /v1/preconditions
-// (method is ignored for preconditions).
-type verifyRequest struct {
+// VerifyRequest is the body of POST /v1/verify and /v1/preconditions
+// (Method is ignored for preconditions) and the element type of
+// BatchRequest.Items.
+type VerifyRequest struct {
 	// Spec is a vs3 spec file: program + template/predicates directives
 	// (the same encoding cmd/vs3 and examples/ use).
 	Spec string `json:"spec"`
@@ -266,8 +304,8 @@ type verifyRequest struct {
 	TimeoutMS int64 `json:"timeout_ms"`
 }
 
-// verifyResponse reports one verification run.
-type verifyResponse struct {
+// VerifyResponse reports one verification run.
+type VerifyResponse struct {
 	Method     string            `json:"method"`
 	Proved     bool              `json:"proved"`
 	Aborted    bool              `json:"aborted"`
@@ -294,18 +332,6 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
-}
-
 func parseMethod(s string) (core.Method, error) {
 	switch s {
 	case "", "lfp", "LFP":
@@ -318,77 +344,62 @@ func parseMethod(s string) (core.Method, error) {
 	return 0, fmt.Errorf("unknown method %q (want lfp, gfp, or cfp)", s)
 }
 
-// begin decodes the request, resolves the problem, and leases a session with
-// the deadline-bound context installed. On success the caller must run
-// finish() (which releases the session) exactly once.
-func (s *Server) begin(w http.ResponseWriter, r *http.Request) (req verifyRequest, p *spec.Problem, sess *session, ctx context.Context, finish func() stats.Snapshot, ok bool) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-		return
-	}
-	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
-		return
-	}
-	if req.Spec == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing \"spec\""))
-		return
-	}
-	p, err := s.problem(req.Spec)
+// lease acquires a session for client with a timeout-bound run context
+// derived from parent. On success the caller must call the returned finish
+// exactly once; it unbinds and releases the session and returns the
+// request-scoped stats delta.
+func (s *Server) lease(parent context.Context, client string, timeoutMS int64) (*session, context.Context, func() stats.Snapshot, error) {
+	sess, err := s.fq.acquire(parent, client)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, nil, nil, err
 	}
-	sess, err = s.acquire(r.Context())
-	if err != nil {
-		if errors.Is(err, errBusy) {
-			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
-		} else {
-			// The client's deadline or disconnect fired while queued.
-			writeError(w, http.StatusGatewayTimeout, err)
-		}
-		return
-	}
-	reqCtx, cancel := context.WithTimeout(r.Context(), s.timeout(req.TimeoutMS))
+	reqCtx, cancel := context.WithTimeout(parent, s.timeout(timeoutMS))
 	sess.bind(reqCtx)
 	s.requests.Add(1)
 	s.inflight.Add(1)
 	before := sess.col.Snapshot()
-	finish = func() stats.Snapshot {
+	finish := func() stats.Snapshot {
 		delta := sess.col.Snapshot().Sub(before)
 		cancel()
-		s.release(sess)
+		sess.unbind()
+		s.fq.release(sess)
 		s.inflight.Add(-1)
 		s.mu.Lock()
 		s.agg = s.agg.Add(delta)
 		s.mu.Unlock()
 		return delta
 	}
-	return req, p, sess, reqCtx, finish, true
+	return sess, reqCtx, finish, nil
 }
 
-func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	req, p, sess, ctx, finish, ok := s.begin(w, r)
-	if !ok {
-		return
-	}
+// runVerify executes one verification run end to end: resolve the problem,
+// lease a session under the client's fair-queue key, run, and assemble the
+// response. It powers both POST /v1/verify and each /v1/batch item. The
+// returned status is the HTTP status a standalone request would carry.
+func (s *Server) runVerify(parent context.Context, client string, req VerifyRequest) (resp VerifyResponse, key string, status int, err error) {
 	m, err := parseMethod(req.Method)
 	if err != nil {
-		finish()
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return VerifyResponse{}, "", http.StatusBadRequest, err
+	}
+	p, key, err := s.problem(req.Spec)
+	if err != nil {
+		return VerifyResponse{}, key, http.StatusBadRequest, err
+	}
+	sess, reqCtx, finish, err := s.lease(parent, client, req.TimeoutMS)
+	if err != nil {
+		if errors.Is(err, errBusy) {
+			s.rejected.Add(1)
+			return VerifyResponse{}, key, http.StatusTooManyRequests, err
+		}
+		// The client's deadline or disconnect fired while queued.
+		return VerifyResponse{}, key, http.StatusGatewayTimeout, err
 	}
 	out, err := sess.v.Verify(p, m)
 	delta := finish()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return VerifyResponse{}, key, http.StatusInternalServerError, err
 	}
-	resp := verifyResponse{
+	resp = VerifyResponse{
 		Method:     out.Method.String(),
 		Proved:     out.Proved,
 		Aborted:    out.Aborted,
@@ -408,15 +419,50 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Aborted {
 		s.aborted.Add(1)
-		writeJSON(w, s.abortStatus(ctx), resp)
+		return resp, key, abortStatus(reqCtx), nil
+	}
+	return resp, key, http.StatusOK, nil
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !decodePost(w, r, &req) {
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	resp, key, status, err := s.runVerify(r.Context(), ClientKey(r), req)
+	if key != "" {
+		w.Header().Set("X-VS3-Problem-Key", key)
+	}
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handlePreconditions(w http.ResponseWriter, r *http.Request) {
-	_, p, sess, ctx, finish, ok := s.begin(w, r)
-	if !ok {
+	var req VerifyRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	p, key, err := s.problem(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("X-VS3-Problem-Key", key)
+	sess, reqCtx, finish, err := s.lease(r.Context(), ClientKey(r), req.TimeoutMS)
+	if err != nil {
+		if errors.Is(err, errBusy) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		} else {
+			writeError(w, http.StatusGatewayTimeout, err)
+		}
 		return
 	}
 	start := time.Now()
@@ -443,7 +489,7 @@ func (s *Server) handlePreconditions(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Aborted {
 		s.aborted.Add(1)
-		writeJSON(w, s.abortStatus(ctx), resp)
+		writeJSON(w, abortStatus(reqCtx), resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -451,7 +497,7 @@ func (s *Server) handlePreconditions(w http.ResponseWriter, r *http.Request) {
 
 // abortStatus maps an aborted run to its HTTP status: 504 for a deadline,
 // 499 (nginx's client-closed-request convention) for a disconnect.
-func (s *Server) abortStatus(ctx context.Context) int {
+func abortStatus(ctx context.Context) int {
 	if errors.Is(ctx.Err(), context.Canceled) {
 		return 499
 	}
@@ -460,18 +506,23 @@ func (s *Server) abortStatus(ctx context.Context) int {
 
 // statsResponse is the body of GET /v1/stats.
 type statsResponse struct {
+	ServerID      string  `json:"server_id"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
 	Pool          int     `json:"pool"`
 	QueueCapacity int     `json:"queue_capacity"`
 	InFlight      int64   `json:"in_flight"`
 	Queued        int64   `json:"queued"`
+	ClientsQueued int64   `json:"clients_queued"`
 	Requests      int64   `json:"requests"`
 	Rejected      int64   `json:"rejected"`
 	Aborted       int64   `json:"aborted"`
 	Truncated     int64   `json:"truncated"`
+	Batches       int64   `json:"batches"`
+	BatchItems    int64   `json:"batch_items"`
 
 	// ProblemsCached / ProblemCacheHits describe the shared parsed-problem
-	// cache (compiled VC skeletons reused across sessions).
+	// LRU (compiled VC skeletons reused across sessions).
 	ProblemsCached   int   `json:"problems_cached"`
 	ProblemCacheHits int64 `json:"problem_cache_hits"`
 
@@ -491,26 +542,28 @@ type statsResponse struct {
 	Collector stats.Snapshot `json:"collector"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-		return
-	}
+// statsSnapshot assembles the full stats view (shared by /v1/stats and
+// /metrics).
+func (s *Server) statsSnapshot() statsResponse {
 	s.mu.Lock()
 	agg := s.agg
-	cached := len(s.problems)
+	cached := s.problems.len()
 	s.mu.Unlock()
 	resp := statsResponse{
+		ServerID:         s.cfg.ID,
 		UptimeSeconds:    time.Since(s.started).Seconds(),
+		Draining:         s.draining.Load(),
 		Pool:             s.cfg.Pool,
 		QueueCapacity:    s.cfg.Queue,
 		InFlight:         s.inflight.Load(),
-		Queued:           s.waiters.Load(),
+		Queued:           int64(s.fq.queued()),
+		ClientsQueued:    int64(s.fq.clientsWaiting()),
 		Requests:         s.requests.Load(),
 		Rejected:         s.rejected.Load(),
 		Aborted:          s.aborted.Load(),
 		Truncated:        s.truncated.Load(),
+		Batches:          s.batches.Load(),
+		BatchItems:       s.batchItems.Load(),
 		ProblemsCached:   cached,
 		ProblemCacheHits: s.probHits.Load(),
 		Collector:        agg,
@@ -526,7 +579,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.CorePruned += eng.NumCorePruned()
 		resp.CoreEvicted += eng.NumCoreEvicted()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
 // RetryAfter parses a 429 response's Retry-After header (helper for clients

@@ -101,11 +101,11 @@ func TestVerifyAllMethodsAndHealth(t *testing.T) {
 
 	for _, m := range []string{"lfp", "gfp", "cfp"} {
 		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/verify",
-			verifyRequest{Spec: arrayInitSpec(0), Method: m})
+			VerifyRequest{Spec: arrayInitSpec(0), Method: m})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d: %s", m, resp.StatusCode, body)
 		}
-		var vr verifyResponse
+		var vr VerifyResponse
 		if err := json.Unmarshal(body, &vr); err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func TestPreconditionsEndpoint(t *testing.T) {
 	ts := httptest.NewServer(New(Config{Pool: 1}).Handler())
 	defer ts.Close()
 	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/preconditions",
-		verifyRequest{Spec: guardedInitSpec})
+		VerifyRequest{Spec: guardedInitSpec})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -155,17 +155,17 @@ func TestRepeatedProblemWarmCaches(t *testing.T) {
 	ts := httptest.NewServer(New(Config{Pool: 1}).Handler())
 	defer ts.Close()
 
-	var deltas []verifyResponse
+	var deltas []VerifyResponse
 	var durations []time.Duration
 	for i := 0; i < 2; i++ {
 		start := time.Now()
 		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/verify",
-			verifyRequest{Spec: arrayInitSpec(0), Method: "gfp"})
+			VerifyRequest{Spec: arrayInitSpec(0), Method: "gfp"})
 		durations = append(durations, time.Since(start))
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("status %d: %s", resp.StatusCode, body)
 		}
-		var vr verifyResponse
+		var vr VerifyResponse
 		if err := json.Unmarshal(body, &vr); err != nil {
 			t.Fatal(err)
 		}
@@ -202,12 +202,12 @@ func TestDeadlineAbortsCFP(t *testing.T) {
 	defer ts.Close()
 	start := time.Now()
 	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/verify",
-		verifyRequest{Spec: arrayInitSpec(10), Method: "cfp", TimeoutMS: 50})
+		VerifyRequest{Spec: arrayInitSpec(10), Method: "cfp", TimeoutMS: 50})
 	elapsed := time.Since(start)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
 	}
-	var vr verifyResponse
+	var vr VerifyResponse
 	if err := json.Unmarshal(body, &vr); err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestQueueSaturation(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			resp, _ := postJSON(t, ts.Client(), ts.URL+"/v1/verify",
-				verifyRequest{Spec: slow, Method: "cfp", TimeoutMS: timeoutMS})
+				VerifyRequest{Spec: slow, Method: "cfp", TimeoutMS: timeoutMS})
 			reqDone <- resp.StatusCode
 		}()
 	}
@@ -257,7 +257,7 @@ func TestQueueSaturation(t *testing.T) {
 	waitFor(func(s statsResponse) bool { return s.Queued == 1 }, "second request queued")
 
 	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/verify",
-		verifyRequest{Spec: slow, Method: "cfp", TimeoutMS: 100})
+		VerifyRequest{Spec: slow, Method: "cfp", TimeoutMS: 100})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
 	}
@@ -294,7 +294,7 @@ func TestConcurrentRequests(t *testing.T) {
 			defer wg.Done()
 			if i%4 == 3 {
 				resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/preconditions",
-					verifyRequest{Spec: guardedInitSpec})
+					VerifyRequest{Spec: guardedInitSpec})
 				if resp.StatusCode != http.StatusOK {
 					errs <- fmt.Errorf("preconditions: status %d: %s", resp.StatusCode, body)
 				}
@@ -302,12 +302,12 @@ func TestConcurrentRequests(t *testing.T) {
 			}
 			method := []string{"lfp", "gfp", "cfp"}[i%3]
 			resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/verify",
-				verifyRequest{Spec: arrayInitSpec(0), Method: method})
+				VerifyRequest{Spec: arrayInitSpec(0), Method: method})
 			if resp.StatusCode != http.StatusOK {
 				errs <- fmt.Errorf("%s: status %d: %s", method, resp.StatusCode, body)
 				return
 			}
-			var vr verifyResponse
+			var vr VerifyResponse
 			if err := json.Unmarshal(body, &vr); err != nil {
 				errs <- err
 				return
@@ -335,7 +335,7 @@ func TestTruncationSurfaced(t *testing.T) {
 	ts := httptest.NewServer(New(cfg).Handler())
 	defer ts.Close()
 	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/preconditions",
-		verifyRequest{Spec: guardedInitSpec})
+		VerifyRequest{Spec: guardedInitSpec})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
@@ -360,9 +360,9 @@ func TestBadRequests(t *testing.T) {
 		body any
 		want int
 	}{
-		{"missing spec", verifyRequest{Method: "lfp"}, http.StatusBadRequest},
-		{"parse error", verifyRequest{Spec: "program {"}, http.StatusBadRequest},
-		{"unknown method", verifyRequest{Spec: arrayInitSpec(0), Method: "dfs"}, http.StatusBadRequest},
+		{"missing spec", VerifyRequest{Method: "lfp"}, http.StatusBadRequest},
+		{"parse error", VerifyRequest{Spec: "program {"}, http.StatusBadRequest},
+		{"unknown method", VerifyRequest{Spec: arrayInitSpec(0), Method: "dfs"}, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/verify", c.body)
@@ -386,5 +386,32 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /v1/stats: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestDrainFlipsHealthz: StartDrain takes the backend out of router rotation
+// (healthz 503) while verify keeps answering in-flight and late requests.
+func TestDrainFlipsHealthz(t *testing.T) {
+	srv := New(Config{Pool: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.StartDrain()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+
+	vresp, body := postJSON(t, ts.Client(), ts.URL+"/v1/verify",
+		VerifyRequest{Spec: arrayInitSpec(0), Method: "lfp"})
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatalf("verify while draining: status %d: %s", vresp.StatusCode, body)
+	}
+	if !getStats(t, ts.Client(), ts.URL).Draining {
+		t.Error("stats does not report draining")
 	}
 }
