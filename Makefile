@@ -14,7 +14,7 @@ BENCH_N ?= 4
 # Baseline report that bench-compare diffs against.
 BENCH_BASE ?= BENCH_3.json
 
-.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke bench-cluster bench bench-json bench-compare bench-quick profile check clean
+.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke bench-cluster bench-lia bench bench-json bench-compare bench-quick profile check clean
 
 all: check
 
@@ -46,10 +46,13 @@ test-race:
 # BFS solution-set equivalence sweep: every examples/ problem with the
 # CrossCheck hook on, randomized small lattices, and the randomized §6
 # precondition-enumeration sweep (both enumerators must return equal
-# maximally-weak precondition sets modulo logical equivalence).
+# maximally-weak precondition sets modulo logical equivalence). The lia line
+# is the Fourier–Motzkin sweep: lia.Check and the persistent LinChecker vs
+# brute-force small-domain enumeration over random general linear systems.
 test-differential:
 	$(GO) test -short -race -run 'TestReusedVsFresh|TestSolveAssuming|TestSolveReuse|TestContext|TestFixpointDeterministic|TestFixpointIncremental|TestPsiProg|TestCFPIncremental' \
 		./internal/sat/ ./internal/smt/ ./internal/fixpoint/ ./internal/cbi/
+	$(GO) test -race -run 'TestRandomGeneralAgainstBox|TestRandomDifferenceAgainstBox|TestLinChecker|TestDiffChecker' ./internal/lia/
 	$(GO) test -run 'TestMapVsBFS|TestCompareParallel' ./internal/optimal/ ./internal/bench/ ./internal/precond/
 
 # End-to-end check of the vs3d HTTP daemon: boots the real server on an
@@ -70,6 +73,14 @@ cluster-smoke:
 # cache-hit ratio. Writes BENCH_6.json.
 bench-cluster:
 	VS3_BENCH_OUT=$(CURDIR)/BENCH_6.json $(GO) test -run TestClusterBench -count=1 -v ./cmd/vs3router/
+
+# Incremental-FM benchmark (the tentpole proof for PR 7): the persistent
+# general-LIA checker (LinChecker) vs from-scratch Fourier–Motzkin
+# elimination on the non-unit-coefficient family, asserting identical
+# verdicts per cell and a >=3x reduction in from-scratch eliminations.
+# Writes BENCH_7.json.
+bench-lia:
+	VS3_BENCH_OUT=$(CURDIR)/BENCH_7.json $(GO) test -run TestLIABench -count=1 -v ./internal/bench/
 
 # Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
 # interning/hot-path benchmarks (cache-hit keying, structural equality,

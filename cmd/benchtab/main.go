@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-table 1|2|3|4|5|6] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
+//	benchtab [-table 1|2|3|4|5|6|7] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
 //	         [-json FILE] [-compare OLD.json] [-cpuprofile FILE] [-memprofile FILE] [-quick]
 //
 // With -parallel N > 1 the (task, method) cells of each table run
@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "regenerate one table (1-6)")
+	table := flag.Int("table", 0, "regenerate one table (1-7; 7 is the general-LIA family)")
 	figure := flag.Int("figure", 0, "regenerate one figure (4-9)")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-(task,method) timeout")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -154,6 +154,7 @@ func main() {
 		runTable(w, r, 3)
 		runTable(w, r, 4)
 		runTable(w, r, 6)
+		runTable(w, r, 7)
 		bench.Figure4(w, c)
 		runFigure(w, r, c, 5, *junk)
 		bench.Figure6(w, c)
@@ -190,6 +191,8 @@ func runTable(w io.Writer, r *bench.Runner, n int) {
 		bench.Table4(w, r)
 	case 6:
 		bench.Table6(w, r)
+	case 7:
+		bench.Table7(w, r)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: no table %d\n", n)
 		os.Exit(2)

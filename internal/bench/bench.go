@@ -82,6 +82,16 @@ type Measurement struct {
 	CorePruned       int64
 	CoreEvicted      int64
 	SharedLemmas     int64
+	// Fourier–Motzkin counters: from-scratch eliminations (non-difference
+	// theory checks outside any persistent context), incremental runs and
+	// cube-store hits inside persistent LinCheckers, derived-cap hits
+	// (conservative answers), and contexts that went dormant (Ackermann
+	// budget exhaustion — general-LIA atoms no longer cause dormancy).
+	FMScratch       int64
+	FMIncremental   int64
+	FMCubeHits      int64
+	FMCapHits       int64
+	DormantContexts int64
 	// Preconditions holds the inferred formulas for Precondition tasks.
 	Preconditions []logic.Formula
 	// Truncated reports that the cell's search space was clipped (candidate
@@ -208,6 +218,11 @@ func (r *Runner) runOne(t Task, m core.Method) Measurement {
 		mm.CorePruned = v.Engine().NumCorePruned()
 		mm.CoreEvicted = v.Engine().NumCoreEvicted()
 		mm.SharedLemmas = v.Engine().S.NumSharedLemmas()
+		mm.FMScratch = v.Engine().S.NumFMScratch()
+		mm.FMIncremental = v.Engine().S.NumFMIncremental()
+		mm.FMCubeHits = v.Engine().S.NumFMCubeHits()
+		mm.FMCapHits = v.Engine().S.NumFMCapHits()
+		mm.DormantContexts = v.Engine().S.NumDormantContexts()
 		done <- result{meas: mm}
 	}()
 	if r.Timeout <= 0 {

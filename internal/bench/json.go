@@ -21,6 +21,8 @@ func DefaultSuite() []Task {
 		WorstCaseTasks()[2],    // quick sort (inner) bound
 		ArrayListTasks()[3],    // list delete
 		ArrayListTasks()[4],    // list insert
+		LIATasks()[0],          // scaled init (general-LIA invariant)
+		LIATasks()[1],          // double stride (general-LIA invariant)
 	}
 }
 
@@ -47,6 +49,12 @@ type CellReport struct {
 	CorePruned       int64 `json:"core_pruned,omitempty"`
 	CoreEvicted      int64 `json:"core_evicted,omitempty"`
 	SharedLemmas     int64 `json:"shared_lemmas,omitempty"`
+	// Fourier–Motzkin counters (see Measurement).
+	FMScratch       int64 `json:"fm_scratch,omitempty"`
+	FMIncremental   int64 `json:"fm_incremental,omitempty"`
+	FMCubeHits      int64 `json:"fm_cube_hits,omitempty"`
+	FMCapHits       int64 `json:"fm_cap_hits,omitempty"`
+	DormantContexts int64 `json:"dormant_contexts,omitempty"`
 	// Truncated and Aborted surface incomplete searches (see Measurement).
 	Truncated bool   `json:"truncated,omitempty"`
 	Aborted   bool   `json:"aborted,omitempty"`
@@ -70,6 +78,8 @@ type Report struct {
 	AssumptionProbes int64        `json:"assumption_probes,omitempty"`
 	CorePruned       int64        `json:"core_pruned,omitempty"`
 	CoreEvicted      int64        `json:"core_evicted,omitempty"`
+	FMScratch        int64        `json:"fm_scratch,omitempty"`
+	FMIncremental    int64        `json:"fm_incremental,omitempty"`
 	Cells            []CellReport `json:"cells"`
 }
 
@@ -100,6 +110,11 @@ func RunJSON(w io.Writer, r *Runner, suite string, tasks []Task) error {
 				CorePruned:       m.CorePruned,
 				CoreEvicted:      m.CoreEvicted,
 				SharedLemmas:     m.SharedLemmas,
+				FMScratch:        m.FMScratch,
+				FMIncremental:    m.FMIncremental,
+				FMCubeHits:       m.FMCubeHits,
+				FMCapHits:        m.FMCapHits,
+				DormantContexts:  m.DormantContexts,
 				Truncated:        m.Truncated,
 				Aborted:          m.Aborted,
 			}
@@ -111,6 +126,8 @@ func RunJSON(w io.Writer, r *Runner, suite string, tasks []Task) error {
 			rep.AssumptionProbes += m.AssumptionProbes
 			rep.CorePruned += m.CorePruned
 			rep.CoreEvicted += m.CoreEvicted
+			rep.FMScratch += m.FMScratch
+			rep.FMIncremental += m.FMIncremental
 			rep.Cells = append(rep.Cells, cell)
 		}
 	}

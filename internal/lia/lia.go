@@ -11,10 +11,15 @@
 //     exact cycle as a minimal conflict.
 //   - General linear constraints: Fourier–Motzkin elimination with integer
 //     (gcd) tightening. Refutations are sound over the integers; a "sat"
-//     answer is exact for the rational relaxation.
+//     answer is exact modulo the tightening (at least as strong as the
+//     rational relaxation).
 //
-// Every benchmark VC in this reproduction lands in the difference fragment
-// after array flattening, so in practice the complete path is always taken.
+// The paper's §7 benchmark VCs land in the difference fragment after array
+// flattening, so they take the complete path; the scaled-coefficient family
+// (ScaledInit and friends) exercises the general path. Both procedures have
+// a preprocessed, iteration-friendly form for the DPLL(T) loop: DiffChecker
+// for difference atom sets and LinChecker (persistent Fourier–Motzkin with a
+// conflict-cube store) for general ones.
 package lia
 
 import (
@@ -127,6 +132,12 @@ type Result struct {
 	// Conflict holds indices (into the input slice) of a jointly
 	// inconsistent subset when Sat is false.
 	Conflict []int
+	// Truncated reports that the Fourier–Motzkin derived-constraint cap was
+	// hit, so Sat=true is a conservative answer rather than a decision.
+	// Callers that care about completeness (benchtab, /v1/stats) surface it;
+	// soundness is unaffected (a conservative "satisfiable" only ever makes a
+	// verifier fail to prove, never accept a bad invariant).
+	Truncated bool
 }
 
 // Check decides whether the conjunction of cons[i] ≤ 0 is satisfiable over
@@ -235,63 +246,116 @@ type fmCons struct {
 	deps map[int]bool
 }
 
-// checkFM performs Fourier–Motzkin elimination with gcd tightening. The
-// number of derived constraints is capped; hitting the cap returns Sat=true
-// (a conservative answer: the solver then treats the literal set as
+// maxDerived caps the number of derived constraints one Fourier–Motzkin run
+// may create; hitting it returns a Truncated conservative "satisfiable".
+const maxDerived = 20000
+
+// fmState is one Fourier–Motzkin elimination run. Per-variable lower/upper
+// occurrence counts are maintained incrementally as constraints enter and
+// leave the working set (the former implementation rescanned every
+// constraint for every variable per round, and re-sorted the variable set
+// each round), derived sums are gcd-tightened and deduplicated against every
+// constraint ever inserted before they are admitted, and constant
+// constraints are decided at insertion instead of carried forever.
+type fmState struct {
+	work    []fmCons
+	seen    map[string]bool // canonical keys of every constraint ever inserted
+	lo, hi  map[string]int  // per-variable lower/upper occurrence tallies
+	vars    []string        // sorted variable universe, fixed after seeding
+	derived int
+}
+
+func newFMState(capacity int) *fmState {
+	return &fmState{
+		work: make([]fmCons, 0, capacity),
+		seen: make(map[string]bool, capacity),
+		lo:   map[string]int{},
+		hi:   map[string]int{},
+	}
+}
+
+// add inserts a tightened constraint, returning a conflict when it is a
+// violated constant. Satisfied constants are dropped, duplicates (by
+// canonical key) are dropped — the first occurrence's deps stand for all —
+// and the variable tallies are updated in place.
+func (st *fmState) add(l Lin, deps map[int]bool) (conflict []int) {
+	if l.IsConst() {
+		if l.K > 0 {
+			return depsToSlice(deps)
+		}
+		return nil
+	}
+	k := l.Key()
+	if st.seen[k] {
+		return nil
+	}
+	st.seen[k] = true
+	st.work = append(st.work, fmCons{lin: l, deps: deps})
+	st.tally(l, 1)
+	return nil
+}
+
+func (st *fmState) tally(l Lin, d int) {
+	for v, c := range l.Coef {
+		if c > 0 {
+			st.hi[v] += d
+		} else {
+			st.lo[v] += d
+		}
+	}
+}
+
+// seedVars fixes the sorted variable universe; eliminations only ever shrink
+// it, so one sort at the start replaces the per-round sort of the former
+// implementation. Call after the initial adds.
+func (st *fmState) seedVars() {
+	set := map[string]bool{}
+	for _, w := range st.work {
+		for v := range w.lin.Coef {
+			set[v] = true
+		}
+	}
+	st.vars = sortedVarNames(set)
+}
+
+// run eliminates variables until the system is decided. Derived constraints
+// are capped across the whole run; hitting the cap reports a Truncated
+// conservative "satisfiable" (the solver then treats the literal set as
 // consistent, which can only make the verifier fail to find an invariant,
 // never accept a bad one).
-func checkFM(cons []Lin) Result {
-	const maxDerived = 20000
-	work := make([]fmCons, 0, len(cons))
-	for i, c := range cons {
-		work = append(work, fmCons{lin: tighten(c.Clone()), deps: map[int]bool{i: true}})
-	}
+func (st *fmState) run() Result {
 	for {
-		// Check constants; gather variables.
-		vars := map[string]bool{}
-		for _, w := range work {
-			if w.lin.IsConst() {
-				if w.lin.K > 0 {
-					return Result{Sat: false, Conflict: depsToSlice(w.deps)}
-				}
-				continue
+		// Pick the variable minimizing (#lower × #upper) to slow growth,
+		// first-in-sorted-order on ties; the tallies are already maintained.
+		elim, best := "", -1
+		for _, v := range st.vars {
+			l, h := st.lo[v], st.hi[v]
+			if l == 0 && h == 0 {
+				continue // eliminated or cancelled out
 			}
-			for v := range w.lin.Coef {
-				vars[v] = true
-			}
-		}
-		if len(vars) == 0 {
-			return Result{Sat: true}
-		}
-		// Pick the variable minimizing (#lower × #upper) to slow growth.
-		var elim string
-		best := -1
-		for _, v := range sortedVarNames(vars) {
-			lo, hi := 0, 0
-			for _, w := range work {
-				if c := w.lin.Coef[v]; c > 0 {
-					hi++
-				} else if c < 0 {
-					lo++
-				}
-			}
-			if cost := lo * hi; best == -1 || cost < best {
+			if cost := l * h; best == -1 || cost < best {
 				best, elim = cost, v
 			}
 		}
-		var next []fmCons
+		if elim == "" {
+			return Result{Sat: true} // no constraints left
+		}
 		var lowers, uppers []fmCons
-		for _, w := range work {
+		rest := st.work[:0]
+		for _, w := range st.work {
 			c := w.lin.Coef[elim]
 			switch {
 			case c > 0:
 				uppers = append(uppers, w)
+				st.tally(w.lin, -1)
 			case c < 0:
 				lowers = append(lowers, w)
+				st.tally(w.lin, -1)
 			default:
-				next = append(next, w)
+				rest = append(rest, w)
 			}
 		}
+		st.work = rest
 		for _, lo := range lowers {
 			for _, hi := range uppers {
 				a := -lo.lin.Coef[elim] // > 0
@@ -299,21 +363,47 @@ func checkFM(cons []Lin) Result {
 				sum := NewLin()
 				sum.AddLin(hi.lin, a)
 				sum.AddLin(lo.lin, b)
-				deps := map[int]bool{}
-				for d := range lo.deps {
-					deps[d] = true
+				sum = tighten(sum)
+				if sum.IsConst() {
+					if sum.K > 0 {
+						return Result{Sat: false, Conflict: depsToSlice(mergeDeps(lo.deps, hi.deps))}
+					}
+					continue
 				}
-				for d := range hi.deps {
-					deps[d] = true
+				if st.seen[sum.Key()] {
+					continue
 				}
-				next = append(next, fmCons{lin: tighten(sum), deps: deps})
-				if len(next) > maxDerived {
-					return Result{Sat: true}
+				st.derived++
+				if st.derived > maxDerived {
+					return Result{Sat: true, Truncated: true}
 				}
+				st.add(sum, mergeDeps(lo.deps, hi.deps))
 			}
 		}
-		work = dedupe(next)
 	}
+}
+
+func mergeDeps(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a)+len(b))
+	for d := range a {
+		out[d] = true
+	}
+	for d := range b {
+		out[d] = true
+	}
+	return out
+}
+
+// checkFM performs Fourier–Motzkin elimination with gcd tightening.
+func checkFM(cons []Lin) Result {
+	st := newFMState(len(cons))
+	for i, c := range cons {
+		if conflict := st.add(tighten(c.Clone()), map[int]bool{i: true}); conflict != nil {
+			return Result{Sat: false, Conflict: conflict}
+		}
+	}
+	st.seedVars()
+	return st.run()
 }
 
 // tighten divides a constraint Σc·v + K ≤ 0 by g = gcd of the coefficients,
@@ -331,20 +421,6 @@ func tighten(l Lin) Lin {
 	}
 	l.K = ceilDiv(l.K, g) // Σc'·v ≤ −K/g, integer side needs ceil on −K ⇒ ceil on K
 	return l
-}
-
-func dedupe(cs []fmCons) []fmCons {
-	seen := map[string]bool{}
-	out := cs[:0]
-	for _, c := range cs {
-		k := c.lin.Key()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, c)
-	}
-	return out
 }
 
 func depsToSlice(m map[int]bool) []int {

@@ -44,9 +44,47 @@ template loop: m <= n && (forall k. ?v1 => A[k] = 0);
 predicates v1: 0 <= k, k < i, k < n, k < m;
 `
 
+// scaledInitSpec is ArrayInit with a stride-2 counter in the guard: the
+// invariant needs the non-difference atom j = 2·i, so verifying it routes
+// the backend's theory checks through the general-LIA engine rather than
+// the difference closure — the corpus's coverage of that code path.
+const scaledInitSpec = `
+program ScaledInit(array A, n) {
+  i := 0;
+  j := 0;
+  while loop (j < 2*n) {
+    A[i] := 0;
+    i := i + 1;
+    j := j + 2;
+  }
+  assert(forall k. (0 <= k && k < n) => A[k] = 0);
+}
+template loop: ?v0 && (forall k. ?v1 => A[k] = 0);
+predicates v0: j <= 2*i, j >= 2*i, j <= 2*n, j >= 2*n, i <= 2*j, i >= 2*j;
+predicates v1: 0 <= k, k < i, k < n;
+`
+
+// doubleStrideSpec proves the functional post-condition j = 2·n of a
+// stride-2 counter loop: a scalar-only general-LIA shape (no arrays).
+const doubleStrideSpec = `
+program DoubleStride(n) {
+  assume(n >= 0);
+  i := 0;
+  j := 0;
+  while loop (i < n) {
+    i := i + 1;
+    j := j + 2;
+  }
+  assert(j = 2*n);
+}
+template loop: ?v0;
+predicates v0: j <= 2*i, j >= 2*i, i <= n, 0 <= i;
+`
+
 // DefaultCorpus returns the standard mixed corpus: 8 distinct ArrayInit
-// skeleton variants × {lfp, gfp}, CFP on the two cheapest variants, and the
-// GuardedInit shape — 19 items over 9 distinct problem keys, all expected
+// skeleton variants × {lfp, gfp}, CFP on the two cheapest variants, the
+// GuardedInit shape, and the two general-LIA shapes (ScaledInit,
+// DoubleStride) — 22 items over 11 distinct problem keys, all expected
 // to prove. Cold cost per item is sub-second, so a few passes over the
 // corpus finish quickly while still exercising the warm/cold split the
 // cluster router exists for.
@@ -63,6 +101,8 @@ func DefaultCorpus() []Item {
 		Item{Name: "array-init-0/cfp", Spec: arrayInitVariant(0), Method: "cfp", WantProved: true},
 		Item{Name: "array-init-1/cfp", Spec: arrayInitVariant(1), Method: "cfp", WantProved: true},
 		Item{Name: "guarded-init/lfp", Spec: guardedInitSpec, Method: "lfp", WantProved: true},
+		Item{Name: "scaled-init/lfp", Spec: scaledInitSpec, Method: "lfp", WantProved: true},
+		Item{Name: "double-stride/lfp", Spec: doubleStrideSpec, Method: "lfp", WantProved: true},
 	)
 	return items
 }

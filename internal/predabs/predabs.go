@@ -88,6 +88,30 @@ func QjV(j string, vars []string) []logic.Formula {
 	return out
 }
 
+// ScaledQV returns {a ≤ c·b + k, a ≥ c·b + k | a, b ∈ vars, a ≠ b,
+// k ∈ consts} for a fixed coefficient c: the non-unit-coefficient analogue of
+// QV/AllPreds. These atoms leave the difference fragment (x − y ≤ k), so any
+// search over them routes the solver's theory checks through the general-LIA
+// engine rather than the difference closure.
+func ScaledQV(c int64, consts []int64, vars []string) []logic.Formula {
+	var out []logic.Formula
+	for _, a := range vars {
+		for _, b := range vars {
+			if a == b {
+				continue
+			}
+			for _, k := range consts {
+				t := logic.Plus(logic.Times(c, logic.V(b)), logic.I(k))
+				out = append(out,
+					logic.LeF(logic.V(a), t),
+					logic.GeF(logic.V(a), t),
+				)
+			}
+		}
+	}
+	return out
+}
+
 // termOf interprets a name as an integer literal when possible so QjV can
 // mix variables and constants (e.g. Q_{j,{0,i,n}}).
 func termOf(v string) logic.Term {

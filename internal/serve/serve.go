@@ -538,6 +538,16 @@ type statsResponse struct {
 	CorePruned       int64 `json:"core_pruned"`
 	CoreEvicted      int64 `json:"core_evicted"`
 
+	// Fourier–Motzkin counters: from-scratch eliminations outside any
+	// persistent checker, incremental runs and conflict-cube hits inside
+	// persistent LinCheckers, derived-cap hits (conservative answers), and
+	// contexts sent dormant by Ackermann budget exhaustion.
+	FMScratch       int64 `json:"fm_scratch"`
+	FMIncremental   int64 `json:"fm_incremental"`
+	FMCubeHits      int64 `json:"fm_cube_hits"`
+	FMCapHits       int64 `json:"fm_cap_hits"`
+	DormantContexts int64 `json:"dormant_contexts"`
+
 	// Collector is the merge of every finished request's collector delta.
 	Collector stats.Snapshot `json:"collector"`
 }
@@ -578,6 +588,11 @@ func (s *Server) statsSnapshot() statsResponse {
 		resp.SharedLemmas += eng.S.NumSharedLemmas()
 		resp.CorePruned += eng.NumCorePruned()
 		resp.CoreEvicted += eng.NumCoreEvicted()
+		resp.FMScratch += eng.S.NumFMScratch()
+		resp.FMIncremental += eng.S.NumFMIncremental()
+		resp.FMCubeHits += eng.S.NumFMCubeHits()
+		resp.FMCapHits += eng.S.NumFMCapHits()
+		resp.DormantContexts += eng.S.NumDormantContexts()
 	}
 	return resp
 }

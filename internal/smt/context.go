@@ -31,20 +31,27 @@ import (
 //   - Learnt clauses: resolvents of the above, bounded by the SAT solver's
 //     reduceDB.
 //
-// Verdict identity with the from-scratch path holds because the theory check
-// is exact on both sides: the context only operates while every interned atom
-// is a difference constraint (Bellman–Ford is sound and complete over the
-// integers there) and goes dormant — falling back to Solver.Valid — the
-// moment an atom leaves the fragment or a resource bound would make the
-// incremental answer approximate where the fresh one is not.
+// Verdict agreement with the from-scratch path holds because both sides run
+// the same theory procedures: Bellman–Ford (sound and complete over the
+// integers) while every interned atom is a difference constraint, and the
+// same Fourier–Motzkin engine — persisted as a lia.LinChecker with a
+// conflict-cube store — from the first general linear atom on. The one
+// asymmetry is the FM derived-constraint cap: the context checks its
+// cumulative atom set where the fresh path checks per-probe sets, so the
+// context can hit the cap on workloads where the fresh path would not.
+// Cap hits are conservative ("satisfiable", so Valid reports false), are
+// counted (Solver.NumFMCapHits, stats fm_cap_hits), and never accept a bad
+// invariant. The only remaining dormancy trigger is Ackermann pair-budget
+// exhaustion, where the context's cumulative budget could diverge from the
+// fresh path's per-probe one.
 type Context struct {
 	s     *Solver
 	group *ctxGroup
 	mu    sync.Mutex
 
-	// dead marks the context dormant (an atom left the difference fragment
-	// or the Ackermann pair budget was exhausted); every later probe falls
-	// back to the parent solver's from-scratch path.
+	// dead marks the context dormant (the Ackermann pair budget was
+	// exhausted); every later probe falls back to the parent solver's
+	// from-scratch path.
 	dead bool
 
 	// imported is how many lemmas of the group's exchange this lane has
@@ -66,6 +73,23 @@ type Context struct {
 	selOf  map[*logic.IFormula]sat.Lit
 	selBad map[*logic.IFormula]bool
 
+	// encAtoms / selAtoms record, per interned ground node / predicate, the
+	// sorted grounder atom indices its encoding mentions. ackPairs records
+	// each asserted Ackermann pair — the result variables of its two
+	// occurrences plus the atoms of its clause — and occName/occDeps the
+	// occurrence-variable dependency graph (an occurrence's arguments may
+	// mention nested occurrence variables). Together they give each probe
+	// its relevant atom subset, which the general-LIA checker is narrowed
+	// to (LinChecker.SetProbe): the context's cumulative atom set only
+	// grows, and eliminating over atoms a probe does not constrain would
+	// make every check more expensive than the from-scratch path.
+	encAtoms   map[*logic.IFormula][]int
+	selAtoms   map[*logic.IFormula][]int
+	ackPairs   []ackPair
+	occName    map[string]bool
+	occDeps    map[string][]string
+	probeAtoms []int // reusable buffer for the current probe's atom subset
+
 	// emitted[sym] is how many occurrences of sym are already pairwise
 	// covered by asserted Ackermann constraints; pairCount is the running
 	// total, checked against Options.MaxAckermannPairs.
@@ -73,10 +97,14 @@ type Context struct {
 	pairCount int
 
 	// Dense theory-check state over the context's full atom set: atomVars[i]
-	// is the SAT variable of grounder atom i, diff the preprocessed
-	// Bellman–Ford checker over all atoms, rebuilt whenever the set grows.
+	// is the SAT variable of grounder atom i, theory the preprocessed
+	// checker over all atoms — a DiffChecker (rebuilt whenever the set
+	// grows) while every atom is a difference constraint, a LinChecker
+	// (extended in place, conflict cubes surviving growth) from the first
+	// general linear atom on.
 	atomVars []int
-	diff     *lia.DiffChecker
+	theory   lia.Checker
+	lin      *lia.LinChecker // non-nil iff theory is the general-LIA checker
 	assign   []bool
 	lits     []sat.Lit
 
@@ -194,10 +222,17 @@ func (c *Context) reset() {
 	c.encMemo = map[*logic.IFormula]sat.Lit{}
 	c.selOf = map[*logic.IFormula]sat.Lit{}
 	c.selBad = map[*logic.IFormula]bool{}
+	c.encAtoms = map[*logic.IFormula][]int{}
+	c.selAtoms = map[*logic.IFormula][]int{}
+	c.ackPairs = nil
+	c.occName = map[string]bool{}
+	c.occDeps = map[string][]string{}
+	c.probeAtoms = nil
 	c.emitted = map[string]int{}
 	c.pairCount = 0
 	c.atomVars = nil
-	c.diff = nil
+	c.theory = nil
+	c.lin = nil
 	c.assign = nil
 	c.lits = nil
 	c.lemmas = 0
@@ -281,11 +316,16 @@ func (c *Context) decideLocked(ground logic.Formula) (satisfiable, ok bool) {
 	if c.sat.NumVars() > ctxMaxVars {
 		c.reset()
 	}
-	root := c.encNode(ground)
+	root, rootAtoms := c.encNode(ground)
 	c.importLemmas()
-	if !c.emitAckermann() || !c.syncAtoms() {
+	if !c.emitAckermann() {
 		c.dead = true
+		c.s.ctxDormant.Add(1)
 		return false, false
+	}
+	c.syncAtoms()
+	if c.lin != nil {
+		c.lin.SetProbe(c.probeAtomSet(rootAtoms))
 	}
 	if c.lemmas > 0 || c.sat.NumLearnts() > 0 {
 		c.s.lemmaReuse.Add(1)
@@ -374,21 +414,28 @@ func (c *Context) consistentLocked(preds []logic.Formula) (consistent bool, core
 		c.reset()
 	}
 	assumps := make([]sat.Lit, 0, len(preds))
+	selSets := make([][]int, 0, len(preds))
 	owner := make(map[sat.Lit]logic.Formula, len(preds))
 	for _, p := range preds {
-		l, good := c.selector(p)
+		l, atoms, good := c.selector(p)
 		if !good {
 			return false, nil, false
 		}
 		if _, dup := owner[l]; !dup {
 			owner[l] = p
 			assumps = append(assumps, l)
+			selSets = append(selSets, atoms)
 		}
 	}
 	c.importLemmas()
-	if !c.emitAckermann() || !c.syncAtoms() {
+	if !c.emitAckermann() {
 		c.dead = true
+		c.s.ctxDormant.Add(1)
 		return false, nil, false
+	}
+	c.syncAtoms()
+	if c.lin != nil {
+		c.lin.SetProbe(c.probeAtomSet(selSets...))
 	}
 	if c.lemmas > 0 || c.sat.NumLearnts() > 0 {
 		c.s.lemmaReuse.Add(1)
@@ -408,68 +455,83 @@ func (c *Context) consistentLocked(preds []logic.Formula) (consistent bool, core
 	return false, core, true
 }
 
-// selector returns the literal asserting pred's normalized ground encoding.
-// good=false when the predicate normalizes to a quantified formula, which
-// the per-predicate encoding cannot capture exactly (instantiation terms
-// would depend on the rest of the conjunction).
-func (c *Context) selector(p logic.Formula) (sat.Lit, bool) {
+// selector returns the literal asserting pred's normalized ground encoding,
+// plus the sorted atom indices that encoding mentions (the predicate's
+// contribution to a probe's atom subset). good=false when the predicate
+// normalizes to a quantified formula, which the per-predicate encoding
+// cannot capture exactly (instantiation terms would depend on the rest of
+// the conjunction).
+func (c *Context) selector(p logic.Formula) (lit sat.Lit, atoms []int, good bool) {
 	n := logic.Intern(p)
 	if c.selBad[n] {
-		return 0, false
+		return 0, nil, false
 	}
 	if l, ok := c.selOf[n]; ok {
-		return l, true
+		return l, c.selAtoms[n], true
 	}
 	nf := n.Normalized(normalizeForSolving).Formula()
 	if b, ok := nf.(logic.Bool); ok {
 		l := c.constLit(b.Val)
 		c.selOf[n] = l
-		return l, true
+		return l, nil, true
 	}
 	if len(boundVarNames(nf)) > 0 {
 		c.selBad[n] = true
-		return 0, false
+		return 0, nil, false
 	}
-	l := c.encNode(nf)
+	l, atoms := c.encNode(nf)
 	c.selOf[n] = l
-	return l, true
+	c.selAtoms[n] = atoms
+	return l, atoms, true
 }
 
 // encNode encodes a ground formula into the persistent instance (one-sided
-// Tseitin, as in the from-scratch encoder) and memoizes the literal per
-// interned node, so repeated structure across probes is shared.
-func (c *Context) encNode(f logic.Formula) sat.Lit {
+// Tseitin, as in the from-scratch encoder) and memoizes, per interned node,
+// both the encoded literal and the sorted grounder atom indices the encoding
+// mentions — the atom sets compose bottom-up and give each probe its
+// relevant atom subset without re-walking memoized structure.
+func (c *Context) encNode(f logic.Formula) (sat.Lit, []int) {
 	n := logic.Intern(f)
 	if l, ok := c.encMemo[n]; ok {
-		return l
+		return l, c.encAtoms[n]
 	}
 	var l sat.Lit
+	var atoms []int
 	switch f := f.(type) {
 	case logic.Bool:
 		l = c.constLit(f.Val)
 	case logic.Atom:
-		l = c.enc.encode(c.g.atomProp(f))
+		p := c.g.atomProp(f)
+		l = c.enc.encode(p)
+		atoms = propAtoms(p, nil)
 	case logic.Not:
 		a, ok := f.F.(logic.Atom)
 		if !ok {
 			panic("smt: non-atomic negation in ground formula")
 		}
-		l = c.enc.encode(c.g.atomProp(logic.Atom{Op: a.Op.Negate(), X: a.X, Y: a.Y}))
+		p := c.g.atomProp(logic.Atom{Op: a.Op.Negate(), X: a.X, Y: a.Y})
+		l = c.enc.encode(p)
+		atoms = propAtoms(p, nil)
 	case logic.Implies:
 		a, ok1 := f.A.(logic.Atom)
 		b, ok2 := f.B.(logic.Atom)
 		if !ok1 || !ok2 {
 			panic("smt: implication survived NNF")
 		}
-		na := c.enc.encode(c.g.atomProp(logic.Atom{Op: a.Op.Negate(), X: a.X, Y: a.Y}))
-		nb := c.enc.encode(c.g.atomProp(b))
+		pa := c.g.atomProp(logic.Atom{Op: a.Op.Negate(), X: a.X, Y: a.Y})
+		pb := c.g.atomProp(b)
+		na := c.enc.encode(pa)
+		nb := c.enc.encode(pb)
 		gl := sat.MkLit(c.sat.NewVar(), false)
 		c.sat.AddClause(gl.Not(), na, nb)
 		l = gl
+		atoms = propAtoms(pb, propAtoms(pa, nil))
 	case logic.And:
 		children := make([]sat.Lit, len(f.Fs))
 		for i, h := range f.Fs {
-			children[i] = c.encNode(h)
+			var ca []int
+			children[i], ca = c.encNode(h)
+			atoms = append(atoms, ca...)
 		}
 		gl := sat.MkLit(c.sat.NewVar(), false)
 		for _, cl := range children {
@@ -479,7 +541,9 @@ func (c *Context) encNode(f logic.Formula) sat.Lit {
 	case logic.Or:
 		clause := make([]sat.Lit, 1, len(f.Fs)+1)
 		for _, h := range f.Fs {
-			clause = append(clause, c.encNode(h))
+			cl, ca := c.encNode(h)
+			clause = append(clause, cl)
+			atoms = append(atoms, ca...)
 		}
 		gl := sat.MkLit(c.sat.NewVar(), false)
 		clause[0] = gl.Not()
@@ -488,8 +552,22 @@ func (c *Context) encNode(f logic.Formula) sat.Lit {
 	default:
 		panic(fmt.Sprintf("smt: unexpected ground formula %T (%s)", f, f))
 	}
+	atoms = sortedDedup(atoms)
 	c.encMemo[n] = l
-	return l
+	c.encAtoms[n] = atoms
+	return l, atoms
+}
+
+// sortedDedup sorts xs ascending and removes duplicates in place.
+func sortedDedup(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 func (c *Context) constLit(v bool) sat.Lit {
@@ -516,9 +594,26 @@ func (c *Context) emitAckermann() bool {
 		}
 	}
 	sort.Strings(syms)
+	// Name every new occurrence first: dependency extraction below must
+	// recognize occurrence variables across symbols regardless of order.
 	for _, s := range syms {
 		os := c.g.occs[s]
 		for j := c.emitted[s]; j < len(os); j++ {
+			c.occName[os[j].v] = true
+		}
+	}
+	for _, s := range syms {
+		os := c.g.occs[s]
+		for j := c.emitted[s]; j < len(os); j++ {
+			var deps []string
+			for _, a := range os[j].args {
+				for v := range linOf(a).Coef {
+					if c.occName[v] {
+						deps = append(deps, v)
+					}
+				}
+			}
+			c.occDeps[os[j].v] = deps
 			for i := 0; i < j; i++ {
 				if c.pairCount >= c.s.opts.MaxAckermannPairs {
 					return false
@@ -530,7 +625,12 @@ func (c *Context) emitAckermann() bool {
 					disj = append(disj, c.g.relProp(logic.Neq, os[i].args[k], os[j].args[k]))
 				}
 				disj = append(disj, c.g.relProp(logic.Eq, logic.V(os[i].v), logic.V(os[j].v)))
-				c.sat.AddClause(c.enc.encode(mkOr(disj...)))
+				p := mkOr(disj...)
+				c.sat.AddClause(c.enc.encode(p))
+				c.ackPairs = append(c.ackPairs, ackPair{
+					a: os[i].v, b: os[j].v,
+					atoms: sortedDedup(propAtoms(p, nil)),
+				})
 			}
 		}
 		c.emitted[s] = len(os)
@@ -538,17 +638,28 @@ func (c *Context) emitAckermann() bool {
 	return true
 }
 
-// syncAtoms extends the dense atom ↔ SAT-variable mapping and rebuilds the
-// difference checker to cover every interned atom. Reports false when an
-// atom falls outside the difference fragment: there the theory fallback is
-// only approximate, and running it over the context's full atom set could
-// diverge from the fresh path's per-probe set, so the context goes dormant.
-func (c *Context) syncAtoms() bool {
-	// c.diff must exist even when the grounder produced no linear atoms at
+// ackPair is one asserted Ackermann constraint: the result variables of its
+// two occurrences plus the sorted atoms of its clause. A pair joins a
+// probe's atom subset only when both occurrences are reachable from the
+// probe's atoms, mirroring the per-probe pair set the fresh path builds.
+type ackPair struct {
+	a, b  string
+	atoms []int
+}
+
+// syncAtoms extends the dense atom ↔ SAT-variable mapping and the persistent
+// theory checker to cover every interned atom. Difference-only atom sets keep
+// the Bellman–Ford DiffChecker (rebuilt on growth — its preprocessing is a
+// whole-graph property); the first atom outside the fragment switches the
+// context to a LinChecker, which is thereafter extended in place so its
+// learned conflict cubes survive atom-set growth (grounder indices are
+// append-only).
+func (c *Context) syncAtoms() {
+	// c.theory must exist even when the grounder produced no linear atoms at
 	// all (every predicate constant-folded away): probeLoop still consults
 	// it, and 0 == 0 atom counts must not skip its construction.
-	if c.diff != nil && len(c.atomVars) == len(c.g.lins) {
-		return true
+	if c.theory != nil && len(c.atomVars) == len(c.g.lins) {
+		return
 	}
 	for i := len(c.atomVars); i < len(c.g.lins); i++ {
 		v, ok := c.enc.atomVar[i]
@@ -560,14 +671,64 @@ func (c *Context) syncAtoms() bool {
 		}
 		c.atomVars = append(c.atomVars, v)
 	}
-	d, ok := lia.NewDiffChecker(c.g.lins)
-	if !ok {
-		return false
+	switch {
+	case c.lin != nil:
+		c.lin.Extend(c.g.lins[c.lin.Len():])
+	default:
+		if d, ok := lia.NewDiffChecker(c.g.lins); ok {
+			c.theory = d
+		} else {
+			c.lin = lia.NewLinChecker(c.g.lins, &c.s.fmCounters)
+			c.theory = c.lin
+		}
 	}
-	c.diff = d
 	c.assign = make([]bool, len(c.atomVars))
 	c.lits = make([]sat.Lit, len(c.atomVars))
-	return true
+}
+
+// probeAtomSet computes the current probe's relevant atom subset into the
+// context's reusable buffer, sorted ascending: the union of the given
+// per-node encoding atom sets, plus the clauses of every Ackermann pair
+// whose occurrences are reachable from those atoms (an occurrence is
+// reachable when its result variable appears in a probe atom, or in the
+// arguments of a reachable occurrence). This mirrors the per-probe systems
+// the from-scratch path checks — its grounder only ever holds one probe's
+// atoms and occurrence pairs.
+func (c *Context) probeAtomSet(sets ...[]int) []int {
+	raw := c.probeAtoms[:0]
+	for _, s := range sets {
+		raw = append(raw, s...)
+	}
+	if len(c.occName) > 0 {
+		reach := map[string]bool{}
+		var queue []string
+		visit := func(v string) {
+			if c.occName[v] && !reach[v] {
+				reach[v] = true
+				queue = append(queue, v)
+			}
+		}
+		for _, ai := range raw {
+			for v := range c.g.lins[ai].Coef {
+				visit(v)
+			}
+		}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, d := range c.occDeps[v] {
+				visit(d)
+			}
+		}
+		for i := range c.ackPairs {
+			pr := &c.ackPairs[i]
+			if reach[pr.a] && reach[pr.b] {
+				raw = append(raw, pr.atoms...)
+			}
+		}
+	}
+	c.probeAtoms = sortedDedup(raw)
+	return c.probeAtoms
 }
 
 // probeLoop runs the DPLL(T) loop under the given assumptions against the
@@ -592,8 +753,14 @@ func (c *Context) probeLoop(pub *[]theoryLemma, assumps ...sat.Lit) (satisfiable
 			c.assign[k] = val
 			c.lits[k] = sat.MkLit(v, !val)
 		}
-		res := c.diff.Check(c.assign)
+		res := c.theory.Check(c.assign)
 		if res.Sat {
+			if res.Truncated {
+				// The FM cap produced a conservative answer; surface it so
+				// benchtab and /v1/stats can report the probe as undecided
+				// rather than silently "consistent".
+				c.s.stats.RecordFMCapHit()
+			}
 			return true, nil
 		}
 		blocking := make([]sat.Lit, 0, len(res.Conflict))

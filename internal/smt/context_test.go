@@ -75,10 +75,12 @@ func TestContextVsFreshRandomGround(t *testing.T) {
 	}
 }
 
-// TestContextMixedFragmentFallback: probes that leave the difference fragment
-// turn the context dormant; it must keep answering (via fallback) with the
-// from-scratch verdict for the rest of its life.
-func TestContextMixedFragmentFallback(t *testing.T) {
+// TestContextMixedFragmentIncremental: probes that leave the difference
+// fragment switch the context's theory checker from DiffChecker to a
+// persistent LinChecker (they used to turn it dormant); verdicts must stay
+// identical to the from-scratch path for the rest of its life, and the
+// context must stay live.
+func TestContextMixedFragmentIncremental(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	s := NewSolver(Options{})
 	ctx := s.NewContext()
@@ -89,6 +91,12 @@ func TestContextMixedFragmentFallback(t *testing.T) {
 		if got != want {
 			t.Fatalf("probe %d: context=%v fresh=%v on %v", probe, got, want, f)
 		}
+	}
+	if n := s.NumDormantContexts(); n != 0 {
+		t.Errorf("mixed-fragment probes sent %d contexts dormant; want 0", n)
+	}
+	if s.NumFMIncremental()+s.NumFMCubeHits() == 0 {
+		t.Error("no probe exercised the persistent general-LIA checker")
 	}
 }
 

@@ -49,6 +49,24 @@ func mkAnd(ps ...prop) prop {
 	return pAnd{ps: out}
 }
 
+// propAtoms appends the grounder atom indices mentioned by p to out
+// (duplicates included; callers dedup).
+func propAtoms(p prop, out []int) []int {
+	switch p := p.(type) {
+	case pLit:
+		out = append(out, p.atom)
+	case pAnd:
+		for _, q := range p.ps {
+			out = propAtoms(q, out)
+		}
+	case pOr:
+		for _, q := range p.ps {
+			out = propAtoms(q, out)
+		}
+	}
+	return out
+}
+
 func mkOr(ps ...prop) prop {
 	var out []prop
 	for _, p := range ps {

@@ -83,8 +83,17 @@ type Solver struct {
 	ctxs         map[*logic.IFormula]*Context
 	ctxCreated   atomic.Int64 // contexts created (registry + standalone + lanes)
 	ctxProbes    atomic.Int64 // probes decided incrementally under assumptions
+	ctxDormant   atomic.Int64 // contexts gone dormant (Ackermann budget exhausted)
 	lemmaReuse   atomic.Int64 // probes that reused learnt clauses or theory lemmas
 	lemmasShared atomic.Int64 // theory lemmas imported from a sibling lane's exchange
+
+	// Fourier–Motzkin activity: fmScratch counts from-scratch eliminations
+	// (decideGround's general-LIA fallback, one lia.Check per theory
+	// iteration); fmCounters aggregates the persistent LinCheckers of every
+	// context lane (incremental runs, conflict-cube hits, cap hits). The
+	// incremental-vs-NoIncremental BENCH_7 gate compares fmScratch.
+	fmScratch  atomic.Int64
+	fmCounters lia.Counters
 }
 
 // maxContexts bounds the per-skeleton registry; beyond it ContextFor returns
@@ -127,6 +136,28 @@ func (s *Solver) NumLemmaReuseHits() int64 { return s.lemmaReuse.Load() }
 // NumSharedLemmas returns how many theory lemmas were imported across sibling
 // lanes of a context group (each import counts once per receiving lane).
 func (s *Solver) NumSharedLemmas() int64 { return s.lemmasShared.Load() }
+
+// NumDormantContexts returns how many context lanes went dormant (Ackermann
+// pair budget exhausted — the only remaining dormancy trigger now that
+// general-LIA atom sets route through persistent LinCheckers).
+func (s *Solver) NumDormantContexts() int64 { return s.ctxDormant.Load() }
+
+// NumFMScratch returns how many from-scratch Fourier–Motzkin eliminations ran
+// (decideGround's general-LIA fallback; one per theory iteration there).
+func (s *Solver) NumFMScratch() int64 { return s.fmScratch.Load() }
+
+// NumFMIncremental returns how many eliminations persistent LinCheckers ran
+// (checks that missed their conflict-cube store).
+func (s *Solver) NumFMIncremental() int64 { return s.fmCounters.Runs.Load() }
+
+// NumFMCubeHits returns how many LinChecker checks were answered from a
+// persisted conflict cube, skipping the elimination entirely.
+func (s *Solver) NumFMCubeHits() int64 { return s.fmCounters.CubeHits.Load() }
+
+// NumFMCapHits returns how many Fourier–Motzkin runs (from-scratch or
+// incremental) hit the derived-constraint cap and returned a conservative
+// Truncated "satisfiable".
+func (s *Solver) NumFMCapHits() int64 { return s.fmCounters.CapHits.Load() }
 
 // Incremental reports whether persistent assumption-based contexts are
 // enabled (Options.NoIncremental unset).
@@ -368,7 +399,12 @@ func (s *Solver) decideGround(f logic.Formula) bool {
 					cons = append(cons, negLins[k])
 				}
 			}
+			s.fmScratch.Add(1)
 			res = lia.Check(cons)
+			if res.Truncated {
+				s.fmCounters.CapHits.Add(1)
+				s.stats.RecordFMCapHit()
+			}
 		}
 		if res.Sat {
 			return true

@@ -24,6 +24,7 @@ type Collector struct {
 	satVars        []int           // Figure 9 companion: #variables per CFP SAT formula
 	coreSizes      []int           // #predicates per unsat core extracted by consistency probes
 	coreEvictions  int             // cores evicted from the engine-global store to admit newer ones
+	fmCapHits      int             // Fourier–Motzkin runs that hit the derived-constraint cap
 }
 
 // New returns an empty collector.
@@ -113,6 +114,25 @@ func (c *Collector) CoreEvictions() int {
 	return c.coreEvictions
 }
 
+// RecordFMCapHit records that one Fourier–Motzkin elimination hit the
+// derived-constraint cap and returned a conservative (Truncated) answer
+// instead of a decision.
+func (c *Collector) RecordFMCapHit() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.fmCapHits++
+	c.mu.Unlock()
+}
+
+// FMCapHits returns how many Fourier–Motzkin cap hits were recorded.
+func (c *Collector) FMCapHits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fmCapHits
+}
+
 // Merge appends everything recorded in o into c. Safe for concurrent use on
 // c; o must not be concurrently recorded into while it is being merged.
 // It lets short-lived collectors (one per request or benchmark cell) fold
@@ -130,6 +150,7 @@ func (c *Collector) Merge(o *Collector) {
 	sv := append([]int(nil), o.satVars...)
 	cs := append([]int(nil), o.coreSizes...)
 	ce := o.coreEvictions
+	fm := o.fmCapHits
 	o.mu.Unlock()
 	c.mu.Lock()
 	c.queryDurations = append(c.queryDurations, qd...)
@@ -140,6 +161,7 @@ func (c *Collector) Merge(o *Collector) {
 	c.satVars = append(c.satVars, sv...)
 	c.coreSizes = append(c.coreSizes, cs...)
 	c.coreEvictions += ce
+	c.fmCapHits += fm
 	c.mu.Unlock()
 }
 
@@ -156,6 +178,7 @@ type Snapshot struct {
 	SATFormulas    int    `json:"sat_formulas"`
 	UnsatCores     int    `json:"unsat_cores"`
 	CoreEvictions  int    `json:"core_evictions"`
+	FMCapHits      int    `json:"fm_cap_hits"`
 }
 
 // QueryBucketLabels labels Snapshot.QueryBuckets, matching DurationHistogram.
@@ -176,6 +199,7 @@ func (c *Collector) Snapshot() Snapshot {
 		SATFormulas:    len(c.satClauses),
 		UnsatCores:     len(c.coreSizes),
 		CoreEvictions:  c.coreEvictions,
+		FMCapHits:      c.fmCapHits,
 	}
 	for i, b := range DurationHistogram(c.queryDurations) {
 		s.QueryBuckets[i] = b.Count
@@ -195,6 +219,7 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.SATFormulas += o.SATFormulas
 	s.UnsatCores += o.UnsatCores
 	s.CoreEvictions += o.CoreEvictions
+	s.FMCapHits += o.FMCapHits
 	return s
 }
 
@@ -211,6 +236,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	s.SATFormulas -= o.SATFormulas
 	s.UnsatCores -= o.UnsatCores
 	s.CoreEvictions -= o.CoreEvictions
+	s.FMCapHits -= o.FMCapHits
 	return s
 }
 
@@ -361,4 +387,5 @@ func (c *Collector) WriteSummary(w io.Writer) {
 		Median(c.satClauses), Max(c.satClauses), len(c.satClauses))
 	fmt.Fprintf(w, "Unsat core sizes: median=%d max=%d over %d cores (%d evicted)\n",
 		Median(c.coreSizes), Max(c.coreSizes), len(c.coreSizes), c.coreEvictions)
+	fmt.Fprintf(w, "Fourier-Motzkin cap hits (conservative answers): %d\n", c.fmCapHits)
 }
