@@ -14,7 +14,7 @@ BENCH_N ?= 4
 # Baseline report that bench-compare diffs against.
 BENCH_BASE ?= BENCH_3.json
 
-.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke bench-cluster bench-lia bench bench-json bench-compare bench-quick profile check clean
+.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke restart-smoke bench-cluster bench-lia bench-warm bench bench-json bench-compare bench-quick profile check clean
 
 all: check
 
@@ -49,11 +49,17 @@ test-race:
 # maximally-weak precondition sets modulo logical equivalence). The lia line
 # is the Fourier–Motzkin sweep: lia.Check and the persistent LinChecker vs
 # brute-force small-domain enumeration over random general linear systems.
+# The store lines are the persistence sweep: record round-trips, checksum /
+# version / params corruption recovery, and the warm-vs-cold verdict-identity
+# sweep over every examples/ problem (a reopened knowledge store must prove
+# exactly what the cold lifetime proved).
 test-differential:
 	$(GO) test -short -race -run 'TestReusedVsFresh|TestSolveAssuming|TestSolveReuse|TestContext|TestFixpointDeterministic|TestFixpointIncremental|TestPsiProg|TestCFPIncremental' \
 		./internal/sat/ ./internal/smt/ ./internal/fixpoint/ ./internal/cbi/
 	$(GO) test -race -run 'TestRandomGeneralAgainstBox|TestRandomDifferenceAgainstBox|TestLinChecker|TestDiffChecker' ./internal/lia/
-	$(GO) test -run 'TestMapVsBFS|TestCompareParallel' ./internal/optimal/ ./internal/bench/ ./internal/precond/
+	$(GO) test -race -run 'TestRoundTrip|TestLinCheckerVerdict|TestFormulaKey|TestCorruption|TestDedup|TestFlushDurable' ./internal/store/
+	$(GO) test -race -run 'TestWarmStart|TestStoreParamsMismatch|TestWarmLemma' ./internal/smt/
+	$(GO) test -run 'TestMapVsBFS|TestCompareParallel|TestWarmVsCold' ./internal/optimal/ ./internal/bench/ ./internal/precond/
 
 # End-to-end check of the vs3d HTTP daemon: boots the real server on an
 # ephemeral port, verifies a spec with all three methods, infers
@@ -66,6 +72,14 @@ serve-smoke:
 # failover after a backend death, stats, clean shutdown.
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/vs3router/
+
+# End-to-end check of warm-start persistence: the real vs3d daemon booted
+# twice on one -store directory (second lifetime must replay the solved
+# problem with zero SMT work), plus the vs3load mid-test restart scenario
+# (drain, reopen the store, one corpus pass back at warm-path latency).
+restart-smoke:
+	$(GO) test -run TestWarmRestart -count=1 -v ./cmd/vs3d/
+	$(GO) test -run TestRestartRecovery -count=1 -v ./internal/load/
 
 # Head-to-head routing benchmark (the tentpole proof for PR 6): single node
 # vs affinity routing vs random routing over 2 backends on the default
@@ -81,6 +95,15 @@ bench-cluster:
 # Writes BENCH_7.json.
 bench-lia:
 	VS3_BENCH_OUT=$(CURDIR)/BENCH_7.json $(GO) test -run TestLIABench -count=1 -v ./internal/bench/
+
+# Warm-restart benchmark (the tentpole proof for PR 8): the default suite run
+# cold on a fresh knowledge store, then again reopening it — a daemon
+# restart. Asserts identical verdicts per cell and a >=5x reduction in
+# from-scratch work (SMT queries + Fourier–Motzkin eliminations); the
+# committed BENCH_8.json doubles as the regression baseline (the warm arm
+# must stay within 2x of its recorded work) and is rewritten on success.
+bench-warm:
+	VS3_BENCH_BASE=$(CURDIR)/BENCH_8.json VS3_BENCH_OUT=$(CURDIR)/BENCH_8.json $(GO) test -run TestWarmBench -count=1 -v ./internal/bench/
 
 # Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
 # interning/hot-path benchmarks (cache-hit keying, structural equality,

@@ -27,6 +27,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "regenerate one table (1-7; 7 is the general-LIA family)")
+	table := flag.Int("table", 0, "regenerate one table (1-8; 7 is the general-LIA family, 8 the warm-restart comparison)")
 	figure := flag.Int("figure", 0, "regenerate one figure (4-9)")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-(task,method) timeout")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -118,30 +119,41 @@ func main() {
 		if *compare != "" {
 			var err error
 			old, err = bench.ReadReport(*compare)
-			if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// A missing baseline is the normal first-run state, not a
+				// failure: run the suite anyway and say how to record one.
+				fmt.Fprintf(os.Stderr, "benchtab: no baseline at %s — nothing to compare against yet\n", *compare)
+				fmt.Fprintf(os.Stderr, "benchtab: record one with `benchtab -json %s` (or `make bench-json`), then rerun -compare\n", *compare)
+				old = nil
+			} else if err != nil {
 				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 				os.Exit(1)
 			}
 		}
-		var buf bytes.Buffer
-		if err := bench.RunJSON(&buf, r, "default", bench.DefaultSuite()); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-			os.Exit(1)
-		}
-		if *jsonOut != "" {
-			if err := os.WriteFile(*jsonOut, buf.Bytes(), 0o644); err != nil {
+		// With no baseline and no -json sink the suite run would print
+		// nothing useful, so skip it.
+		runSuite := *jsonOut != "" || old != nil
+		if runSuite {
+			var buf bytes.Buffer
+			if err := bench.RunJSON(&buf, r, "default", bench.DefaultSuite()); err != nil {
 				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(w, "wrote %s\n", *jsonOut)
-		}
-		if old != nil {
-			var new bench.Report
-			if err := json.Unmarshal(buf.Bytes(), &new); err != nil {
-				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-				os.Exit(1)
+			if *jsonOut != "" {
+				if err := os.WriteFile(*jsonOut, buf.Bytes(), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(w, "wrote %s\n", *jsonOut)
 			}
-			bench.WriteComparison(w, old, &new)
+			if old != nil {
+				var new bench.Report
+				if err := json.Unmarshal(buf.Bytes(), &new); err != nil {
+					fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+					os.Exit(1)
+				}
+				bench.WriteComparison(w, old, &new)
+			}
 		}
 		if *table == 0 && *figure == 0 && !*all {
 			return
@@ -193,6 +205,23 @@ func runTable(w io.Writer, r *bench.Runner, n int) {
 		bench.Table6(w, r)
 	case 7:
 		bench.Table7(w, r)
+	case 8:
+		// Warm-restart comparison: the default suite cold on a fresh
+		// knowledge store, then again reopening it. The store lives in a
+		// throwaway directory — Table 8 measures the restart saving, not a
+		// particular store's contents.
+		dir, err := os.MkdirTemp("", "vs3-warm-bench-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		rep, err := bench.RunWarmBench(dir, "default", r.Timeout, r.Parallel, bench.DefaultSuite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		bench.WriteWarmTable(w, rep)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: no table %d\n", n)
 		os.Exit(2)

@@ -8,6 +8,13 @@
 // Usage:
 //
 //	vs3d [-addr :8080] [-id NAME] [-pool N] [-queue N] [-timeout 60s] [-max-timeout 5m]
+//	     [-store DIR] [-store-fsync] [-store-flush 250ms]
+//
+// With -store DIR the daemon opens an on-disk knowledge store in DIR:
+// validity/consistency verdicts, theory lemmas, unsat cores, and whole
+// solved-problem outcomes warm-load at startup and are written behind while
+// serving, so a restarted daemon resumes with everything its predecessor
+// learned instead of re-deriving it (see DESIGN.md §15).
 //
 // Endpoints (see internal/serve and the README "Serving" section):
 //
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -45,6 +53,9 @@ func main() {
 	queue := flag.Int("queue", 0, "queued requests beyond the pool before 429 (0 = 4×pool)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	storeDir := flag.String("store", "", "directory of the on-disk knowledge store (empty = no persistence)")
+	storeFsync := flag.Bool("store-fsync", false, "fsync every write-behind flush, not just drain/close")
+	storeFlush := flag.Duration("store-flush", 0, "write-behind flush interval (0 = store default)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -53,6 +64,19 @@ func main() {
 		Queue:          *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{
+			Params:        cfg.Core.SMT.StoreParams(),
+			Fsync:         *storeFsync,
+			FlushInterval: *storeFlush,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vs3d: open store:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -68,8 +92,10 @@ func main() {
 }
 
 // run serves on ln until ctx is cancelled, then drains: /healthz flips to
-// 503 (taking the backend out of router rotation) and in-flight requests
-// finish (bounded by the configured max timeout) before returning. Split
+// 503 (taking the backend out of router rotation), in-flight requests
+// finish (bounded by the configured max timeout), and the knowledge store —
+// already fsynced by StartDrain before the healthz flip — is closed so
+// records appended by those last in-flight requests reach disk too. Split
 // from main so the smoke tests can drive the real daemon on an ephemeral
 // port.
 func run(ctx context.Context, ln net.Listener, cfg serve.Config, logger *log.Logger) error {
@@ -77,18 +103,32 @@ func run(ctx context.Context, ln net.Listener, cfg serve.Config, logger *log.Log
 	srv := &http.Server{Handler: backend.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	if cfg.Store != nil {
+		ss := cfg.Store.Stats()
+		logger.Printf("vs3d: knowledge store %s: cold=%v loaded %d lemmas, %d cores, %d verdicts, %d consistency, %d outcomes in %dms",
+			cfg.Store.Dir(), ss.ColdStart, ss.LoadedLemmas, ss.LoadedCores, ss.LoadedVerdicts, ss.LoadedConsistency, ss.LoadedOutcomes, ss.LoadMillis)
+	}
 	logger.Printf("vs3d: %s serving on %s", backend.ID(), ln.Addr())
 	select {
 	case err := <-errc:
+		if cfg.Store != nil {
+			_ = cfg.Store.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
 	backend.StartDrain()
-	logger.Printf("vs3d: draining (healthz now 503), waiting for in-flight requests")
+	logger.Printf("vs3d: draining (healthz now 503), store flushed, waiting for in-flight requests")
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout+5*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		return err
+	shutErr := srv.Shutdown(shutCtx)
+	if cfg.Store != nil {
+		if err := cfg.Store.Close(); err != nil {
+			logger.Printf("vs3d: store close: %v", err)
+		}
+	}
+	if shutErr != nil {
+		return shutErr
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

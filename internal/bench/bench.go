@@ -92,6 +92,13 @@ type Measurement struct {
 	FMCubeHits      int64
 	FMCapHits       int64
 	DormantContexts int64
+	// Knowledge-store counters (zero unless Config.Knowledge is attached):
+	// validity + consistency verdicts answered from the store, theory lemmas
+	// warm-seeded into context groups, and persisted cores promoted into
+	// live searches.
+	StoreHits  int64
+	WarmLemmas int64
+	WarmCores  int64
 	// Preconditions holds the inferred formulas for Precondition tasks.
 	Preconditions []logic.Formula
 	// Truncated reports that the cell's search space was clipped (candidate
@@ -223,6 +230,9 @@ func (r *Runner) runOne(t Task, m core.Method) Measurement {
 		mm.FMCubeHits = v.Engine().S.NumFMCubeHits()
 		mm.FMCapHits = v.Engine().S.NumFMCapHits()
 		mm.DormantContexts = v.Engine().S.NumDormantContexts()
+		mm.StoreHits = v.Engine().S.NumStoreVerdictHits() + v.Engine().NumConsStoreHits()
+		mm.WarmLemmas = v.Engine().S.NumWarmLemmas()
+		mm.WarmCores = v.Engine().NumWarmCores()
 		done <- result{meas: mm}
 	}()
 	if r.Timeout <= 0 {

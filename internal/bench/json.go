@@ -55,6 +55,11 @@ type CellReport struct {
 	FMCubeHits      int64 `json:"fm_cube_hits,omitempty"`
 	FMCapHits       int64 `json:"fm_cap_hits,omitempty"`
 	DormantContexts int64 `json:"dormant_contexts,omitempty"`
+	// Knowledge-store counters (see Measurement); nonzero only for runs with
+	// an attached on-disk store.
+	StoreHits  int64 `json:"store_hits,omitempty"`
+	WarmLemmas int64 `json:"warm_lemmas,omitempty"`
+	WarmCores  int64 `json:"warm_cores,omitempty"`
 	// Truncated and Aborted surface incomplete searches (see Measurement).
 	Truncated bool   `json:"truncated,omitempty"`
 	Aborted   bool   `json:"aborted,omitempty"`
@@ -115,6 +120,9 @@ func RunJSON(w io.Writer, r *Runner, suite string, tasks []Task) error {
 				FMCubeHits:       m.FMCubeHits,
 				FMCapHits:        m.FMCapHits,
 				DormantContexts:  m.DormantContexts,
+				StoreHits:        m.StoreHits,
+				WarmLemmas:       m.WarmLemmas,
+				WarmCores:        m.WarmCores,
 				Truncated:        m.Truncated,
 				Aborted:          m.Aborted,
 			}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/smt"
 	"repro/internal/spec"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/template"
 	"repro/internal/vc"
 )
@@ -73,6 +74,13 @@ type Config struct {
 	// pass one store to several Verifiers (e.g. a serving pool) so cores
 	// learned by any of them prune every sharer's lattice searches.
 	Cores *optimal.CoreStore
+	// Knowledge, when non-nil, is the on-disk knowledge base: validity and
+	// consistency verdicts, theory lemmas, and unsat cores warm-load from it
+	// and are written behind during solving, so a restarted process resumes
+	// with everything its predecessor learned. The store must have been
+	// opened with Params = SMT.StoreParams() (store.Open sidelines a store
+	// written under different solver bounds).
+	Knowledge *store.Store
 }
 
 // Verifier runs verification tasks. Not safe for concurrent use (the
@@ -97,6 +105,7 @@ func New(cfg Config) *Verifier {
 		// is polled nowhere between models.
 		cfg.CBI.Stop = cfg.Fixpoint.Stop
 	}
+	cfg.SMT.Store = cfg.Knowledge
 	s := smt.NewSolver(cfg.SMT)
 	s.SetStats(cfg.Stats)
 	eng := optimal.New(s)
@@ -107,6 +116,7 @@ func New(cfg Config) *Verifier {
 	eng.Stop = cfg.Fixpoint.Stop
 	eng.Opts = cfg.Optimal
 	eng.ShareCores(cfg.Cores)
+	eng.AttachKnowledge(cfg.Knowledge)
 	cfg.Fixpoint.Stats = cfg.Stats
 	cfg.CBI.Stats = cfg.Stats
 	return &Verifier{cfg: cfg, eng: eng}

@@ -1,0 +1,132 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// RestartFunc restarts the target daemon and returns once it is healthy
+// again. It may return a new base URL for the restarted instance (empty =
+// same address). cmd/vs3load builds one from -restart-cmd; tests restart an
+// in-process server.
+type RestartFunc func(ctx context.Context) (newBaseURL string, err error)
+
+// RestartResult reports the mid-test restart scenario: a full load phase,
+// a daemon restart, then exactly one corpus pass against the restarted
+// instance. With warm-start persistence the after-pass must look like a warm
+// continuation — not a cold start — which is what Recovered encodes.
+type RestartResult struct {
+	Before         Result  `json:"before"`
+	After          Result  `json:"after"`
+	RestartSeconds float64 `json:"restart_seconds"`
+	// P95Ratio is After.P95MS / Before.P95MS (0 when before is empty).
+	P95Ratio float64 `json:"p95_ratio_after_over_before"`
+	// QueryRate compares per-request from-scratch SMT queries across phases:
+	// (After.SMTQueries/After.Requests) / (Before.SMTQueries/Before.Requests).
+	// Warm persistence should push it toward zero; 1.0 means the restart
+	// re-derived everything at the pre-restart rate.
+	QueryRate float64 `json:"query_rate_after_over_before"`
+	// Recovered reports the gate: the after pass had no incorrect verdicts or
+	// transport errors, its p95 is within 1.5x of the pre-restart phase, and
+	// its per-request from-scratch query rate did not exceed the pre-restart
+	// rate (the restarted daemon resumed warm instead of recomputing).
+	Recovered bool `json:"recovered"`
+}
+
+// RunRestart executes the restart scenario: run the load as configured,
+// restart the daemon, then drive exactly one pass over the corpus and judge
+// recovery. Keep-alive connections to the dead instance are discarded
+// between phases.
+func RunRestart(ctx context.Context, opts Options, restart RestartFunc) (RestartResult, error) {
+	opts = opts.normalize()
+	var res RestartResult
+	before, err := Run(ctx, opts)
+	if err != nil {
+		return res, fmt.Errorf("before phase: %w", err)
+	}
+	res.Before = before
+
+	start := time.Now()
+	newURL, err := restart(ctx)
+	if err != nil {
+		return res, fmt.Errorf("restart: %w", err)
+	}
+	res.RestartSeconds = time.Since(start).Seconds()
+
+	after := opts
+	after.Requests = len(opts.Corpus) // recovery must show within one corpus pass
+	if newURL != "" {
+		after.BaseURL = newURL
+	}
+	if tr, ok := after.Client.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections() // stale keep-alives point at the dead process
+	}
+	got, err := Run(ctx, after)
+	if err != nil {
+		return res, fmt.Errorf("after phase: %w", err)
+	}
+	res.After = got
+
+	if before.P95MS > 0 {
+		res.P95Ratio = got.P95MS / before.P95MS
+	}
+	beforeRate := float64(before.SMTQueries) / float64(maxInt(before.Requests, 1))
+	afterRate := float64(got.SMTQueries) / float64(maxInt(got.Requests, 1))
+	if beforeRate > 0 {
+		res.QueryRate = afterRate / beforeRate
+	}
+	res.Recovered = got.Incorrect == 0 && got.Errors == 0 &&
+		got.P95MS <= 1.5*before.P95MS &&
+		afterRate <= beforeRate
+	return res, nil
+}
+
+// WaitHealthy polls base/healthz until it answers 200 or the deadline
+// passes. Shared by cmd/vs3load's -restart-cmd flow and the tests.
+func WaitHealthy(ctx context.Context, client *http.Client, base string, deadline time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	ctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("target did not become healthy within %v", deadline)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// WriteReport prints a human-readable digest of the restart scenario.
+func (r RestartResult) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "=== before restart ===\n")
+	r.Before.WriteReport(w)
+	fmt.Fprintf(w, "=== restart (%.2fs) ===\n", r.RestartSeconds)
+	fmt.Fprintf(w, "=== after restart (one corpus pass) ===\n")
+	r.After.WriteReport(w)
+	fmt.Fprintf(w, "recovery      p95 ratio=%.2f query rate ratio=%.2f recovered=%v\n",
+		r.P95Ratio, r.QueryRate, r.Recovered)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

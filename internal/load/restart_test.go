@@ -1,0 +1,89 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestRestartRecovery is the persistence load gate: drive a vs3d backend
+// with the default corpus, kill it the way a drain does (flush + close the
+// knowledge store), boot a fresh backend on the same store directory, and
+// prove one corpus pass is enough to be back at warm-path latency — no
+// wrong verdicts, p95 within 1.5x of the pre-restart phase, and a
+// per-request from-scratch SMT query rate no worse than before the restart.
+func TestRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart load scenario is not a -short test")
+	}
+	dir := t.TempDir()
+	params := core.Config{}.SMT.StoreParams()
+	open := func() *store.Store {
+		st, err := store.Open(dir, store.Options{Params: params, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("store.Open: %v", err)
+		}
+		return st
+	}
+
+	st := open()
+	srv := serve.New(serve.Config{Pool: 2, Store: st})
+	ts := httptest.NewServer(srv.Handler())
+
+	var ts2 *httptest.Server
+	var st2 *store.Store
+	restart := func(ctx context.Context) (string, error) {
+		srv.StartDrain() // flush the write-behind queue, as SIGTERM would
+		ts.Close()       // waits for in-flight requests
+		if err := st.Close(); err != nil {
+			return "", err
+		}
+		st2 = open()
+		if st2.Stats().ColdStart {
+			t.Error("restarted store reported a cold start")
+		}
+		ts2 = httptest.NewServer(serve.New(serve.Config{Pool: 2, Store: st2}).Handler())
+		return ts2.URL, nil
+	}
+
+	corpus := DefaultCorpus()
+	res, err := RunRestart(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Corpus:      corpus,
+		Concurrency: 2,
+		Requests:    2 * len(corpus), // one cold + one warm pass before the restart
+		ClientKey:   "restart-test",
+	}, restart)
+	if ts2 != nil {
+		defer ts2.Close()
+	}
+	if st2 != nil {
+		defer st2.Close()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Before.Incorrect != 0 || res.Before.Errors != 0 {
+		t.Fatalf("before phase: %+v", res.Before)
+	}
+	if res.After.Incorrect != 0 || res.After.Errors != 0 {
+		t.Fatalf("after phase: %+v", res.After)
+	}
+	if res.After.OK != len(corpus) {
+		t.Fatalf("after pass ok = %d, want %d", res.After.OK, len(corpus))
+	}
+	if !res.Recovered {
+		t.Errorf("restart did not recover within one corpus pass: p95 %.1fms -> %.1fms (ratio %.2f), query rate ratio %.2f",
+			res.Before.P95MS, res.After.P95MS, res.P95Ratio, res.QueryRate)
+	}
+	if res.After.SMTQueries != 0 {
+		t.Errorf("restarted backend ran %d from-scratch SMT queries on a corpus its predecessor solved; want 0", res.After.SMTQueries)
+	}
+	t.Logf("before: %d reqs, %d queries, p95 %.1fms", res.Before.Requests, res.Before.SMTQueries, res.Before.P95MS)
+	t.Logf("after:  %d reqs, %d queries, p95 %.1fms (restart %.2fs)", res.After.Requests, res.After.SMTQueries, res.After.P95MS, res.RestartSeconds)
+}

@@ -11,6 +11,9 @@ package optimal
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/logic"
+	"repro/internal/store"
 )
 
 // coreShards is the number of independently locked stripes of the store.
@@ -28,6 +31,69 @@ type CoreStore struct {
 	shards  [coreShards]coreShard
 	seq     atomic.Uint64 // global insertion clock, for age-aware eviction
 	evicted atomic.Int64
+
+	// know, when attached, is the on-disk knowledge base behind the
+	// in-memory shards: every inserted core is written behind in portable
+	// form (predicates as store.FormulaKey strings), which also makes
+	// eviction lossless — an evicted core stays on disk and can be
+	// re-promoted by a later search. portable holds cores loaded from the
+	// store that no search has resolved into interned predicates yet; a
+	// portable core cannot become a bitmask until a search's item universe
+	// supplies the actual formulas behind its keys, so resolution happens
+	// lazily inside masks.
+	know     atomic.Pointer[store.Store]
+	pmu      sync.Mutex
+	portable []store.Core
+	warmHits atomic.Int64 // portable cores promoted into a search's universe
+
+	// keyMemo caches store.FormulaKey per interned predicate
+	// (*logic.IFormula → string): portable-core resolution recomputes the
+	// universe's key set per search, and the universes overlap heavily.
+	keyMemo sync.Map
+}
+
+// Attach connects the on-disk knowledge base: persisted portable cores are
+// loaded for lazy promotion, and every future add is written behind. The
+// first attach wins; re-attaching the same store from other engines sharing
+// this CoreStore is a no-op, so pooled sessions do not duplicate the load.
+func (cs *CoreStore) Attach(know *store.Store) {
+	if cs == nil || know == nil {
+		return
+	}
+	if !cs.know.CompareAndSwap(nil, know) {
+		return
+	}
+	cs.pmu.Lock()
+	cs.portable = append(cs.portable, know.Cores()...)
+	cs.pmu.Unlock()
+}
+
+// NumWarmCores returns how many persisted cores were promoted from portable
+// form into a live search's bitmask space.
+func (cs *CoreStore) NumWarmCores() int64 { return cs.warmHits.Load() }
+
+// predKey returns the portable identity of a core item's predicate, memoized
+// per interned formula.
+func (cs *CoreStore) predKey(p *logic.IFormula) string {
+	if v, ok := cs.keyMemo.Load(p); ok {
+		return v.(string)
+	}
+	k := store.FormulaKey(p.Formula())
+	v, _ := cs.keyMemo.LoadOrStore(p, k)
+	return v.(string)
+}
+
+// persist writes one inserted core behind in portable form.
+func (cs *CoreStore) persist(items []coreItem) {
+	know := cs.know.Load()
+	if know == nil {
+		return
+	}
+	preds := make([]string, len(items))
+	for i, it := range items {
+		preds[i] = cs.predKey(it.pred)
+	}
+	know.AppendCore(store.Core{Unknown: items[0].unknown, Preds: preds})
 }
 
 // NewCoreStore returns an empty store. One store may be shared by several
@@ -63,23 +129,33 @@ func (cs *CoreStore) shardOf(items []coreItem) *coreShard {
 
 // add persists one inconsistent (unknown, predicate-set) combination and
 // reports whether an older entry was evicted to make room. Duplicate cores
-// are dropped.
+// are dropped. Inserted cores are also written behind to the attached
+// knowledge store, so in-memory eviction never loses a core for good.
 func (cs *CoreStore) add(items []coreItem) (evicted bool) {
+	inserted, evicted := cs.insert(items)
+	if inserted {
+		cs.persist(items)
+	}
+	return evicted
+}
+
+// insert is add's in-memory body.
+func (cs *CoreStore) insert(items []coreItem) (inserted, evicted bool) {
 	if len(items) == 0 {
-		return false
+		return false, false
 	}
 	sh := cs.shardOf(items)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for i := range sh.entries {
 		if sameCore(sh.entries[i].items, items) {
-			return false
+			return false, false
 		}
 	}
 	e := coreEntry{items: items, seq: cs.seq.Add(1)}
 	if len(sh.entries) < coreShardCap {
 		sh.entries = append(sh.entries, e)
-		return false
+		return true, false
 	}
 	// Evict the entry with the fewest hits, breaking ties toward the oldest:
 	// cores that never pruned anything age out first.
@@ -92,7 +168,7 @@ func (cs *CoreStore) add(items []coreItem) (evicted bool) {
 	}
 	sh.entries[victim] = e
 	cs.evicted.Add(1)
-	return true
+	return true, true
 }
 
 func sameCore(a, b []coreItem) bool {
@@ -109,8 +185,12 @@ func sameCore(a, b []coreItem) bool {
 
 // masks maps every stored core that is fully expressible in the given item
 // universe into that universe's bitmask space, bumping the hit count of each
-// returned core (a core a search can use is a core worth keeping).
+// returned core (a core a search can use is a core worth keeping). Portable
+// cores loaded from the knowledge store are resolved against the universe
+// here — the first search whose items carry all of a portable core's
+// predicate keys promotes it into the in-memory shards and its own mask set.
 func (cs *CoreStore) masks(indexOf map[coreItem]int, width int) []bitmask {
+	cs.promotePortable(indexOf)
 	var out []bitmask
 	for s := range cs.shards {
 		sh := &cs.shards[s]
@@ -135,6 +215,47 @@ func (cs *CoreStore) masks(indexOf map[coreItem]int, width int) []bitmask {
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// promotePortable resolves warm-loaded portable cores against a search's item
+// universe. A core whose (unknown, predicate-key) pairs all appear in the
+// universe is promoted: inserted into the in-memory shards (where this and
+// every later search will pick it up through the shard scan) and removed
+// from the portable list. Unresolvable cores stay portable for later
+// universes. Promotion happens before the shard scan precisely so the
+// promoted cores are produced by it, never twice.
+func (cs *CoreStore) promotePortable(indexOf map[coreItem]int) {
+	cs.pmu.Lock()
+	defer cs.pmu.Unlock()
+	if len(cs.portable) == 0 {
+		return
+	}
+	inv := make(map[string]coreItem, len(indexOf))
+	for it := range indexOf {
+		inv[it.unknown+"\x00"+cs.predKey(it.pred)] = it
+	}
+	kept := cs.portable[:0]
+	for _, pc := range cs.portable {
+		items := make([]coreItem, 0, len(pc.Preds))
+		ok := true
+		for _, pk := range pc.Preds {
+			it, present := inv[pc.Unknown+"\x00"+pk]
+			if !present {
+				ok = false
+				break
+			}
+			items = append(items, it)
+		}
+		if !ok {
+			kept = append(kept, pc)
+			continue
+		}
+		// insert, not add: the core came from the store, writing it back
+		// would only burn a dedup check.
+		cs.insert(items)
+		cs.warmHits.Add(1)
+	}
+	cs.portable = kept
 }
 
 // NumEvicted returns how many stored cores were evicted to admit newer ones.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/smt"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/template"
 )
 
@@ -93,6 +94,12 @@ type Engine struct {
 	// counts candidates rejected because a stored or fresh core applied.
 	cores      *CoreStore
 	corePruned atomic.Int64
+
+	// know is the optional on-disk knowledge base: consistency verdicts are
+	// answered from it across process lifetimes and written behind when
+	// decided without a fired Stop. consStoreHits counts warm answers.
+	know          *store.Store
+	consStoreHits atomic.Int64
 }
 
 // consVerdict is one memoized predicate-set consistency verdict.
@@ -122,6 +129,26 @@ func (e *Engine) ShareCores(cs *CoreStore) {
 		e.cores = cs
 	}
 }
+
+// AttachKnowledge connects the on-disk knowledge base: predicate-set
+// consistency verdicts warm-load from it, and the engine's core store gains
+// its persisted portable cores. Must be called before the engine is used
+// (after ShareCores, so the shared store is the one attached).
+func (e *Engine) AttachKnowledge(k *store.Store) {
+	if k == nil {
+		return
+	}
+	e.know = k
+	e.cores.Attach(k)
+}
+
+// NumConsStoreHits returns how many consistency probes were answered from
+// the knowledge store instead of being decided.
+func (e *Engine) NumConsStoreHits() int64 { return e.consStoreHits.Load() }
+
+// NumWarmCores returns how many persisted cores were promoted from the
+// knowledge store into live searches.
+func (e *Engine) NumWarmCores() int64 { return e.cores.NumWarmCores() }
 
 func (e *Engine) maxDepth() int {
 	if e.MaxDepth <= 0 {
@@ -524,6 +551,23 @@ func (e *Engine) satisfiableSet(ps template.PredSet) (sat bool, core []logic.For
 		return cv.sat, cv.core, false
 	}
 	cv := &consVerdict{}
+	var skey string
+	if e.know != nil {
+		// Warm path: the verdict survived from an earlier lifetime. No core
+		// comes with it (cores travel separately through the CoreStore's
+		// portable form), which the callers already tolerate — the Valid
+		// fallback below is equally core-less.
+		skey = store.FormulaKey(key.Formula())
+		if sat, ok := e.know.Consistency(skey); ok {
+			e.consStoreHits.Add(1)
+			e.Stats.RecordStoreLookup(true)
+			cv.sat = sat
+			got, _ := e.consMemo.LoadOrStore(key, cv)
+			cv = got.(*consVerdict)
+			return cv.sat, cv.core, false
+		}
+		e.Stats.RecordStoreLookup(false)
+	}
 	decided := false
 	if c := e.consistencyContext(); c != nil {
 		if consistent, cr, ok := c.Consistent(ps.Preds()); ok {
@@ -536,6 +580,10 @@ func (e *Engine) satisfiableSet(ps template.PredSet) (sat bool, core []logic.For
 	}
 	got, loaded := e.consMemo.LoadOrStore(key, cv)
 	cv = got.(*consVerdict)
+	if !loaded && e.know != nil && (e.Stop == nil || !e.Stop()) {
+		// Settled without a fired Stop: safe to persist for next lifetime.
+		e.know.AppendConsistency(skey, cv.sat)
+	}
 	return cv.sat, cv.core, !loaded
 }
 

@@ -48,6 +48,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Counter("vs3d_fm_cube_hits_total", "Theory checks answered from persisted conflict cubes.", float64(sr.FMCubeHits), id...)
 	pw.Counter("vs3d_fm_cap_hits_total", "Eliminations truncated at the derived-constraint cap (conservative answers).", float64(sr.FMCapHits), id...)
 	pw.Counter("vs3d_dormant_contexts_total", "Persistent contexts retired by Ackermann budget exhaustion.", float64(sr.DormantContexts), id...)
+	pw.Gauge("vs3d_store_enabled", "1 when an on-disk knowledge store is attached.", boolGauge(sr.StoreEnabled), id...)
+	if sr.StoreEnabled {
+		pw.Gauge("vs3d_store_cold_start", "1 when this lifetime found no usable store (fresh dir or sidelined corruption).", boolGauge(sr.StoreColdStart), id...)
+		pw.Gauge("vs3d_store_load_millis", "Milliseconds spent warm-loading the store at startup.", float64(sr.StoreLoadMillis), id...)
+		pw.Counter("vs3d_store_verdict_hits_total", "SMT validity queries answered from persisted verdicts.", float64(sr.StoreVerdictHits), id...)
+		pw.Counter("vs3d_store_cons_hits_total", "Consistency probes answered from persisted verdicts.", float64(sr.StoreConsHits), id...)
+		pw.Counter("vs3d_store_warm_lemmas_total", "Theory lemmas seeded into context groups from the store.", float64(sr.StoreWarmLemmas), id...)
+		pw.Counter("vs3d_store_warm_cores_total", "Persisted unsat cores promoted into live searches.", float64(sr.StoreWarmCores), id...)
+		pw.Counter("vs3d_store_outcome_hits_total", "Verify requests replayed from persisted whole-problem outcomes.", float64(sr.StoreOutcomeHits), id...)
+		pw.Counter("vs3d_store_appended_total", "Records appended to the write-behind queue this lifetime.", float64(sr.StoreAppended), id...)
+		pw.Counter("vs3d_store_dropped_total", "Records dropped because the write-behind queue was full.", float64(sr.StoreDropped), id...)
+		pw.Gauge("vs3d_store_queue_depth", "Write-behind records waiting for the next flush.", float64(sr.StoreQueueDepth), id...)
+		pw.Counter("vs3d_store_flushes_total", "Write-behind flushes (ticker, Flush, and Close).", float64(sr.StoreFlushes), id...)
+		pw.Counter("vs3d_store_flush_errors_total", "Write-behind flushes that failed (next load truncates any torn tail).", float64(sr.StoreFlushErrors), id...)
+	}
 
 	var buf bytes.Buffer
 	_, _ = pw.WriteTo(&buf)

@@ -34,6 +34,7 @@ package serve
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -51,6 +52,7 @@ import (
 	"repro/internal/optimal"
 	"repro/internal/spec"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/template"
 )
 
@@ -80,6 +82,14 @@ type Config struct {
 	// and measurement: Fixpoint.Stop, SMT.Stop, CBI.Stop, Stats, and Cores
 	// are overwritten per session.
 	Core core.Config
+	// Store, when non-nil, is the on-disk knowledge base shared by every
+	// pooled session (Core.Knowledge is overwritten with it). Beyond the
+	// engine-level warm state it carries whole solved-problem outcomes keyed
+	// by (X-VS3-Problem-Key, method), which runVerify replays without leasing
+	// a session. The caller (cmd/vs3d) owns the store's lifecycle: it must be
+	// opened with Params = Core.SMT.StoreParams() and closed after Shutdown;
+	// StartDrain flushes it before /healthz flips to 503.
+	Store *store.Store
 }
 
 func (c Config) normalize() Config {
@@ -167,14 +177,15 @@ type Server struct {
 	started  time.Time
 	draining atomic.Bool
 
-	requests   atomic.Int64 // requests that reached a verifier (batch items included)
-	rejected   atomic.Int64 // 429s / shed batch items
-	aborted    atomic.Int64 // runs cancelled by deadline/disconnect
-	truncated  atomic.Int64 // runs that reported a clipped search
-	inflight   atomic.Int64
-	probHits   atomic.Int64 // parsed-problem cache hits
-	batches    atomic.Int64 // /v1/batch requests accepted
-	batchItems atomic.Int64 // items across all batches
+	requests    atomic.Int64 // requests that reached a verifier (batch items included)
+	rejected    atomic.Int64 // 429s / shed batch items
+	aborted     atomic.Int64 // runs cancelled by deadline/disconnect
+	truncated   atomic.Int64 // runs that reported a clipped search
+	inflight    atomic.Int64
+	probHits    atomic.Int64 // parsed-problem cache hits
+	batches     atomic.Int64 // /v1/batch requests accepted
+	batchItems  atomic.Int64 // items across all batches
+	outcomeHits atomic.Int64 // verify runs answered from persisted outcomes
 }
 
 // New returns a Server with cfg.Pool warmed-up sessions.
@@ -195,6 +206,7 @@ func New(cfg Config) *Server {
 		cc := cfg.Core
 		cc.Stats = sess.col
 		cc.Cores = shared
+		cc.Knowledge = cfg.Store
 		cc.Fixpoint.Stop = sess.stop
 		cc.SMT.Stop = nil // re-derived from Fixpoint.Stop by core.New
 		cc.CBI.Stop = nil
@@ -210,8 +222,17 @@ func (s *Server) ID() string { return s.cfg.ID }
 
 // StartDrain flips /healthz to 503 so load balancers and the router stop
 // sending new work; in-flight requests finish normally. cmd/vs3d calls this
-// on SIGTERM before http.Server.Shutdown.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// on SIGTERM before http.Server.Shutdown. The knowledge store's write-behind
+// queue is flushed and fsynced first, so everything accepted before the
+// drain signal is durable even if the process is killed mid-shutdown;
+// records appended by still-in-flight requests are caught by the final
+// store.Close after Shutdown returns.
+func (s *Server) StartDrain() {
+	if s.cfg.Store != nil {
+		_ = s.cfg.Store.Flush()
+	}
+	s.draining.Store(true)
+}
 
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -313,6 +334,11 @@ type VerifyResponse struct {
 	Steps      int               `json:"steps"`
 	DurationMS float64           `json:"duration_ms"`
 	Invariants map[string]string `json:"invariants,omitempty"`
+	// FromStore reports that the response was replayed from the on-disk
+	// knowledge store (a previous lifetime solved this exact problem with
+	// this method under the same solver bounds); Stats and DurationMS then
+	// describe the original run, not this request.
+	FromStore bool `json:"from_store,omitempty"`
 	// Stats is the request-scoped collector delta (what this run recorded).
 	Stats stats.Snapshot `json:"stats"`
 }
@@ -385,6 +411,21 @@ func (s *Server) runVerify(parent context.Context, client string, req VerifyRequ
 	if err != nil {
 		return VerifyResponse{}, key, http.StatusBadRequest, err
 	}
+	// A persisted outcome from an earlier lifetime answers without leasing a
+	// session at all: the store was opened under the same solver bounds (or
+	// it would have started cold), so the recorded verdict is the one this
+	// run would compute.
+	if s.cfg.Store != nil {
+		if body, ok := s.cfg.Store.Outcome(key, m.String()); ok {
+			var cached VerifyResponse
+			if jerr := json.Unmarshal(body, &cached); jerr == nil {
+				s.outcomeHits.Add(1)
+				s.requests.Add(1)
+				cached.FromStore = true
+				return cached, key, http.StatusOK, nil
+			}
+		}
+	}
 	sess, reqCtx, finish, err := s.lease(parent, client, req.TimeoutMS)
 	if err != nil {
 		if errors.Is(err, errBusy) {
@@ -418,8 +459,15 @@ func (s *Server) runVerify(parent context.Context, client string, req VerifyRequ
 		s.truncated.Add(1)
 	}
 	if resp.Aborted {
+		// Never persisted: an aborted run's verdict reflects this request's
+		// deadline, not the problem.
 		s.aborted.Add(1)
 		return resp, key, abortStatus(reqCtx), nil
+	}
+	if s.cfg.Store != nil {
+		if body, jerr := json.Marshal(resp); jerr == nil {
+			s.cfg.Store.AppendOutcome(key, m.String(), body)
+		}
 	}
 	return resp, key, http.StatusOK, nil
 }
@@ -548,6 +596,26 @@ type statsResponse struct {
 	FMCapHits       int64 `json:"fm_cap_hits"`
 	DormantContexts int64 `json:"dormant_contexts"`
 
+	// Knowledge-store counters. StoreEnabled gates the rest: hit counters
+	// sum warm answers across sessions (persisted validity/consistency
+	// verdicts, warm-seeded lemmas, promoted cores, replayed outcomes), the
+	// health fields mirror store.Stats (write-behind queue depth, drops,
+	// flush errors, cold-start and load cost of this lifetime).
+	StoreEnabled     bool  `json:"store_enabled"`
+	StoreColdStart   bool  `json:"store_cold_start,omitempty"`
+	StoreLoadMillis  int64 `json:"store_load_millis,omitempty"`
+	StoreVerdictHits int64 `json:"store_verdict_hits,omitempty"`
+	StoreConsHits    int64 `json:"store_cons_hits,omitempty"`
+	StoreWarmLemmas  int64 `json:"store_warm_lemmas,omitempty"`
+	StoreWarmCores   int64 `json:"store_warm_cores,omitempty"`
+	StoreOutcomeHits int64 `json:"store_outcome_hits,omitempty"`
+	StoreAppended    int64 `json:"store_appended,omitempty"`
+	StoreDeduped     int64 `json:"store_deduped,omitempty"`
+	StoreDropped     int64 `json:"store_dropped,omitempty"`
+	StoreQueueDepth  int64 `json:"store_queue_depth,omitempty"`
+	StoreFlushes     int64 `json:"store_flushes,omitempty"`
+	StoreFlushErrors int64 `json:"store_flush_errors,omitempty"`
+
 	// Collector is the merge of every finished request's collector delta.
 	Collector stats.Snapshot `json:"collector"`
 }
@@ -593,6 +661,26 @@ func (s *Server) statsSnapshot() statsResponse {
 		resp.FMCubeHits += eng.S.NumFMCubeHits()
 		resp.FMCapHits += eng.S.NumFMCapHits()
 		resp.DormantContexts += eng.S.NumDormantContexts()
+		resp.StoreVerdictHits += eng.S.NumStoreVerdictHits()
+		resp.StoreConsHits += eng.NumConsStoreHits()
+		resp.StoreWarmLemmas += eng.S.NumWarmLemmas()
+	}
+	if st := s.cfg.Store; st != nil {
+		resp.StoreEnabled = true
+		resp.StoreOutcomeHits = s.outcomeHits.Load()
+		ss := st.Stats()
+		resp.StoreColdStart = ss.ColdStart
+		resp.StoreLoadMillis = ss.LoadMillis
+		resp.StoreAppended = ss.Appended
+		resp.StoreDeduped = ss.Deduped
+		resp.StoreDropped = ss.Dropped
+		resp.StoreQueueDepth = ss.QueueDepth
+		resp.StoreFlushes = ss.Flushes
+		resp.StoreFlushErrors = ss.FlushErrors
+		if len(s.sessions) > 0 {
+			// One CoreStore is shared by all sessions; count its promotions once.
+			resp.StoreWarmCores = s.sessions[0].v.Engine().NumWarmCores()
+		}
 	}
 	return resp
 }

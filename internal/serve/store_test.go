@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+const storeTestSpec = `
+program ArrayInit(array A, n) {
+  i := 0;
+  while loop (i < n) {
+    A[i] := 0;
+    i := i + 1;
+  }
+  assert(forall j. (0 <= j && j < n) => A[j] = 0);
+}
+template loop: forall j. ?v => A[j] = 0;
+predicates v: j >= 0, j < i, j <= i, j < n, j <= n;
+`
+
+func openServeStore(t *testing.T, dir string, flush time.Duration) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{
+		Params:        core.Config{}.SMT.StoreParams(),
+		FlushInterval: flush,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return st
+}
+
+func postVerify(t *testing.T, base, spec, method string) VerifyResponse {
+	t.Helper()
+	body, _ := json.Marshal(VerifyRequest{Spec: spec, Method: method})
+	resp, err := http.Post(base+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: status %d", resp.StatusCode)
+	}
+	var out VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDrainFlushZeroLoss is the drain-durability contract: with the
+// write-behind ticker effectively disabled, everything accepted before
+// StartDrain must already be durable the moment /healthz flips to 503 —
+// a second store opened on the same directory (as a restarted daemon
+// would) sees every record without the first ever calling Close.
+func TestDrainFlushZeroLoss(t *testing.T) {
+	dir := t.TempDir()
+	st := openServeStore(t, dir, time.Hour) // ticker never fires during the test
+	s := New(Config{Pool: 1, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	out := postVerify(t, ts.URL, storeTestSpec, "lfp")
+	if !out.Proved || out.FromStore {
+		t.Fatalf("cold verify: proved=%v from_store=%v", out.Proved, out.FromStore)
+	}
+	ss := st.Stats()
+	if ss.Appended == 0 {
+		t.Fatal("verify run appended nothing to the store")
+	}
+	if ss.QueueDepth == 0 {
+		t.Fatal("write-behind queue already empty; test cannot prove drain flushes it")
+	}
+
+	s.StartDrain()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: %d, want 503", resp.StatusCode)
+	}
+
+	// Reopen the directory without closing the first store: only what
+	// StartDrain flushed can be visible.
+	st2 := openServeStore(t, dir, time.Hour)
+	defer st2.Close()
+	s2 := st2.Stats()
+	if s2.ColdStart {
+		t.Fatal("restarted store reported cold start after drain flush")
+	}
+	if s2.LoadedOutcomes == 0 {
+		t.Errorf("restarted store loaded no outcomes (stats: %+v)", s2)
+	}
+	if s2.LoadedVerdicts+s2.LoadedConsistency+s2.LoadedLemmas == 0 {
+		t.Errorf("restarted store loaded no solver records (stats: %+v)", s2)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestWarmRestartOutcomeReplay restarts the serving stack on one store
+// directory and asserts the second lifetime replays the solved problem from
+// disk: identical verdict, marked from_store, no session leased, zero
+// from-scratch SMT queries.
+func TestWarmRestartOutcomeReplay(t *testing.T) {
+	dir := t.TempDir()
+
+	st := openServeStore(t, dir, 5*time.Millisecond)
+	s := New(Config{Pool: 1, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	cold := postVerify(t, ts.URL, storeTestSpec, "lfp")
+	ts.Close()
+	if !cold.Proved {
+		t.Fatal("cold run did not prove")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2 := openServeStore(t, dir, 5*time.Millisecond)
+	defer st2.Close()
+	s2 := New(Config{Pool: 1, Store: st2})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	warm := postVerify(t, ts2.URL, storeTestSpec, "lfp")
+	if !warm.FromStore {
+		t.Error("warm response not marked from_store")
+	}
+	if warm.Proved != cold.Proved || warm.Steps != cold.Steps {
+		t.Errorf("warm outcome diverged: proved=%v steps=%d, cold proved=%v steps=%d",
+			warm.Proved, warm.Steps, cold.Proved, cold.Steps)
+	}
+	for cut, inv := range cold.Invariants {
+		if warm.Invariants[cut] != inv {
+			t.Errorf("invariant at %s diverged: %q != %q", cut, warm.Invariants[cut], inv)
+		}
+	}
+	sr := s2.statsSnapshot()
+	if sr.StoreOutcomeHits != 1 {
+		t.Errorf("store_outcome_hits = %d, want 1", sr.StoreOutcomeHits)
+	}
+	if sr.Queries+sr.AssumptionProbes != 0 {
+		t.Errorf("warm lifetime ran %d SMT queries/probes, want 0", sr.Queries+sr.AssumptionProbes)
+	}
+	if sr.InFlight != 0 || sr.Requests != 1 {
+		t.Errorf("request accounting off: in_flight=%d requests=%d", sr.InFlight, sr.Requests)
+	}
+
+	// The normalized method key must hit regardless of request spelling.
+	alias := postVerify(t, ts2.URL, storeTestSpec, "LFP")
+	if !alias.FromStore {
+		t.Error("method alias LFP missed the outcome cache")
+	}
+}
+
+// TestAbortedOutcomesNotPersisted asserts a deadline-aborted run leaves no
+// outcome record: a later identical request must run for real, not replay a
+// "gave up" verdict.
+func TestAbortedOutcomesNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	st := openServeStore(t, dir, 5*time.Millisecond)
+	s := New(Config{Pool: 1, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(VerifyRequest{Spec: storeTestSpec, Method: "lfp", TimeoutMS: 1})
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := st.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	key := ProblemKey(storeTestSpec)
+	if _, ok := st.Outcome(key, "LFP"); ok && resp.StatusCode == http.StatusGatewayTimeout {
+		t.Error("aborted run persisted an outcome")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lia"
 	"repro/internal/logic"
 	"repro/internal/sat"
+	"repro/internal/store"
 )
 
 // Context is a persistent incremental solving context, keyed by a compiled
@@ -138,6 +139,14 @@ const (
 type ctxGroup struct {
 	s *Solver
 
+	// skel is the skeleton's portable identity (store.FormulaKey), set when
+	// a knowledge store is attached. It keys the group's lemmas on disk:
+	// the exchange is seeded from the store at group creation, and lemmas
+	// learned by any lane are written behind it. Empty when no store is
+	// attached (or for standalone consistency contexts, whose vocabulary
+	// has no skeleton identity).
+	skel string
+
 	mu    sync.Mutex
 	lanes []*Context
 
@@ -189,7 +198,9 @@ func (g *ctxGroup) multi() bool {
 }
 
 // publish appends freshly learned theory lemmas to the exchange, up to the
-// group budget.
+// group budget, and writes them behind to the knowledge store when the group
+// has a skeleton identity. Lemmas are theory-valid facts regardless of how
+// the probe that found them ended, so publication needs no Stop guard.
 func (g *ctxGroup) publish(lems []theoryLemma) {
 	if len(lems) == 0 {
 		return
@@ -203,11 +214,33 @@ func (g *ctxGroup) publish(lems []theoryLemma) {
 		g.exch.lemmas = append(g.exch.lemmas, lems...)
 	}
 	g.exch.mu.Unlock()
+	if st := g.s.opts.Store; st != nil && g.skel != "" {
+		for _, lem := range lems {
+			st.AppendLemma(g.skel, store.Lemma{Lins: lem.lins, Vals: lem.vals})
+		}
+	}
 }
 
-func (s *Solver) newContext() *Context {
+func (s *Solver) newContext() *Context { return s.newContextKeyed("") }
+
+// newContextKeyed creates a context group, seeding its lemma exchange from
+// the knowledge store when the skeleton has persisted lemmas: every lane
+// (including the first) then asserts them through the ordinary importLemmas
+// path on its first probe, re-interned into its own atom space exactly like
+// lemmas from a sibling lane.
+func (s *Solver) newContextKeyed(skel string) *Context {
 	s.ctxCreated.Add(1)
-	g := &ctxGroup{s: s}
+	g := &ctxGroup{s: s, skel: skel}
+	if st := s.opts.Store; st != nil && skel != "" {
+		warm := st.Lemmas(skel)
+		if len(warm) > ctxMaxExchanged {
+			warm = warm[:ctxMaxExchanged]
+		}
+		for _, w := range warm {
+			g.exch.lemmas = append(g.exch.lemmas, theoryLemma{lins: w.Lins, vals: w.Vals})
+		}
+		s.lemmasWarm.Add(int64(len(warm)))
+	}
 	c := &Context{s: s, group: g}
 	c.reset()
 	g.lanes = []*Context{c}
@@ -258,6 +291,17 @@ func (c *Context) Valid(f logic.Formula) bool {
 		c.s.cacheHits.Add(1)
 		return e.val
 	}
+	var skey string
+	if c.s.opts.Store != nil {
+		skey = store.FormulaKey(n.Formula())
+		if v, ok := c.s.opts.Store.Verdict(skey); ok {
+			c.s.storeHits.Add(1)
+			c.s.stats.RecordStoreLookup(true)
+			e.settle(v)
+			return v
+		}
+		c.s.stats.RecordStoreLookup(false)
+	}
 	start := time.Now()
 	var v bool
 	sn := n.Simplified()
@@ -280,6 +324,8 @@ func (c *Context) Valid(f logic.Formula) bool {
 		// Same rule as Solver.Valid: an abandoned, conservative verdict must
 		// not be memoized as real.
 		c.s.cache.forget(n, e)
+	} else if c.s.opts.Store != nil {
+		c.s.opts.Store.AppendVerdict(skey, v)
 	}
 	return v
 }
@@ -739,7 +785,10 @@ func (c *Context) probeAtomSet(sets ...[]int) []int {
 // each learned lemma is also recorded in grounder-independent form for the
 // exchange. On unsat the failed-assumption core is returned.
 func (c *Context) probeLoop(pub *[]theoryLemma, assumps ...sat.Lit) (satisfiable bool, core []sat.Lit) {
-	share := pub != nil && c.group.multi()
+	// Collect grounder-independent lemma forms when anyone would consume
+	// them: a sibling lane, or the knowledge store (which persists them for
+	// next lifetime's lanes even in a single-lane group).
+	share := pub != nil && (c.group.multi() || (c.s.opts.Store != nil && c.group.skel != ""))
 	for iter := 0; iter < c.s.opts.MaxTheoryIterations; iter++ {
 		if c.s.opts.Stop != nil && c.s.opts.Stop() {
 			return true, nil // conservative, as in decideGround

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/sat"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Options configures the solver's quantifier instantiation and resource
@@ -40,6 +42,25 @@ type Options struct {
 	// from-scratch path. Used by differential tests and A/B benchmarking;
 	// verdicts are identical either way.
 	NoIncremental bool
+	// Store, when non-nil, is the on-disk knowledge base: cache-missing
+	// validity verdicts are answered from it when present (and appended to
+	// it when decided without a fired Stop), and per-skeleton contexts are
+	// seeded with its persisted theory lemmas. The store must have been
+	// opened with Params = this option set's StoreParams(), which is what
+	// makes replaying last lifetime's verdicts sound.
+	Store *store.Store
+}
+
+// StoreParams is the fingerprint of every option that can change a verdict.
+// A knowledge store written under different bounds is sidelined at Open:
+// persisted verdicts are only as deterministic as the bounds they were
+// computed under. CacheSize and Stop are excluded — they change performance
+// and completion, never a settled verdict (Stop-fired conservative answers
+// are never appended).
+func (o Options) StoreParams() string {
+	o = o.Normalize()
+	return fmt.Sprintf("smt:v1 inst=%d max_inst=%d ack=%d theory_iters=%d incremental=%v",
+		o.InstRounds, o.MaxInstances, o.MaxAckermannPairs, o.MaxTheoryIterations, !o.NoIncremental)
 }
 
 // Normalize returns o with defaults applied.
@@ -86,6 +107,8 @@ type Solver struct {
 	ctxDormant   atomic.Int64 // contexts gone dormant (Ackermann budget exhausted)
 	lemmaReuse   atomic.Int64 // probes that reused learnt clauses or theory lemmas
 	lemmasShared atomic.Int64 // theory lemmas imported from a sibling lane's exchange
+	storeHits    atomic.Int64 // cache-missing verdicts answered from the knowledge store
+	lemmasWarm   atomic.Int64 // theory lemmas seeded into context groups from the store
 
 	// Fourier–Motzkin activity: fmScratch counts from-scratch eliminations
 	// (decideGround's general-LIA fallback, one lia.Check per theory
@@ -137,6 +160,17 @@ func (s *Solver) NumLemmaReuseHits() int64 { return s.lemmaReuse.Load() }
 // lanes of a context group (each import counts once per receiving lane).
 func (s *Solver) NumSharedLemmas() int64 { return s.lemmasShared.Load() }
 
+// NumStoreVerdictHits returns how many cache-missing validity checks were
+// answered from the on-disk knowledge store instead of being decided.
+func (s *Solver) NumStoreVerdictHits() int64 { return s.storeHits.Load() }
+
+// NumWarmLemmas returns how many persisted theory lemmas were seeded into
+// freshly created context groups from the knowledge store.
+func (s *Solver) NumWarmLemmas() int64 { return s.lemmasWarm.Load() }
+
+// Knowledge returns the attached on-disk store, or nil.
+func (s *Solver) Knowledge() *store.Store { return s.opts.Store }
+
 // NumDormantContexts returns how many context lanes went dormant (Ackermann
 // pair budget exhausted — the only remaining dormancy trigger now that
 // general-LIA atom sets route through persistent LinCheckers).
@@ -187,7 +221,13 @@ func (s *Solver) ContextFor(key *logic.IFormula) *Context {
 	if len(s.ctxs) >= maxContexts {
 		return nil
 	}
-	c = s.newContext()
+	var skel string
+	if s.opts.Store != nil {
+		// The skeleton's portable identity keys its lemmas on disk; a
+		// skeleton the store has never seen simply loads nothing.
+		skel = store.FormulaKey(key.Formula())
+	}
+	c = s.newContextKeyed(skel)
 	s.ctxs[key] = c
 	return c
 }
@@ -222,6 +262,17 @@ func (s *Solver) Valid(f logic.Formula) bool {
 		s.cacheHits.Add(1)
 		return e.val
 	}
+	var skey string
+	if s.opts.Store != nil {
+		skey = store.FormulaKey(n.Formula())
+		if v, ok := s.opts.Store.Verdict(skey); ok {
+			s.storeHits.Add(1)
+			s.stats.RecordStoreLookup(true)
+			e.settle(v)
+			return v
+		}
+		s.stats.RecordStoreLookup(false)
+	}
 	start := time.Now()
 	var v bool
 	sn := n.Simplified()
@@ -240,6 +291,9 @@ func (s *Solver) Valid(f logic.Formula) bool {
 		// not be memoized as a real verdict. Waiters already holding the
 		// entry still get the (conservative) value.
 		s.cache.forget(n, e)
+	} else if s.opts.Store != nil {
+		// Settled without a fired Stop: a real verdict, safe to persist.
+		s.opts.Store.AppendVerdict(skey, v)
 	}
 	return v
 }

@@ -25,6 +25,8 @@ type Collector struct {
 	coreSizes      []int           // #predicates per unsat core extracted by consistency probes
 	coreEvictions  int             // cores evicted from the engine-global store to admit newer ones
 	fmCapHits      int             // Fourier–Motzkin runs that hit the derived-constraint cap
+	storeHits      int             // lookups answered from the on-disk knowledge store
+	storeMisses    int             // knowledge-store lookups that found nothing
 }
 
 // New returns an empty collector.
@@ -133,6 +135,28 @@ func (c *Collector) FMCapHits() int {
 	return c.fmCapHits
 }
 
+// RecordStoreLookup records one lookup against the on-disk knowledge store
+// (a verdict, consistency, lemma-seed, or outcome probe) and whether it hit.
+func (c *Collector) RecordStoreLookup(hit bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if hit {
+		c.storeHits++
+	} else {
+		c.storeMisses++
+	}
+	c.mu.Unlock()
+}
+
+// StoreLookups returns the knowledge-store hit/miss counts recorded so far.
+func (c *Collector) StoreLookups() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.storeHits, c.storeMisses
+}
+
 // Merge appends everything recorded in o into c. Safe for concurrent use on
 // c; o must not be concurrently recorded into while it is being merged.
 // It lets short-lived collectors (one per request or benchmark cell) fold
@@ -151,6 +175,7 @@ func (c *Collector) Merge(o *Collector) {
 	cs := append([]int(nil), o.coreSizes...)
 	ce := o.coreEvictions
 	fm := o.fmCapHits
+	sh, sm := o.storeHits, o.storeMisses
 	o.mu.Unlock()
 	c.mu.Lock()
 	c.queryDurations = append(c.queryDurations, qd...)
@@ -162,6 +187,8 @@ func (c *Collector) Merge(o *Collector) {
 	c.coreSizes = append(c.coreSizes, cs...)
 	c.coreEvictions += ce
 	c.fmCapHits += fm
+	c.storeHits += sh
+	c.storeMisses += sm
 	c.mu.Unlock()
 }
 
@@ -179,6 +206,8 @@ type Snapshot struct {
 	UnsatCores     int    `json:"unsat_cores"`
 	CoreEvictions  int    `json:"core_evictions"`
 	FMCapHits      int    `json:"fm_cap_hits"`
+	StoreHits      int    `json:"store_hits"`
+	StoreMisses    int    `json:"store_misses"`
 }
 
 // QueryBucketLabels labels Snapshot.QueryBuckets, matching DurationHistogram.
@@ -200,6 +229,8 @@ func (c *Collector) Snapshot() Snapshot {
 		UnsatCores:     len(c.coreSizes),
 		CoreEvictions:  c.coreEvictions,
 		FMCapHits:      c.fmCapHits,
+		StoreHits:      c.storeHits,
+		StoreMisses:    c.storeMisses,
 	}
 	for i, b := range DurationHistogram(c.queryDurations) {
 		s.QueryBuckets[i] = b.Count
@@ -220,6 +251,8 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	s.UnsatCores += o.UnsatCores
 	s.CoreEvictions += o.CoreEvictions
 	s.FMCapHits += o.FMCapHits
+	s.StoreHits += o.StoreHits
+	s.StoreMisses += o.StoreMisses
 	return s
 }
 
@@ -237,6 +270,8 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 	s.UnsatCores -= o.UnsatCores
 	s.CoreEvictions -= o.CoreEvictions
 	s.FMCapHits -= o.FMCapHits
+	s.StoreHits -= o.StoreHits
+	s.StoreMisses -= o.StoreMisses
 	return s
 }
 

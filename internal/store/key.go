@@ -1,0 +1,182 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"repro/internal/logic"
+)
+
+// FormulaKey returns the portable identity of a formula: the hex-encoded
+// first 16 bytes of a SHA-256 over an injective byte serialization of the
+// syntax tree. Unlike *logic.IFormula pointers (process-local) or the 64-bit
+// structural hash (collisions would flip persisted verdicts), this key is
+// stable across processes and collision-proof for any realistic store size,
+// so it can name skeletons, predicates, and validity verdicts on disk.
+//
+// The encoding mirrors logic's structural hash walk: a distinct tag byte per
+// node kind, length-prefixed strings, and child counts for variadic nodes,
+// which makes it injective on the grammar without serializing the formula to
+// text first.
+func FormulaKey(f logic.Formula) string {
+	h := sha256.New()
+	w := keyWriter{h: h}
+	w.formula(f)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Key tags, mirroring logic's hash tags one to one.
+const (
+	keyVar byte = iota + 1
+	keyIntLit
+	keyAdd
+	keySub
+	keyMul
+	keySelect
+	keyApply
+	keyArrVar
+	keyStore
+	keyAtom
+	keyBool
+	keyNot
+	keyAnd
+	keyOr
+	keyImplies
+	keyForall
+	keyExists
+	keyUnknown
+	keyAEq
+)
+
+type keyWriter struct {
+	h   hash.Hash
+	buf [9]byte
+}
+
+func (w keyWriter) tag(b byte) {
+	w.buf[0] = b
+	w.h.Write(w.buf[:1])
+}
+
+func (w keyWriter) num(v int64) {
+	binary.BigEndian.PutUint64(w.buf[:8], uint64(v))
+	w.h.Write(w.buf[:8])
+}
+
+func (w keyWriter) str(s string) {
+	w.num(int64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w keyWriter) term(t logic.Term) {
+	switch t := t.(type) {
+	case logic.Var:
+		w.tag(keyVar)
+		w.str(t.Name)
+	case logic.IntLit:
+		w.tag(keyIntLit)
+		w.num(t.Val)
+	case logic.Add:
+		w.tag(keyAdd)
+		w.term(t.X)
+		w.term(t.Y)
+	case logic.Sub:
+		w.tag(keySub)
+		w.term(t.X)
+		w.term(t.Y)
+	case logic.Mul:
+		w.tag(keyMul)
+		w.num(int64(t.C))
+		w.term(t.X)
+	case logic.Select:
+		w.tag(keySelect)
+		w.arr(t.A)
+		w.term(t.Idx)
+	case logic.Apply:
+		w.tag(keyApply)
+		w.str(t.F)
+		w.num(int64(len(t.Args)))
+		for _, a := range t.Args {
+			w.term(a)
+		}
+	default:
+		panic("store: unknown term in FormulaKey")
+	}
+}
+
+func (w keyWriter) arr(a logic.Arr) {
+	switch a := a.(type) {
+	case logic.ArrVar:
+		w.tag(keyArrVar)
+		w.str(a.Name)
+	case logic.Store:
+		w.tag(keyStore)
+		w.arr(a.A)
+		w.term(a.Idx)
+		w.term(a.Val)
+	default:
+		panic("store: unknown array term in FormulaKey")
+	}
+}
+
+func (w keyWriter) formula(f logic.Formula) {
+	switch f := f.(type) {
+	case logic.Atom:
+		w.tag(keyAtom)
+		w.num(int64(f.Op))
+		w.term(f.X)
+		w.term(f.Y)
+	case logic.Bool:
+		w.tag(keyBool)
+		if f.Val {
+			w.num(1)
+		} else {
+			w.num(0)
+		}
+	case logic.Not:
+		w.tag(keyNot)
+		w.formula(f.F)
+	case logic.And:
+		w.tag(keyAnd)
+		w.num(int64(len(f.Fs)))
+		for _, g := range f.Fs {
+			w.formula(g)
+		}
+	case logic.Or:
+		w.tag(keyOr)
+		w.num(int64(len(f.Fs)))
+		for _, g := range f.Fs {
+			w.formula(g)
+		}
+	case logic.Implies:
+		w.tag(keyImplies)
+		w.formula(f.A)
+		w.formula(f.B)
+	case logic.Forall:
+		w.tag(keyForall)
+		w.num(int64(len(f.Vars)))
+		for _, v := range f.Vars {
+			w.str(v)
+		}
+		w.formula(f.Body)
+	case logic.Exists:
+		w.tag(keyExists)
+		w.num(int64(len(f.Vars)))
+		for _, v := range f.Vars {
+			w.str(v)
+		}
+		w.formula(f.Body)
+	case logic.Unknown:
+		w.tag(keyUnknown)
+		w.str(f.Name)
+	case logic.AEq:
+		w.tag(keyAEq)
+		w.arr(f.L)
+		w.arr(f.R)
+	default:
+		panic("store: unknown formula in FormulaKey")
+	}
+}
