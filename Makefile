@@ -14,7 +14,7 @@ BENCH_N ?= 4
 # Baseline report that bench-compare diffs against.
 BENCH_BASE ?= BENCH_3.json
 
-.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke restart-smoke bench-cluster bench-lia bench-warm bench bench-json bench-compare bench-quick profile check clean
+.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke rpc-smoke restart-smoke bench-cluster bench-lia bench-warm bench-rpc bench bench-json bench-compare bench-quick profile check clean
 
 all: check
 
@@ -73,6 +73,14 @@ serve-smoke:
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/vs3router/
 
+# End-to-end check of the binary VS3R transport: real daemons over TCP —
+# single verifies through the router's rpc front, batch fan-out over rpc
+# backends, HTTP fallback for a backend that does not advertise rpc,
+# mid-flight cancellation reaching the backend, hedging with counters on
+# /metrics, and the vs3load -proto rpc harness path.
+rpc-smoke:
+	$(GO) test -run 'TestRPCSmoke|TestLoadProtoRPC' -count=1 -v ./cmd/vs3router/
+
 # End-to-end check of warm-start persistence: the real vs3d daemon booted
 # twice on one -store directory (second lifetime must replay the solved
 # problem with zero SMT work), plus the vs3load mid-test restart scenario
@@ -104,6 +112,18 @@ bench-lia:
 # must stay within 2x of its recorded work) and is rewritten on success.
 bench-warm:
 	VS3_BENCH_BASE=$(CURDIR)/BENCH_8.json VS3_BENCH_OUT=$(CURDIR)/BENCH_8.json $(GO) test -run TestWarmBench -count=1 -v ./internal/bench/
+
+# Binary transport benchmark (the tentpole proof for PR 9): the same
+# store-backed 2-backend fleet driven over HTTP/JSON and over binary VS3R
+# (persistent multiplexed connections), measured on the outcome-replay path
+# so the wire dominates each request; plus hedged vs unhedged routing over
+# a fleet with one stalled backend. Asserts rpc wins p95 and throughput,
+# hedging wins p99, and verdicts stay identical across the full corpus on
+# both wires. Gates are wall-clock comparisons, so the test skips under
+# plain `go test ./...` and only runs here. Writes BENCH_9.json
+# (`benchtab -table 9` renders the committed report).
+bench-rpc:
+	VS3_BENCH_OUT=$(CURDIR)/BENCH_9.json $(GO) test -run TestRPCBench -count=1 -v ./cmd/vs3router/
 
 # Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
 # interning/hot-path benchmarks (cache-hit keying, structural equality,

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-table 1|2|3|4|5|6|7] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
+//	benchtab [-table 1|2|3|4|5|6|7|8|9] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
 //	         [-json FILE] [-compare OLD.json] [-cpuprofile FILE] [-memprofile FILE] [-quick]
 //
 // With -parallel N > 1 the (task, method) cells of each table run
@@ -42,7 +42,7 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "regenerate one table (1-8; 7 is the general-LIA family, 8 the warm-restart comparison)")
+	table := flag.Int("table", 0, "regenerate one table (1-9; 7 is the general-LIA family, 8 the warm-restart comparison, 9 the rpc transport report)")
 	figure := flag.Int("figure", 0, "regenerate one figure (4-9)")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-(task,method) timeout")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -222,6 +222,16 @@ func runTable(w io.Writer, r *bench.Runner, n int) {
 			os.Exit(1)
 		}
 		bench.WriteWarmTable(w, rep)
+	case 9:
+		// Binary rpc transport comparison: rendered from the committed
+		// BENCH_9.json rather than re-run — the measurement needs a live
+		// multi-daemon fleet, which `make bench-rpc` boots and gates.
+		rep, err := bench.ReadBench9("BENCH_9.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v (generate it with `make bench-rpc`)\n", err)
+			os.Exit(1)
+		}
+		bench.WriteBench9Table(w, rep)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: no table %d\n", n)
 		os.Exit(2)

@@ -7,8 +7,15 @@
 //
 // Usage:
 //
-//	vs3d [-addr :8080] [-id NAME] [-pool N] [-queue N] [-timeout 60s] [-max-timeout 5m]
+//	vs3d [-addr :8080] [-rpc :8081] [-id NAME] [-pool N] [-queue N] [-timeout 60s] [-max-timeout 5m]
 //	     [-store DIR] [-store-fsync] [-store-flush 250ms]
+//
+// With -rpc ADDR the daemon additionally serves the binary VS3R protocol on
+// ADDR (persistent multiplexed connections, per-stream cancellation; see
+// internal/rpc and DESIGN.md §16), sharing the same session pool, fair
+// queue, store, and stats as the HTTP surface. The endpoint is advertised to
+// routers in the X-VS3-RPC response header, so a vs3router in front upgrades
+// to binary automatically.
 //
 // With -store DIR the daemon opens an on-disk knowledge store in DIR:
 // validity/consistency verdicts, theory lemmas, unsat cores, and whole
@@ -42,12 +49,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/rpc"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	rpcAddr := flag.String("rpc", "", "binary rpc listen address (empty = HTTP only)")
 	id := flag.String("id", "", "backend identity reported in X-VS3-Backend and stats (default vs3d-<host>-<pid>)")
 	pool := flag.Int("pool", 0, "verifier sessions (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "queued requests beyond the pool before 429 (0 = 4×pool)")
@@ -83,9 +92,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vs3d:", err)
 		os.Exit(1)
 	}
+	var rpcLn net.Listener
+	if *rpcAddr != "" {
+		rpcLn, err = net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vs3d:", err)
+			os.Exit(1)
+		}
+	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, ln, cfg, log.Default()); err != nil {
+	if err := run(ctx, ln, rpcLn, cfg, log.Default()); err != nil {
 		fmt.Fprintln(os.Stderr, "vs3d:", err)
 		os.Exit(1)
 	}
@@ -98,8 +115,19 @@ func main() {
 // records appended by those last in-flight requests reach disk too. Split
 // from main so the smoke tests can drive the real daemon on an ephemeral
 // port.
-func run(ctx context.Context, ln net.Listener, cfg serve.Config, logger *log.Logger) error {
+func run(ctx context.Context, ln, rpcLn net.Listener, cfg serve.Config, logger *log.Logger) error {
 	backend := serve.New(cfg)
+	var rpcSrv *rpc.Server
+	if rpcLn != nil {
+		rpcSrv = rpc.NewServer(backend, rpc.ServerConfig{Logf: logger.Printf})
+		backend.AdvertiseRPC(rpc.AdvertiseAddr(rpcLn.Addr()))
+		backend.SetRPCStats(rpcSrv.Stats)
+		go func() {
+			if err := rpcSrv.Serve(rpcLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("vs3d: rpc serve: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{Handler: backend.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -108,20 +136,48 @@ func run(ctx context.Context, ln net.Listener, cfg serve.Config, logger *log.Log
 		logger.Printf("vs3d: knowledge store %s: cold=%v loaded %d lemmas, %d cores, %d verdicts, %d consistency, %d outcomes in %dms",
 			cfg.Store.Dir(), ss.ColdStart, ss.LoadedLemmas, ss.LoadedCores, ss.LoadedVerdicts, ss.LoadedConsistency, ss.LoadedOutcomes, ss.LoadMillis)
 	}
-	logger.Printf("vs3d: %s serving on %s", backend.ID(), ln.Addr())
+	if rpcLn != nil {
+		logger.Printf("vs3d: %s serving on %s (binary rpc on %s)", backend.ID(), ln.Addr(), rpcLn.Addr())
+	} else {
+		logger.Printf("vs3d: %s serving on %s", backend.ID(), ln.Addr())
+	}
 	select {
 	case err := <-errc:
+		if rpcSrv != nil {
+			rpcLn.Close()
+			rpcSrv.Close()
+		}
 		if cfg.Store != nil {
 			_ = cfg.Store.Close()
 		}
 		return err
 	case <-ctx.Done():
 	}
+	// Drain order: stop accepting new work on both surfaces first (healthz →
+	// 503 takes the backend out of router rotation; GOAWAY tells rpc peers to
+	// stop opening streams), let in-flight requests on both finish, then close
+	// the store so records appended by those last requests reach disk.
 	backend.StartDrain()
+	if rpcSrv != nil {
+		rpcSrv.StartDrain()
+	}
 	logger.Printf("vs3d: draining (healthz now 503), store flushed, waiting for in-flight requests")
 	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.MaxTimeout+5*time.Second)
 	defer cancel()
 	shutErr := srv.Shutdown(shutCtx)
+	if rpcSrv != nil {
+		// GOAWAY stopped new streams; wait (bounded by the same shutdown
+		// budget) for in-flight streams to answer before cutting connections.
+		for {
+			_, streams, _, _ := rpcSrv.Stats()
+			if streams == 0 || shutCtx.Err() != nil {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		rpcLn.Close()
+		rpcSrv.Close()
+	}
 	if cfg.Store != nil {
 		if err := cfg.Store.Close(); err != nil {
 			logger.Printf("vs3d: store close: %v", err)

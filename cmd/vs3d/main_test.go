@@ -22,14 +22,28 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rpcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := "http://" + ln.Addr().String()
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, ln, serve.Config{Pool: 2, MaxTimeout: 30 * time.Second}, log.New(io.Discard, "", 0))
+		done <- run(ctx, ln, rpcLn, serve.Config{Pool: 2, MaxTimeout: 30 * time.Second}, log.New(io.Discard, "", 0))
 	}()
 
 	waitHealthy(t, base)
+
+	// The HTTP surface must advertise the binary rpc endpoint for routers.
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if got := hresp.Header.Get("X-VS3-RPC"); got != rpcLn.Addr().String() {
+		t.Fatalf("X-VS3-RPC = %q, want %q", got, rpcLn.Addr().String())
+	}
 
 	spec := `
 program ArrayInit(array A, n) {

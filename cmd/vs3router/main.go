@@ -4,13 +4,29 @@
 // stay hot for its slice of the keyspace (see internal/route and DESIGN.md
 // §13). It health-checks the fleet, fails requests over to the next live
 // node in ring order, splits /v1/batch requests by backend affinity, and
-// reuses backend connections.
+// reuses backend connections. Backends that advertise the binary VS3R
+// protocol (X-VS3-RPC) are spoken to over persistent multiplexed rpc
+// connections; the rest stay on HTTP (see DESIGN.md §16).
 //
 // Usage:
 //
-//	vs3router -backends http://10.0.0.1:8080,http://10.0.0.2:8080 \
-//	          [-addr :8079] [-policy affinity|random] [-replicas 128] \
-//	          [-health-interval 2s] [-id NAME]
+//	vs3router -backend http://10.0.0.1:8080=2 -backend http://10.0.0.2:8080 \
+//	          [-addr :8079] [-rpc :8078] [-policy affinity|random] [-replicas 128] \
+//	          [-health-interval 2s] [-hedge] [-hedge-min 10ms] [-hedge-max 1s] \
+//	          [-no-rpc] [-id NAME]
+//
+// Each -backend flag names one vs3d base URL with an optional =WEIGHT ring
+// share multiplier (default 1; a weight-2 backend owns about twice the
+// keyspace of a weight-1 one). The older -backends comma-separated form is
+// still accepted; the two may be mixed.
+//
+// -rpc ADDR additionally serves the binary VS3R protocol on ADDR, so bulk
+// clients (cmd/vs3load -proto rpc) reach the fleet without per-request HTTP
+// overhead. -hedge enables request hedging: when the key's owner has not
+// answered within an adaptive delay (rolling p95 of backend latency, clamped
+// to [-hedge-min, -hedge-max]), the request is also fired at the ring
+// successor and the loser is cancelled. -no-rpc keeps every backend on HTTP
+// even if it advertises rpc (the benchmark control arm).
 //
 // Endpoints:
 //
@@ -35,33 +51,56 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/route"
+	"repro/internal/rpc"
 )
 
 func main() {
 	addr := flag.String("addr", ":8079", "listen address")
-	backends := flag.String("backends", "", "comma-separated vs3d base URLs (required)")
+	rpcAddr := flag.String("rpc", "", "binary rpc listen address (empty = HTTP only)")
+	backends := flag.String("backends", "", "comma-separated vs3d base URLs")
+	var urls []string
+	var weights []float64
+	flag.Func("backend", "one vs3d base URL, optionally URL=WEIGHT (repeatable)", func(v string) error {
+		u, w, err := parseBackend(v)
+		if err != nil {
+			return err
+		}
+		urls = append(urls, u)
+		weights = append(weights, w)
+		return nil
+	})
 	policy := flag.String("policy", "affinity", "routing policy: affinity or random")
-	replicas := flag.Int("replicas", 128, "virtual nodes per backend on the hash ring")
+	replicas := flag.Int("replicas", 128, "virtual nodes per weight-1 backend on the hash ring")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "period between backend health sweeps")
+	hedge := flag.Bool("hedge", false, "hedge slow requests at the ring successor")
+	hedgeMin := flag.Duration("hedge-min", 10*time.Millisecond, "floor on the adaptive hedge delay")
+	hedgeMax := flag.Duration("hedge-max", time.Second, "cap on the adaptive hedge delay")
+	noRPC := flag.Bool("no-rpc", false, "keep all backends on HTTP even when they advertise binary rpc")
 	id := flag.String("id", "vs3router", "router identity reported in stats and metrics")
 	flag.Parse()
 
-	var urls []string
 	for _, u := range strings.Split(*backends, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			urls = append(urls, strings.TrimRight(u, "/"))
+			weights = append(weights, 1)
 		}
 	}
 	cfg := route.Config{
 		Backends:       urls,
+		Weights:        weights,
 		Replicas:       *replicas,
 		Policy:         route.Policy(*policy),
 		HealthInterval: *healthInterval,
+		Hedge:          *hedge,
+		HedgeMin:       *hedgeMin,
+		HedgeMax:       *hedgeMax,
+		DisableRPC:     *noRPC,
 		ID:             *id,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -69,38 +108,98 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vs3router:", err)
 		os.Exit(1)
 	}
+	var rpcLn net.Listener
+	if *rpcAddr != "" {
+		rpcLn, err = net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vs3router:", err)
+			os.Exit(1)
+		}
+	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, ln, cfg, log.Default()); err != nil {
+	if err := run(ctx, ln, rpcLn, cfg, log.Default()); err != nil {
 		fmt.Fprintln(os.Stderr, "vs3router:", err)
 		os.Exit(1)
 	}
 }
 
-// run serves on ln until ctx is cancelled, then shuts down gracefully.
-// Split from main so the cluster smoke test and benchmark can drive the
-// real router on an ephemeral port.
-func run(ctx context.Context, ln net.Listener, cfg route.Config, logger *log.Logger) error {
+// parseBackend splits one -backend value into its URL and ring weight.
+func parseBackend(v string) (url string, weight float64, err error) {
+	url, weight = strings.TrimSpace(v), 1
+	if i := strings.LastIndex(url, "="); i >= 0 {
+		weight, err = strconv.ParseFloat(url[i+1:], 64)
+		if err != nil || weight <= 0 {
+			return "", 0, fmt.Errorf("backend %q: weight must be a positive number", v)
+		}
+		url = url[:i]
+	}
+	url = strings.TrimRight(strings.TrimSpace(url), "/")
+	if url == "" {
+		return "", 0, fmt.Errorf("backend %q: empty URL", v)
+	}
+	return url, weight, nil
+}
+
+// run serves on ln (and the binary rpc front on rpcLn, when non-nil) until
+// ctx is cancelled, then shuts down gracefully. Split from main so the
+// cluster smoke test and benchmark can drive the real router on an
+// ephemeral port.
+func run(ctx context.Context, ln, rpcLn net.Listener, cfg route.Config, logger *log.Logger) error {
 	router, err := route.New(cfg)
 	if err != nil {
 		return err
 	}
 	defer router.Close()
+	var rpcSrv *rpc.Server
+	if rpcLn != nil {
+		rpcSrv = rpc.NewServer(router, rpc.ServerConfig{Logf: logger.Printf})
+		router.AdvertiseRPC(rpc.AdvertiseAddr(rpcLn.Addr()))
+		go func() {
+			if err := rpcSrv.Serve(rpcLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("vs3router: rpc serve: %v", err)
+			}
+		}()
+	}
 	srv := &http.Server{Handler: router.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	logger.Printf("vs3router: serving on %s, %s routing over %d backends",
-		ln.Addr(), cfg.Policy, len(cfg.Backends))
+	if rpcLn != nil {
+		logger.Printf("vs3router: serving on %s (binary rpc on %s), %s routing over %d backends",
+			ln.Addr(), rpcLn.Addr(), cfg.Policy, len(cfg.Backends))
+	} else {
+		logger.Printf("vs3router: serving on %s, %s routing over %d backends",
+			ln.Addr(), cfg.Policy, len(cfg.Backends))
+	}
 	select {
 	case err := <-errc:
+		if rpcSrv != nil {
+			rpcLn.Close()
+			rpcSrv.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
 	logger.Printf("vs3router: shutting down")
+	if rpcSrv != nil {
+		rpcSrv.StartDrain()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		return err
+	shutErr := srv.Shutdown(shutCtx)
+	if rpcSrv != nil {
+		for {
+			_, streams, _, _ := rpcSrv.Stats()
+			if streams == 0 || shutCtx.Err() != nil {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		rpcLn.Close()
+		rpcSrv.Close()
+	}
+	if shutErr != nil {
+		return shutErr
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -30,10 +30,16 @@ func startBackend(t *testing.T, id string) *httptest.Server {
 }
 
 // startRouter boots the real vs3router daemon (the same run() main drives)
-// on an ephemeral port and returns its base URL plus a shutdown func.
-func startRouter(t *testing.T, cfg route.Config) (string, func()) {
+// on an ephemeral port and returns its base URL plus a shutdown func. A
+// binary rpc front listener is always served alongside, the way
+// `vs3router -rpc :0` would.
+func startRouter(t *testing.T, cfg route.Config) (string, string, func()) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpcLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +48,7 @@ func startRouter(t *testing.T, cfg route.Config) (string, func()) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, ln, cfg, log.New(io.Discard, "", 0)) }()
+	go func() { done <- run(ctx, ln, rpcLn, cfg, log.New(io.Discard, "", 0)) }()
 	base := "http://" + ln.Addr().String()
 	waitHealthy(t, base)
 	stop := func() {
@@ -56,7 +62,7 @@ func startRouter(t *testing.T, cfg route.Config) (string, func()) {
 			t.Error("router did not shut down")
 		}
 	}
-	return base, stop
+	return base, rpcLn.Addr().String(), stop
 }
 
 func waitHealthy(t *testing.T, base string) {
@@ -102,7 +108,7 @@ func verifyVia(t *testing.T, base, spec, method string) (*http.Response, serve.V
 func TestClusterSmoke(t *testing.T) {
 	b1 := startBackend(t, "smoke-1")
 	b2 := startBackend(t, "smoke-2")
-	base, stop := startRouter(t, route.Config{Backends: []string{b1.URL, b2.URL}})
+	base, _, stop := startRouter(t, route.Config{Backends: []string{b1.URL, b2.URL}})
 	defer stop()
 
 	corpus := load.SmokeCorpus()
@@ -281,7 +287,7 @@ func TestClusterBench(t *testing.T) {
 
 	// Arm 2: two fresh backends behind affinity routing.
 	a1, a2 := startBackend(t, "bench-aff-1"), startBackend(t, "bench-aff-2")
-	affBase, affStop := startRouter(t, route.Config{
+	affBase, _, affStop := startRouter(t, route.Config{
 		Backends: []string{a1.URL, a2.URL}, Policy: route.Affinity,
 	})
 	arms["affinity"] = benchArm(t, affBase, requests)
@@ -289,7 +295,7 @@ func TestClusterBench(t *testing.T) {
 
 	// Arm 3: two fresh backends behind random routing — the control.
 	r1, r2 := startBackend(t, "bench-rand-1"), startBackend(t, "bench-rand-2")
-	randBase, randStop := startRouter(t, route.Config{
+	randBase, _, randStop := startRouter(t, route.Config{
 		Backends: []string{r1.URL, r2.URL}, Policy: route.Random,
 	})
 	arms["random"] = benchArm(t, randBase, requests)

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/rpc"
 	"repro/internal/serve"
 )
 
@@ -128,6 +129,9 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 // backend that answers fewer lines than items without a transport error is
 // also treated as a cut stream.
 func (r *Router) streamGroup(ctx context.Context, b *backend, client string, batch *serve.BatchRequest, group []int, emit func(serve.BatchResult)) (remaining []int, err error) {
+	if c := b.rpcClient(); c != nil {
+		return r.rpcGroup(ctx, b, c, client, batch, group, emit)
+	}
 	sub := serve.BatchRequest{Items: make([]serve.VerifyRequest, len(group))}
 	for li, gi := range group {
 		sub.Items[li] = batch.Items[gi]
@@ -195,4 +199,86 @@ func (r *Router) streamGroup(ctx context.Context, b *backend, client string, bat
 		return rem, fmt.Errorf("batch stream from %s ended after %d of %d items", b.url, len(group)-len(rem), len(group))
 	}
 	return nil, nil
+}
+
+// rpcGroup sends one affinity group's items as individual streams over the
+// backend's persistent multiplexed rpc connection — the binary replacement
+// for the NDJSON sub-batch, with the same per-item independence. Items that
+// fail at the transport level come back as the failover set; a refused
+// handshake pins the backend to HTTP and resends everything (the next
+// attempt takes the NDJSON path).
+func (r *Router) rpcGroup(ctx context.Context, b *backend, c *rpc.Client, client string, batch *serve.BatchRequest, group []int, emit func(serve.BatchResult)) ([]int, error) {
+	workers := 16
+	if workers > len(group) {
+		workers = len(group)
+	}
+	var (
+		mu      sync.Mutex
+		pending []int
+		lastErr error
+		dropped bool
+	)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for gi := range indices {
+				item := batch.Items[gi]
+				resp, err := c.Call(ctx, rpc.Request{
+					Kind:      rpc.KindVerify,
+					Method:    item.Method,
+					TimeoutMS: item.TimeoutMS,
+					Client:    client,
+					Spec:      item.Spec,
+				})
+				if err != nil {
+					mu.Lock()
+					pending = append(pending, gi)
+					lastErr = err
+					if errors.Is(err, rpc.ErrNotRPC) {
+						dropped = true
+					}
+					mu.Unlock()
+					continue
+				}
+				b.routed.Add(1)
+				emit(rpcBatchResult(gi, resp))
+			}
+		}()
+	}
+	for _, gi := range group {
+		indices <- gi
+	}
+	close(indices)
+	wg.Wait()
+	if dropped {
+		b.dropRPC()
+		return pending, lastErr
+	}
+	if len(pending) > 0 && ctx.Err() == nil {
+		b.healthy.Store(false)
+	}
+	return pending, lastErr
+}
+
+// rpcBatchResult maps one rpc response onto the NDJSON per-item result
+// shape. A success or aborted body is a serve.VerifyResponse; error-shaped
+// bodies ({"error": ...}) carry the message a standalone request would have.
+func rpcBatchResult(gi int, resp rpc.Response) serve.BatchResult {
+	var full struct {
+		serve.VerifyResponse
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(resp.Body, &full)
+	res := serve.BatchResult{Index: gi, Status: resp.Status, ProblemKey: resp.ProblemKey}
+	if full.Error != "" {
+		res.Error = full.Error
+		return res
+	}
+	res.OK = resp.Status == http.StatusOK
+	v := full.VerifyResponse
+	res.Verify = &v
+	return res
 }

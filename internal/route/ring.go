@@ -13,14 +13,15 @@ package route
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 )
 
-// ring is a consistent-hash ring over backend indices. Each backend owns
-// replicas virtual points; a key is served by the first point at or after
-// its hash. Consistent hashing keeps the keyspace→backend assignment stable
-// when a node dies: only the dead node's slice rehashes (to its ring
-// successors), every other backend keeps its warm working set.
+// ring is a consistent-hash ring over backend indices. Each backend owns a
+// weight-scaled number of virtual points; a key is served by the first point
+// at or after its hash. Consistent hashing keeps the keyspace→backend
+// assignment stable when a node dies: only the dead node's slice rehashes
+// (to its ring successors), every other backend keeps its warm working set.
 type ring struct {
 	points []ringPoint // sorted by hash
 	n      int         // number of backends
@@ -31,14 +32,27 @@ type ringPoint struct {
 	backend int
 }
 
-// newRing builds a ring of n backends with the given virtual-node count.
-func newRing(n, replicas int) *ring {
+// newRing builds a ring over len(weights) backends. Backend b owns
+// round(replicas × weights[b]) virtual points (minimum 1; weights ≤ 0 count
+// as 1.0), so a weight-2 node owns about twice the keyspace of a weight-1
+// node. Vnode names are weight-independent — vnode v of backend b hashes the
+// same wherever it exists — so changing one backend's weight only moves keys
+// to or from that backend: every other pair of backends keeps its ownership
+// boundary, preserving their warm working sets.
+func newRing(weights []float64, replicas int) *ring {
 	if replicas <= 0 {
 		replicas = 128
 	}
-	r := &ring{n: n}
-	for b := 0; b < n; b++ {
-		for v := 0; v < replicas; v++ {
+	r := &ring{n: len(weights)}
+	for b, w := range weights {
+		if w <= 0 {
+			w = 1
+		}
+		vnodes := int(math.Round(float64(replicas) * w))
+		if vnodes < 1 {
+			vnodes = 1
+		}
+		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("backend-%d-vnode-%d", b, v)), backend: b})
 		}
 	}

@@ -9,8 +9,8 @@ import (
 // complete failover sequence: deterministic across ring rebuilds (two
 // router processes agree), every backend exactly once.
 func TestRingDeterministicAndComplete(t *testing.T) {
-	r1 := newRing(5, 64)
-	r2 := newRing(5, 64)
+	r1 := newRing(ones(5), 64)
+	r2 := newRing(ones(5), 64)
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("problem-%d", i)
 		s1, s2 := r1.sequence(key), r2.sequence(key)
@@ -36,7 +36,7 @@ func TestRingDeterministicAndComplete(t *testing.T) {
 // evenly: no backend owns more than ~2.5x its fair share over many keys.
 func TestRingBalance(t *testing.T) {
 	const backends, keys = 4, 4000
-	r := newRing(backends, 128)
+	r := newRing(ones(backends), 128)
 	counts := make([]int, backends)
 	for i := 0; i < keys; i++ {
 		counts[r.owner(fmt.Sprintf("%x-key-%d", i*7919, i))]++
@@ -57,7 +57,7 @@ func TestRingBalance(t *testing.T) {
 // every other key keeps its owner (so the fleet's warm caches survive a
 // node death).
 func TestRingStabilityUnderNodeLoss(t *testing.T) {
-	r := newRing(4, 128)
+	r := newRing(ones(4), 128)
 	moved, kept := 0, 0
 	for i := 0; i < 2000; i++ {
 		key := fmt.Sprintf("key-%d", i)
@@ -82,5 +82,69 @@ func TestRingStabilityUnderNodeLoss(t *testing.T) {
 	}
 	if moved == 0 || kept == 0 {
 		t.Fatalf("degenerate split: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// ones returns n unit weights (the pre-weighting ring shape).
+func ones(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// TestRingWeightedProportionality checks keyspace shares track configured
+// weights within tolerance: a weight-2 backend owns about twice the keys of
+// a weight-1 backend.
+func TestRingWeightedProportionality(t *testing.T) {
+	const keys = 8000
+	weights := []float64{1, 2, 1}
+	r := newRing(weights, 128)
+	counts := make([]int, len(weights))
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("%x-wkey-%d", i*7919, i))]++
+	}
+	var totalW float64
+	for _, w := range weights {
+		totalW += w
+	}
+	for b, w := range weights {
+		expect := float64(keys) * w / totalW
+		lo, hi := expect*0.7, expect*1.3
+		if got := float64(counts[b]); got < lo || got > hi {
+			t.Errorf("backend %d (weight %.1f) owns %d keys, want %.0f±30%% of %d: %v",
+				b, w, counts[b], expect, keys, counts)
+		}
+	}
+}
+
+// TestRingWeightChangeStability checks the consistent-hashing property under
+// reweighting: raising one backend's weight only moves keys onto that
+// backend — no key migrates between two backends whose weights were left
+// alone, so their warm working sets survive the reweight.
+func TestRingWeightChangeStability(t *testing.T) {
+	before := newRing([]float64{1, 1, 1, 1}, 128)
+	after := newRing([]float64{1, 3, 1, 1}, 128)
+	gained, kept := 0, 0
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("rekey-%d", i)
+		ob, oa := before.owner(key), after.owner(key)
+		switch {
+		case ob == oa:
+			kept++
+		case oa == 1:
+			gained++ // moved onto the upweighted backend: expected
+		default:
+			t.Fatalf("key %q moved %d→%d though only backend 1 was reweighted", key, ob, oa)
+		}
+	}
+	if gained == 0 || kept == 0 {
+		t.Fatalf("degenerate reweight: gained=%d kept=%d", gained, kept)
+	}
+	// Tripling one of four equal backends should roughly double its share
+	// of moved keys; just assert a material fraction actually moved.
+	if gained < 400 {
+		t.Errorf("only %d of 4000 keys moved to the tripled backend", gained)
 	}
 }

@@ -8,11 +8,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
+	"net/url"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/rpc"
 	"repro/internal/serve"
 )
 
@@ -35,7 +39,12 @@ type Config struct {
 	// Backends are the vs3d base URLs (e.g. "http://10.0.0.1:8080"). At
 	// least one is required.
 	Backends []string
-	// Replicas is the virtual-node count per backend (default 128).
+	// Weights, when non-nil, must parallel Backends: backend i owns
+	// round(Replicas × Weights[i]) virtual ring nodes (minimum 1), so a
+	// weight-2 node serves about twice the keyspace of a weight-1 node.
+	// Nil or non-positive entries count as 1.0.
+	Weights []float64
+	// Replicas is the virtual-node count per weight-1 backend (default 128).
 	Replicas int
 	// Policy is Affinity or Random (default Affinity).
 	Policy Policy
@@ -52,6 +61,21 @@ type Config struct {
 	Client *http.Client
 	// ID identifies the router in stats and metrics (default "vs3router").
 	ID string
+	// DisableRPC keeps every backend on HTTP even when it advertises a
+	// binary rpc endpoint (X-VS3-RPC). The control arm for benchmarks.
+	DisableRPC bool
+	// Hedge enables request hedging under the Affinity policy: when the
+	// owner backend has not answered within an adaptive delay (rolling p95
+	// of recent backend latency, clamped to [HedgeMin, HedgeMax]), the same
+	// request is fired at the ring successor and the loser is cancelled.
+	// Only the winner's answer is forwarded, so a verdict is never counted
+	// twice; the cancelled side aborts on the backend like any client
+	// disconnect (no false verdict, no leaked session).
+	Hedge bool
+	// HedgeMin / HedgeMax clamp the adaptive hedge delay (defaults 10ms /
+	// 1s). Before ~20 latency samples exist the delay is 25ms.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
 }
 
 func (c Config) normalize() Config {
@@ -73,6 +97,12 @@ func (c Config) normalize() Config {
 	if c.ID == "" {
 		c.ID = "vs3router"
 	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 10 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = time.Second
+	}
 	if c.Client == nil {
 		transport := &http.Transport{
 			MaxIdleConns:        256,
@@ -87,10 +117,18 @@ func (c Config) normalize() Config {
 // backend is one vs3d node plus its router-side state.
 type backend struct {
 	url       string
+	weight    float64
 	healthy   atomic.Bool
 	serverID  atomic.Pointer[string] // last X-VS3-Backend seen
 	routed    atomic.Int64           // requests/items routed here
 	failovers atomic.Int64           // requests moved OFF this backend after a transport failure
+
+	// Binary rpc upgrade state. The health sweep discovers the backend's
+	// advertised rpc endpoint (X-VS3-RPC) and opens a persistent connection
+	// pool; a peer that refuses the VS3R handshake is pinned to HTTP.
+	rpcMu  sync.Mutex
+	rpcc   *rpc.Client
+	notRPC atomic.Bool // handshake refused: never retry binary on this backend
 }
 
 func (b *backend) id() string {
@@ -98,6 +136,42 @@ func (b *backend) id() string {
 		return *p
 	}
 	return ""
+}
+
+// rpcClient returns the backend's live rpc client, nil while it is
+// undiscovered or pinned to HTTP.
+func (b *backend) rpcClient() *rpc.Client {
+	b.rpcMu.Lock()
+	defer b.rpcMu.Unlock()
+	return b.rpcc
+}
+
+// dropRPC pins the backend to HTTP (the peer refused the VS3R handshake).
+func (b *backend) dropRPC() {
+	b.rpcMu.Lock()
+	c := b.rpcc
+	b.rpcc = nil
+	b.rpcMu.Unlock()
+	b.notRPC.Store(true)
+	if c != nil {
+		c.Close()
+	}
+}
+
+// adoptRPC opens (or keeps) a client for the advertised rpc address.
+func (b *backend) adoptRPC(addr string) {
+	if b.notRPC.Load() {
+		return
+	}
+	b.rpcMu.Lock()
+	defer b.rpcMu.Unlock()
+	if b.rpcc != nil && b.rpcc.Addr() == addr {
+		return
+	}
+	if b.rpcc != nil {
+		b.rpcc.Close()
+	}
+	b.rpcc = rpc.NewClient(addr, rpc.ClientConfig{})
 }
 
 // Router fronts a fleet of vs3d backends.
@@ -111,11 +185,22 @@ type Router struct {
 	rndMu sync.Mutex
 	rnd   *rand.Rand
 
+	rpcAddr atomic.Pointer[string] // advertised binary front (X-VS3-RPC)
+
 	requests   atomic.Int64 // single verify/preconditions requests proxied
 	batches    atomic.Int64
 	batchItems atomic.Int64
 	failovers  atomic.Int64 // total failover hops
 	noBackend  atomic.Int64 // requests failed because no backend answered
+
+	hedgeFired    atomic.Int64 // hedge requests fired at a ring successor
+	hedgeWon      atomic.Int64 // races the hedge answered first
+	hedgeCanceled atomic.Int64 // losers cancelled after the other side won
+
+	latMu   sync.Mutex // rolling backend-latency window feeding the hedge delay
+	lats    [512]time.Duration
+	latN    int // valid samples (≤ len(lats))
+	latNext int // next slot to overwrite
 
 	stopOnce sync.Once
 	stopc    chan struct{}
@@ -134,16 +219,26 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Policy != Affinity && cfg.Policy != Random {
 		return nil, fmt.Errorf("route: unknown policy %q", cfg.Policy)
 	}
+	if cfg.Weights != nil && len(cfg.Weights) != len(cfg.Backends) {
+		return nil, fmt.Errorf("route: %d weights for %d backends", len(cfg.Weights), len(cfg.Backends))
+	}
+	weights := make([]float64, len(cfg.Backends))
+	for i := range weights {
+		weights[i] = 1
+		if cfg.Weights != nil && cfg.Weights[i] > 0 {
+			weights[i] = cfg.Weights[i]
+		}
+	}
 	r := &Router{
 		cfg:     cfg,
-		ring:    newRing(len(cfg.Backends), cfg.Replicas),
+		ring:    newRing(weights, cfg.Replicas),
 		client:  cfg.Client,
 		started: time.Now(),
 		rnd:     rand.New(rand.NewSource(time.Now().UnixNano())),
 		stopc:   make(chan struct{}),
 	}
-	for _, u := range cfg.Backends {
-		b := &backend{url: u}
+	for i, u := range cfg.Backends {
+		b := &backend{url: u, weight: weights[i]}
 		b.healthy.Store(true)
 		r.backends = append(r.backends, b)
 	}
@@ -152,10 +247,19 @@ func New(cfg Config) (*Router, error) {
 	return r, nil
 }
 
-// Close stops the health loop and idles kept-alive connections.
+// Close stops the health loop, tears down persistent rpc connections, and
+// idles kept-alive HTTP connections.
 func (r *Router) Close() {
 	r.stopOnce.Do(func() { close(r.stopc) })
 	r.wg.Wait()
+	for _, b := range r.backends {
+		b.rpcMu.Lock()
+		if b.rpcc != nil {
+			b.rpcc.Close()
+			b.rpcc = nil
+		}
+		b.rpcMu.Unlock()
+	}
 	if t, ok := r.client.Transport.(*http.Transport); ok {
 		t.CloseIdleConnections()
 	}
@@ -203,9 +307,30 @@ func (r *Router) sweep() {
 				b.serverID.Store(&id)
 			}
 			b.healthy.Store(resp.StatusCode == http.StatusOK)
+			if !r.cfg.DisableRPC {
+				if adv := resp.Header.Get("X-VS3-RPC"); adv != "" {
+					if addr := joinRPCAddr(b.url, adv); addr != "" {
+						b.adoptRPC(addr)
+					}
+				}
+			}
 		}(b)
 	}
 	wg.Wait()
+}
+
+// joinRPCAddr resolves an advertised X-VS3-RPC value against the backend's
+// base URL: a bare ":port" inherits the backend host, a full "host:port"
+// stands alone.
+func joinRPCAddr(backendURL, adv string) string {
+	if !strings.HasPrefix(adv, ":") {
+		return adv
+	}
+	u, err := url.Parse(backendURL)
+	if err != nil || u.Hostname() == "" {
+		return ""
+	}
+	return net.JoinHostPort(u.Hostname(), strings.TrimPrefix(adv, ":"))
 }
 
 // candidates returns backend indices to try for key, best first. Affinity:
@@ -254,8 +379,18 @@ func (r *Router) Handler() http.Handler {
 	id := r.cfg.ID
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("X-VS3-Router", id)
+		if addr := r.rpcAddr.Load(); addr != nil {
+			w.Header().Set("X-VS3-RPC", *addr)
+		}
 		mux.ServeHTTP(w, req)
 	})
+}
+
+// AdvertiseRPC publishes the router's own binary rpc front in the
+// X-VS3-RPC response header, so bulk clients (cmd/vs3load -proto rpc)
+// discover it the same way the router discovers backends'.
+func (r *Router) AdvertiseRPC(addr string) {
+	r.rpcAddr.Store(&addr)
 }
 
 // maxProxyBody bounds a proxied request body.
@@ -278,7 +413,9 @@ func (r *Router) proxySingle(w http.ResponseWriter, req *http.Request, path stri
 		return
 	}
 	var peek struct {
-		Spec string `json:"spec"`
+		Spec      string `json:"spec"`
+		Method    string `json:"method"`
+		TimeoutMS int64  `json:"timeout_ms"`
 	}
 	if err := json.Unmarshal(body, &peek); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
@@ -291,37 +428,32 @@ func (r *Router) proxySingle(w http.ResponseWriter, req *http.Request, path stri
 	r.requests.Add(1)
 	key := serve.ProblemKey(peek.Spec)
 	client := serve.ClientKey(req)
+	kind := rpc.KindVerify
+	if path == "/v1/preconditions" {
+		kind = rpc.KindPreconditions
+	}
+	rpcReq := rpc.Request{Kind: kind, Method: peek.Method, TimeoutMS: peek.TimeoutMS, Spec: peek.Spec}
 
 	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.RequestTimeout)
 	defer cancel()
-	var lastErr error
-	for _, idx := range r.candidates(key) {
-		b := r.backends[idx]
-		resp, err := r.forward(ctx, b, path, client, body)
-		if err != nil {
-			// Transport failure: the backend never produced an answer. Mark
-			// it down and rehash to the next node in ring order.
-			b.healthy.Store(false)
-			b.failovers.Add(1)
-			r.failovers.Add(1)
-			lastErr = err
-			if ctx.Err() != nil {
-				break
-			}
-			continue
-		}
-		defer resp.Body.Close()
-		b.routed.Add(1)
-		copyHeader(w.Header(), resp.Header, "Content-Type", "X-VS3-Backend", "X-VS3-Problem-Key", "Retry-After")
-		w.WriteHeader(resp.StatusCode)
-		_, _ = io.Copy(w, resp.Body)
+	res := r.execute(ctx, key, client, path, body, rpcReq)
+	if res.err != nil {
+		r.noBackend.Add(1)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("no live backend: %w", res.err))
 		return
 	}
-	r.noBackend.Add(1)
-	if lastErr == nil {
-		lastErr = errors.New("no backends configured")
+	if res.backendID != "" {
+		w.Header().Set("X-VS3-Backend", res.backendID)
 	}
-	writeError(w, http.StatusBadGateway, fmt.Errorf("no live backend: %w", lastErr))
+	if res.problemKey != "" {
+		w.Header().Set("X-VS3-Problem-Key", res.problemKey)
+	}
+	if res.retryAfter != "" {
+		w.Header().Set("Retry-After", res.retryAfter)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
 }
 
 // forward sends one request to a backend, propagating the originating
@@ -342,14 +474,6 @@ func (r *Router) forward(ctx context.Context, b *backend, path, client string, b
 		b.serverID.Store(&id)
 	}
 	return resp, nil
-}
-
-func copyHeader(dst, src http.Header, keys ...string) {
-	for _, k := range keys {
-		if v := src.Get(k); v != "" {
-			dst.Set(k, v)
-		}
-	}
 }
 
 // errorResponse mirrors the backend error body shape.

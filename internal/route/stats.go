@@ -22,6 +22,13 @@ type BackendStats struct {
 	Healthy   bool   `json:"healthy"`
 	Routed    int64  `json:"routed"`
 	Failovers int64  `json:"failovers"`
+	// Weight is the backend's ring share multiplier (1.0 = standard).
+	Weight float64 `json:"weight"`
+	// Proto is the transport the router currently uses for this backend:
+	// "rpc" once the binary upgrade succeeded, else "http".
+	Proto string `json:"proto"`
+	// RPCConns is the router's open binary connections to this backend.
+	RPCConns int64 `json:"rpc_conns,omitempty"`
 }
 
 // statsResponse is the body of the router's GET /v1/stats. The summed
@@ -37,6 +44,10 @@ type statsResponse struct {
 	BatchItems    int64          `json:"batch_items"`
 	Failovers     int64          `json:"failovers"`
 	NoBackend     int64          `json:"no_backend"`
+	HedgeFired    int64          `json:"hedge_fired"`
+	HedgeWon      int64          `json:"hedge_won"`
+	HedgeCanceled int64          `json:"hedge_canceled"`
+	RPCConns      int64          `json:"rpc_conns"`
 	Backends      []BackendStats `json:"backends"`
 
 	// Fleet totals summed from every live backend's /v1/stats.
@@ -81,17 +92,28 @@ func (r *Router) statsSnapshot(ctx context.Context) statsResponse {
 		BatchItems:    r.batchItems.Load(),
 		Failovers:     r.failovers.Load(),
 		NoBackend:     r.noBackend.Load(),
+		HedgeFired:    r.hedgeFired.Load(),
+		HedgeWon:      r.hedgeWon.Load(),
+		HedgeCanceled: r.hedgeCanceled.Load(),
 	}
 	totals := make([]backendTotals, len(r.backends))
 	var wg sync.WaitGroup
 	for i, b := range r.backends {
-		resp.Backends = append(resp.Backends, BackendStats{
+		bs := BackendStats{
 			URL:       b.url,
 			ServerID:  b.id(),
 			Healthy:   b.healthy.Load(),
 			Routed:    b.routed.Load(),
 			Failovers: b.failovers.Load(),
-		})
+			Weight:    b.weight,
+			Proto:     "http",
+		}
+		if c := b.rpcClient(); c != nil {
+			bs.Proto = "rpc"
+			bs.RPCConns = c.OpenConns()
+			resp.RPCConns += bs.RPCConns
+		}
+		resp.Backends = append(resp.Backends, bs)
 		if !b.healthy.Load() {
 			continue
 		}
@@ -162,12 +184,24 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	pw.Counter("vs3router_batch_items_total", "Items across all batches.", float64(r.batchItems.Load()), id...)
 	pw.Counter("vs3router_failovers_total", "Failover hops after backend transport failures.", float64(r.failovers.Load()), id...)
 	pw.Counter("vs3router_no_backend_total", "Requests/items failed because no backend answered.", float64(r.noBackend.Load()), id...)
+	pw.Counter("vs3router_hedge_fired_total", "Hedge requests fired at ring successors.", float64(r.hedgeFired.Load()), id...)
+	pw.Counter("vs3router_hedge_won_total", "Hedged races the successor answered first.", float64(r.hedgeWon.Load()), id...)
+	pw.Counter("vs3router_hedge_canceled_total", "Losing sides cancelled after the other side won.", float64(r.hedgeCanceled.Load()), id...)
+	var rpcConns int64
 	for _, b := range r.backends {
 		labels := []string{"backend", b.url}
 		pw.Gauge("vs3router_backend_healthy", "1 while the backend passes health checks.", boolGauge(b.healthy.Load()), labels...)
 		pw.Counter("vs3router_backend_routed_total", "Requests and batch items routed to the backend.", float64(b.routed.Load()), labels...)
 		pw.Counter("vs3router_backend_failovers_total", "Requests moved off the backend after transport failures.", float64(b.failovers.Load()), labels...)
+		pw.Gauge("vs3router_backend_weight", "Configured ring-share weight.", b.weight, labels...)
+		var conns int64
+		if c := b.rpcClient(); c != nil {
+			conns = c.OpenConns()
+			rpcConns += conns
+		}
+		pw.Gauge("vs3router_backend_rpc_conns", "Open binary rpc connections to the backend (0 = HTTP).", float64(conns), labels...)
 	}
+	pw.Gauge("vs3router_rpc_conns", "Open binary rpc connections across all backends.", float64(rpcConns), id...)
 	var buf bytes.Buffer
 	_, _ = pw.WriteTo(&buf)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

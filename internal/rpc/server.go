@@ -1,0 +1,317 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler answers one decoded request. serve.Server implements it directly
+// (same session pool, fair queue, store, and stats as the HTTP surface);
+// route.Router implements it to put a binary front on the whole fleet. The
+// context is cancelled when the client cancels the stream or the connection
+// dies — the exact analog of an HTTP client disconnect, and implementations
+// must preserve the same no-false-negative semantics (an interrupted run is
+// an aborted status, never a "not proved" verdict).
+type Handler interface {
+	ServeRPC(ctx context.Context, req Request) Response
+}
+
+// ServerConfig tunes a Server. The zero value is usable.
+type ServerConfig struct {
+	// MaxStreams bounds concurrently executing streams per connection
+	// (default 256). Beyond it, new REQ frames are answered with a 429
+	// response — the wait-queue bounding is the handler's job (the serving
+	// layer's fair queue), this cap only stops one connection from opening
+	// unbounded goroutines.
+	MaxStreams int
+	// HandshakeTimeout bounds how long an accepted connection may take to
+	// complete the 5-byte handshake (default 10s), so an idle port scanner
+	// cannot pin a goroutine.
+	HandshakeTimeout time.Duration
+	// Logf, when non-nil, receives connection-level error lines.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) normalize() ServerConfig {
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 256
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server accepts rpc connections and dispatches their streams to a Handler.
+type Server struct {
+	h   Handler
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	conns    map[*serverConn]struct{}
+	draining bool
+	closed   bool
+
+	connsGauge   atomic.Int64 // open handshaken connections
+	streamsGauge atomic.Int64 // streams currently executing
+	requests     atomic.Int64 // REQ frames accepted (lifetime)
+	cancels      atomic.Int64 // CANCEL frames that hit a live stream
+}
+
+// NewServer returns a Server dispatching to h.
+func NewServer(h Handler, cfg ServerConfig) *Server {
+	return &Server{h: h, cfg: cfg.normalize(), conns: map[*serverConn]struct{}{}}
+}
+
+// Stats returns the open-connection and executing-stream gauges plus the
+// lifetime accepted-request and honored-cancel counters.
+func (s *Server) Stats() (conns, streams, requests, cancels int64) {
+	return s.connsGauge.Load(), s.streamsGauge.Load(), s.requests.Load(), s.cancels.Load()
+}
+
+// Serve accepts connections on ln until ln is closed or Close is called.
+// It always returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// StartDrain sends GOAWAY on every open connection, telling well-behaved
+// clients to open no new streams here; in-flight streams finish normally.
+// The serving layer's drain (healthz 503) is what actually takes the backend
+// out of router rotation — GOAWAY just shortens the race window for streams
+// opened between the healthz flip and the next health sweep.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	s.draining = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.goAway()
+	}
+}
+
+// Close tears down every connection; in-flight streams see their contexts
+// cancelled. Call after the HTTP server has shut down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+// serverConn is one accepted, handshaken connection.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	smu     sync.Mutex
+	streams map[uint64]context.CancelFunc
+	done    map[uint64]bool // stream IDs already answered (cancel after finish is a no-op)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	if err := handshake(conn); err != nil {
+		s.cfg.Logf("rpc: %s: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	c := &serverConn{srv: s, conn: conn, streams: map[uint64]context.CancelFunc{}, done: map[uint64]bool{}}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	draining := s.draining
+	s.mu.Unlock()
+	s.connsGauge.Add(1)
+	if draining {
+		c.goAway()
+	}
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.connsGauge.Add(-1)
+		c.close()
+	}()
+
+	br := &byteReader{r: bufio.NewReaderSize(conn, 64<<10)}
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return // EOF, reset, or a malformed frame: tear the connection down
+		}
+		switch f.typ {
+		case frameReq:
+			c.handleReq(f)
+		case frameCancel:
+			c.cancelStream(f.stream)
+		case framePing:
+			_ = c.write(framePong, f.stream, f.payload)
+		case framePong, frameGoAway:
+			// Valid from a client only as no-ops.
+		default:
+			s.cfg.Logf("rpc: %s: unknown frame type 0x%02x", conn.RemoteAddr(), f.typ)
+			return
+		}
+	}
+}
+
+func (c *serverConn) write(typ byte, stream uint64, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.conn, typ, stream, payload)
+}
+
+func (c *serverConn) goAway() { _ = c.write(frameGoAway, 0, nil) }
+
+// close cancels every live stream (their handlers abort cooperatively) and
+// closes the socket.
+func (c *serverConn) close() {
+	c.smu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(c.streams))
+	for _, cancel := range c.streams {
+		cancels = append(cancels, cancel)
+	}
+	c.smu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	c.conn.Close()
+}
+
+func (c *serverConn) cancelStream(id uint64) {
+	c.smu.Lock()
+	cancel, ok := c.streams[id]
+	c.smu.Unlock()
+	if ok {
+		c.srv.cancels.Add(1)
+		cancel()
+	}
+}
+
+// handleReq decodes and dispatches one stream. The handler runs in its own
+// goroutine; the frame-reading loop stays free to deliver CANCELs for it.
+func (c *serverConn) handleReq(f frame) {
+	req, err := decodeRequest(f.payload)
+	if err != nil {
+		_ = c.write(frameResp, f.stream, encodeResponse(Response{
+			Status: 400, Body: errorBody(err),
+		}))
+		return
+	}
+	c.smu.Lock()
+	if c.done[f.stream] || c.streams[f.stream] != nil {
+		c.smu.Unlock()
+		_ = c.write(frameResp, f.stream, encodeResponse(Response{
+			Status: 400, Body: errorBody(errors.New("rpc: stream id reused")),
+		}))
+		return
+	}
+	if len(c.streams) >= c.srv.cfg.MaxStreams {
+		c.smu.Unlock()
+		_ = c.write(frameResp, f.stream, encodeResponse(Response{
+			Status: 429, Body: errorBody(errors.New("rpc: connection stream limit reached")),
+		}))
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.streams[f.stream] = cancel
+	c.smu.Unlock()
+	c.srv.requests.Add(1)
+	c.srv.streamsGauge.Add(1)
+
+	go func() {
+		defer c.srv.streamsGauge.Add(-1)
+		resp := c.srv.h.ServeRPC(ctx, req)
+		c.smu.Lock()
+		delete(c.streams, f.stream)
+		c.done[f.stream] = true
+		if len(c.done) > 1<<16 {
+			// Bound the answered-ID memory; a well-behaved client never
+			// reuses IDs anyway, so resetting only weakens the duplicate
+			// check, not correctness.
+			c.done = map[uint64]bool{}
+		}
+		c.smu.Unlock()
+		cancel()
+		_ = c.write(frameResp, f.stream, encodeResponse(resp))
+	}()
+}
+
+// errorBody renders the {"error": ...} JSON shape the HTTP surface uses,
+// without importing encoding/json for a one-field object.
+func errorBody(err error) []byte {
+	quoted := make([]byte, 0, len(err.Error())+16)
+	quoted = append(quoted, `{"error":"`...)
+	for _, r := range err.Error() {
+		switch r {
+		case '"':
+			quoted = append(quoted, '\\', '"')
+		case '\\':
+			quoted = append(quoted, '\\', '\\')
+		case '\n':
+			quoted = append(quoted, '\\', 'n')
+		default:
+			if r < 0x20 {
+				continue
+			}
+			quoted = append(quoted, string(r)...)
+		}
+	}
+	return append(quoted, `"}`...)
+}
+
+// AdvertiseAddr renders a bound rpc listener address for the X-VS3-RPC
+// header: a listener on an unspecified host (":8081", "0.0.0.0", "::")
+// advertises just ":port" so peers join it with the host they already reach
+// the advertiser's HTTP surface on.
+func AdvertiseAddr(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		return ":" + port
+	}
+	return net.JoinHostPort(host, port)
+}

@@ -95,7 +95,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) runBatchItem(r *http.Request, client string, idx int, item VerifyRequest) BatchResult {
-	resp, key, status, err := s.runVerify(r.Context(), client, item)
+	resp, key, status, err := s.RunVerify(r.Context(), client, item)
 	res := BatchResult{Index: idx, Status: status, ProblemKey: key}
 	if err != nil {
 		res.Error = err.Error()

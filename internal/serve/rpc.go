@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/rpc"
+)
+
+// ServeRPC implements rpc.Handler: the binary surface dispatches into the
+// exact same RunVerify / RunPreconditions paths as HTTP, sharing the session
+// pool, fair queue, problem LRU, knowledge store, and counters. The response
+// Status and Body are what an equivalent HTTP request would have carried, so
+// a caller can switch transports without a second decoder; ProblemKey and
+// Backend mirror the X-VS3-Problem-Key / X-VS3-Backend headers. A cancelled
+// stream context flows through the leased session's Stop hook just like an
+// HTTP client disconnect — the run aborts with 499, never a false verdict.
+func (s *Server) ServeRPC(ctx context.Context, req rpc.Request) rpc.Response {
+	if req.Spec == "" {
+		return rpcError(http.StatusBadRequest, "", s.cfg.ID, errors.New("missing \"spec\""))
+	}
+	vr := VerifyRequest{Spec: req.Spec, Method: req.Method, TimeoutMS: req.TimeoutMS}
+	client := req.Client
+	if client == "" {
+		client = "rpc"
+	}
+	switch req.Kind {
+	case rpc.KindVerify:
+		resp, key, status, err := s.RunVerify(ctx, client, vr)
+		if err != nil {
+			return rpcError(status, key, s.cfg.ID, err)
+		}
+		return rpcJSON(status, key, s.cfg.ID, resp)
+	case rpc.KindPreconditions:
+		resp, key, status, err := s.RunPreconditions(ctx, client, vr)
+		if err != nil {
+			return rpcError(status, key, s.cfg.ID, err)
+		}
+		return rpcJSON(status, key, s.cfg.ID, resp)
+	default:
+		return rpcError(http.StatusBadRequest, "", s.cfg.ID, errors.New("unknown request kind"))
+	}
+}
+
+// rpcJSON renders v the way writeJSON does (indented, trailing newline), so
+// byte-for-byte the same body crosses either transport.
+func rpcJSON(status int, key, backend string, v any) rpc.Response {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return rpcError(http.StatusInternalServerError, key, backend, err)
+	}
+	return rpc.Response{Status: status, ProblemKey: key, Backend: backend, Body: append(body, '\n')}
+}
+
+func rpcError(status int, key, backend string, err error) rpc.Response {
+	body, _ := json.MarshalIndent(errorResponse{Error: err.Error()}, "", "  ")
+	return rpc.Response{Status: status, ProblemKey: key, Backend: backend, Body: append(body, '\n')}
+}

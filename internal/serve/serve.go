@@ -85,7 +85,7 @@ type Config struct {
 	// Store, when non-nil, is the on-disk knowledge base shared by every
 	// pooled session (Core.Knowledge is overwritten with it). Beyond the
 	// engine-level warm state it carries whole solved-problem outcomes keyed
-	// by (X-VS3-Problem-Key, method), which runVerify replays without leasing
+	// by (X-VS3-Problem-Key, method), which RunVerify replays without leasing
 	// a session. The caller (cmd/vs3d) owns the store's lifecycle: it must be
 	// opened with Params = Core.SMT.StoreParams() and closed after Shutdown;
 	// StartDrain flushes it before /healthz flips to 503.
@@ -177,6 +177,9 @@ type Server struct {
 	started  time.Time
 	draining atomic.Bool
 
+	rpcAddr  atomic.Pointer[string] // advertised rpc listen address ("" = none)
+	rpcStats atomic.Pointer[func() (conns, streams, requests, cancels int64)]
+
 	requests    atomic.Int64 // requests that reached a verifier (batch items included)
 	rejected    atomic.Int64 // 429s / shed batch items
 	aborted     atomic.Int64 // runs cancelled by deadline/disconnect
@@ -220,6 +223,19 @@ func New(cfg Config) *Server {
 // ID returns the server's backend identity.
 func (s *Server) ID() string { return s.cfg.ID }
 
+// AdvertiseRPC publishes addr (":port" or "host:port") as this backend's
+// binary rpc endpoint. Every HTTP response then carries it in the X-VS3-RPC
+// header, which the router's health sweep reads to discover and upgrade to
+// the binary transport (a ":port" value is joined with the backend URL's
+// host). cmd/vs3d calls this once the -rpc listener is bound.
+func (s *Server) AdvertiseRPC(addr string) { s.rpcAddr.Store(&addr) }
+
+// SetRPCStats installs the rpc server's stats func so /v1/stats and /metrics
+// report the binary surface's connection and stream gauges.
+func (s *Server) SetRPCStats(fn func() (conns, streams, requests, cancels int64)) {
+	s.rpcStats.Store(&fn)
+}
+
 // StartDrain flips /healthz to 503 so load balancers and the router stop
 // sending new work; in-flight requests finish normally. cmd/vs3d calls this
 // on SIGTERM before http.Server.Shutdown. The knowledge store's write-behind
@@ -258,6 +274,9 @@ func (s *Server) Handler() http.Handler {
 	id := s.cfg.ID
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-VS3-Backend", id)
+		if addr := s.rpcAddr.Load(); addr != nil && *addr != "" {
+			w.Header().Set("X-VS3-RPC", *addr)
+		}
 		mux.ServeHTTP(w, r)
 	})
 }
@@ -343,8 +362,8 @@ type VerifyResponse struct {
 	Stats stats.Snapshot `json:"stats"`
 }
 
-// preconditionsResponse reports one §6 enumeration run.
-type preconditionsResponse struct {
+// PreconditionsResponse reports one §6 enumeration run.
+type PreconditionsResponse struct {
 	Preconditions []string       `json:"preconditions"`
 	Aborted       bool           `json:"aborted"`
 	Truncated     bool           `json:"truncated"`
@@ -398,11 +417,12 @@ func (s *Server) lease(parent context.Context, client string, timeoutMS int64) (
 	return sess, reqCtx, finish, nil
 }
 
-// runVerify executes one verification run end to end: resolve the problem,
+// RunVerify executes one verification run end to end: resolve the problem,
 // lease a session under the client's fair-queue key, run, and assemble the
-// response. It powers both POST /v1/verify and each /v1/batch item. The
-// returned status is the HTTP status a standalone request would carry.
-func (s *Server) runVerify(parent context.Context, client string, req VerifyRequest) (resp VerifyResponse, key string, status int, err error) {
+// response. It powers POST /v1/verify, each /v1/batch item, and the binary
+// rpc surface. The returned status is the HTTP status a standalone request
+// would carry.
+func (s *Server) RunVerify(parent context.Context, client string, req VerifyRequest) (resp VerifyResponse, key string, status int, err error) {
 	m, err := parseMethod(req.Method)
 	if err != nil {
 		return VerifyResponse{}, "", http.StatusBadRequest, err
@@ -477,7 +497,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	resp, key, status, err := s.runVerify(r.Context(), ClientKey(r), req)
+	resp, key, status, err := s.RunVerify(r.Context(), ClientKey(r), req)
 	if key != "" {
 		w.Header().Set("X-VS3-Problem-Key", key)
 	}
@@ -491,36 +511,30 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-func (s *Server) handlePreconditions(w http.ResponseWriter, r *http.Request) {
-	var req VerifyRequest
-	if !decodePost(w, r, &req) {
-		return
-	}
+// RunPreconditions executes one §6 enumeration end to end, mirroring
+// RunVerify's contract: it powers POST /v1/preconditions and the binary rpc
+// surface, and the returned status is the HTTP status a standalone request
+// would carry.
+func (s *Server) RunPreconditions(parent context.Context, client string, req VerifyRequest) (resp PreconditionsResponse, key string, status int, err error) {
 	p, key, err := s.problem(req.Spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return PreconditionsResponse{}, key, http.StatusBadRequest, err
 	}
-	w.Header().Set("X-VS3-Problem-Key", key)
-	sess, reqCtx, finish, err := s.lease(r.Context(), ClientKey(r), req.TimeoutMS)
+	sess, reqCtx, finish, err := s.lease(parent, client, req.TimeoutMS)
 	if err != nil {
 		if errors.Is(err, errBusy) {
 			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err)
-		} else {
-			writeError(w, http.StatusGatewayTimeout, err)
+			return PreconditionsResponse{}, key, http.StatusTooManyRequests, err
 		}
-		return
+		return PreconditionsResponse{}, key, http.StatusGatewayTimeout, err
 	}
 	start := time.Now()
 	pres, enum, err := sess.v.InferPreconditions(p)
 	delta := finish()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return PreconditionsResponse{}, key, http.StatusBadRequest, err
 	}
-	resp := preconditionsResponse{
+	resp = PreconditionsResponse{
 		Preconditions: []string{},
 		Aborted:       enum.Aborted,
 		Truncated:     enum.Truncated,
@@ -537,10 +551,28 @@ func (s *Server) handlePreconditions(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Aborted {
 		s.aborted.Add(1)
-		writeJSON(w, abortStatus(reqCtx), resp)
+		return resp, key, abortStatus(reqCtx), nil
+	}
+	return resp, key, http.StatusOK, nil
+}
+
+func (s *Server) handlePreconditions(w http.ResponseWriter, r *http.Request) {
+	var req VerifyRequest
+	if !decodePost(w, r, &req) {
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	resp, key, status, err := s.RunPreconditions(r.Context(), ClientKey(r), req)
+	if key != "" {
+		w.Header().Set("X-VS3-Problem-Key", key)
+	}
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, resp)
 }
 
 // abortStatus maps an aborted run to its HTTP status: 504 for a deadline,
@@ -568,6 +600,16 @@ type statsResponse struct {
 	Truncated     int64   `json:"truncated"`
 	Batches       int64   `json:"batches"`
 	BatchItems    int64   `json:"batch_items"`
+
+	// Binary rpc surface (zero-valued when -rpc is not enabled): the
+	// advertised listen address, open handshaken connections, currently
+	// executing streams, and lifetime accepted-request / honored-cancel
+	// counters.
+	RPCAddr     string `json:"rpc_addr,omitempty"`
+	RPCConns    int64  `json:"rpc_conns"`
+	RPCStreams  int64  `json:"rpc_streams"`
+	RPCRequests int64  `json:"rpc_requests"`
+	RPCCancels  int64  `json:"rpc_cancels"`
 
 	// ProblemsCached / ProblemCacheHits describe the shared parsed-problem
 	// LRU (compiled VC skeletons reused across sessions).
@@ -645,6 +687,12 @@ func (s *Server) statsSnapshot() statsResponse {
 		ProblemsCached:   cached,
 		ProblemCacheHits: s.probHits.Load(),
 		Collector:        agg,
+	}
+	if addr := s.rpcAddr.Load(); addr != nil {
+		resp.RPCAddr = *addr
+	}
+	if fn := s.rpcStats.Load(); fn != nil {
+		resp.RPCConns, resp.RPCStreams, resp.RPCRequests, resp.RPCCancels = (*fn)()
 	}
 	for _, sess := range s.sessions {
 		eng := sess.v.Engine()

@@ -129,7 +129,7 @@ func TestPreconditionsEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var pr preconditionsResponse
+	var pr PreconditionsResponse
 	if err := json.Unmarshal(body, &pr); err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +339,7 @@ func TestTruncationSurfaced(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var pr preconditionsResponse
+	var pr PreconditionsResponse
 	if err := json.Unmarshal(body, &pr); err != nil {
 		t.Fatal(err)
 	}
