@@ -14,7 +14,7 @@ BENCH_N ?= 4
 # Baseline report that bench-compare diffs against.
 BENCH_BASE ?= BENCH_3.json
 
-.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke rpc-smoke restart-smoke bench-cluster bench-lia bench-warm bench-rpc bench bench-json bench-compare bench-quick profile check clean
+.PHONY: all build vet test test-short test-race test-differential serve-smoke cluster-smoke rpc-smoke restart-smoke compact-smoke bench-cluster bench-lia bench-warm bench-rpc bench-compact bench bench-json bench-compare bench-quick profile check clean
 
 all: check
 
@@ -50,16 +50,20 @@ test-race:
 # is the Fourier–Motzkin sweep: lia.Check and the persistent LinChecker vs
 # brute-force small-domain enumeration over random general linear systems.
 # The store lines are the persistence sweep: record round-trips, checksum /
-# version / params corruption recovery, and the warm-vs-cold verdict-identity
-# sweep over every examples/ problem (a reopened knowledge store must prove
-# exactly what the cold lifetime proved).
+# version / params corruption recovery, the flush requeue / retry-budget /
+# drop-warning regressions, the compaction suite (duplicate-heavy shrink,
+# crash-mid-compaction recovery at every stage, stale tmp generations,
+# header re-checks, concurrent appends), and the warm-vs-cold plus
+# warm-vs-compacted verdict-identity sweeps over every examples/ problem (a
+# reopened — or compacted-then-reopened — knowledge store must prove exactly
+# what the cold lifetime proved).
 test-differential:
 	$(GO) test -short -race -run 'TestReusedVsFresh|TestSolveAssuming|TestSolveReuse|TestContext|TestFixpointDeterministic|TestFixpointIncremental|TestPsiProg|TestCFPIncremental' \
 		./internal/sat/ ./internal/smt/ ./internal/fixpoint/ ./internal/cbi/
 	$(GO) test -race -run 'TestRandomGeneralAgainstBox|TestRandomDifferenceAgainstBox|TestLinChecker|TestDiffChecker' ./internal/lia/
-	$(GO) test -race -run 'TestRoundTrip|TestLinCheckerVerdict|TestFormulaKey|TestCorruption|TestDedup|TestFlushDurable' ./internal/store/
+	$(GO) test -race -run 'TestRoundTrip|TestLinCheckerVerdict|TestFormulaKey|TestCorruption|TestDedup|TestFlushDurable|TestFlushRequeues|TestFlushRetryBudget|TestFlushPartialWrite|TestDropWarning|TestCompact|TestOutcomeDigest' ./internal/store/
 	$(GO) test -race -run 'TestWarmStart|TestStoreParamsMismatch|TestWarmLemma' ./internal/smt/
-	$(GO) test -run 'TestMapVsBFS|TestCompareParallel|TestWarmVsCold' ./internal/optimal/ ./internal/bench/ ./internal/precond/
+	$(GO) test -run 'TestMapVsBFS|TestCompareParallel|TestWarmVsCold|TestWarmVsCompacted' ./internal/optimal/ ./internal/bench/ ./internal/precond/
 
 # End-to-end check of the vs3d HTTP daemon: boots the real server on an
 # ephemeral port, verifies a spec with all three methods, infers
@@ -88,6 +92,14 @@ rpc-smoke:
 restart-smoke:
 	$(GO) test -run TestWarmRestart -count=1 -v ./cmd/vs3d/
 	$(GO) test -run TestRestartRecovery -count=1 -v ./internal/load/
+
+# End-to-end check of generational log compaction: a store-backed backend
+# solves the smoke corpus, its log is duplicated 6x, a second lifetime
+# compacts it over POST /v1/compact while serving (>=3x on-disk shrink,
+# identical verdicts, zero fresh work), and a third lifetime restarts fully
+# warm on the compacted generation.
+compact-smoke:
+	$(GO) test -run TestCompactSmoke -count=1 -v ./cmd/vs3router/
 
 # Head-to-head routing benchmark (the tentpole proof for PR 6): single node
 # vs affinity routing vs random routing over 2 backends on the default
@@ -124,6 +136,16 @@ bench-warm:
 # (`benchtab -table 9` renders the committed report).
 bench-rpc:
 	VS3_BENCH_OUT=$(CURDIR)/BENCH_9.json $(GO) test -run TestRPCBench -count=1 -v ./cmd/vs3router/
+
+# Compaction + store-aware routing benchmark (the tentpole proof for PR 10):
+# part A duplicates a warmed store's log 6x and gates a >=3x on-disk shrink
+# from compaction with a zero-work warm restart; part B reweights a warmed
+# 2-backend fleet's hash ring and replays the corpus store-aware vs
+# affinity-only over byte-identical store copies, gating that store-aware
+# placement redoes strictly less from-scratch work at identical verdicts.
+# Writes BENCH_10.json (`benchtab -table 10` renders the committed report).
+bench-compact:
+	VS3_BENCH_OUT=$(CURDIR)/BENCH_10.json $(GO) test -run TestCompactBench -count=1 -v ./cmd/vs3router/
 
 # Engine microbenchmarks: the parallel-engine comparisons from PR 1 plus the
 # interning/hot-path benchmarks (cache-hit keying, structural equality,

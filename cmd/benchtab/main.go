@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-table 1|2|3|4|5|6|7|8|9] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
+//	benchtab [-table 1|2|3|4|5|6|7|8|9|10] [-figure 4|5|6|7|8|9] [-timeout 120s] [-all] [-parallel N]
 //	         [-json FILE] [-compare OLD.json] [-cpuprofile FILE] [-memprofile FILE] [-quick]
 //
 // With -parallel N > 1 the (task, method) cells of each table run
@@ -42,7 +42,7 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "regenerate one table (1-9; 7 is the general-LIA family, 8 the warm-restart comparison, 9 the rpc transport report)")
+	table := flag.Int("table", 0, "regenerate one table (1-10; 7 is the general-LIA family, 8 the warm-restart comparison, 9 the rpc transport report, 10 the compaction and store-aware routing report)")
 	figure := flag.Int("figure", 0, "regenerate one figure (4-9)")
 	timeout := flag.Duration("timeout", 120*time.Second, "per-(task,method) timeout")
 	all := flag.Bool("all", false, "regenerate every table and figure")
@@ -232,6 +232,15 @@ func runTable(w io.Writer, r *bench.Runner, n int) {
 			os.Exit(1)
 		}
 		bench.WriteBench9Table(w, rep)
+	case 10:
+		// Log compaction + store-aware routing: rendered from the committed
+		// BENCH_10.json (`make bench-compact` boots the fleet and gates it).
+		rep, err := bench.ReadBench10("BENCH_10.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v (generate it with `make bench-compact`)\n", err)
+			os.Exit(1)
+		}
+		bench.WriteBench10Table(w, rep)
 	default:
 		fmt.Fprintf(os.Stderr, "benchtab: no table %d\n", n)
 		os.Exit(2)

@@ -7,8 +7,10 @@
 //
 // Usage:
 //
-//	vs3d [-addr :8080] [-rpc :8081] [-id NAME] [-pool N] [-queue N] [-timeout 60s] [-max-timeout 5m]
+//	vs3d [-addr :8080] [-rpc :8081] [-rpc-write-timeout 10s] [-id NAME] [-pool N] [-queue N]
+//	     [-timeout 60s] [-max-timeout 5m]
 //	     [-store DIR] [-store-fsync] [-store-flush 250ms]
+//	     [-store-compact] [-store-compact-min 1048576] [-store-compact-ratio 0.5]
 //
 // With -rpc ADDR the daemon additionally serves the binary VS3R protocol on
 // ADDR (persistent multiplexed connections, per-stream cancellation; see
@@ -21,7 +23,11 @@
 // validity/consistency verdicts, theory lemmas, unsat cores, and whole
 // solved-problem outcomes warm-load at startup and are written behind while
 // serving, so a restarted daemon resumes with everything its predecessor
-// learned instead of re-deriving it (see DESIGN.md §15).
+// learned instead of re-deriving it (see DESIGN.md §15). The append-only log
+// is compacted generationally — automatically once it crosses
+// -store-compact-min bytes with a garbage ratio above -store-compact-ratio,
+// on demand via POST /v1/compact, or one-shot with -store-compact (compact
+// and exit, for cron/maintenance windows; see DESIGN.md §17).
 //
 // Endpoints (see internal/serve and the README "Serving" section):
 //
@@ -62,9 +68,13 @@ func main() {
 	queue := flag.Int("queue", 0, "queued requests beyond the pool before 429 (0 = 4×pool)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	flag.DurationVar(&rpcFrameTimeout, "rpc-write-timeout", rpcFrameTimeout, "per-frame rpc write deadline; a stalled peer's connection is torn down on expiry (negative = none)")
 	storeDir := flag.String("store", "", "directory of the on-disk knowledge store (empty = no persistence)")
 	storeFsync := flag.Bool("store-fsync", false, "fsync every write-behind flush, not just drain/close")
 	storeFlush := flag.Duration("store-flush", 0, "write-behind flush interval (0 = store default)")
+	storeCompact := flag.Bool("store-compact", false, "compact the -store log to a fresh generation, then exit")
+	compactMin := flag.Int64("store-compact-min", 0, "log bytes before auto-compaction considers running (0 = store default, 1MiB)")
+	compactRatio := flag.Float64("store-compact-ratio", 0, "garbage ratio (dead bytes / log bytes) that triggers auto-compaction (0 = store default, 0.5)")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -74,18 +84,36 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	}
+	if *storeCompact && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "vs3d: -store-compact requires -store DIR")
+		os.Exit(1)
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, store.Options{
-			Params:        cfg.Core.SMT.StoreParams(),
-			Fsync:         *storeFsync,
-			FlushInterval: *storeFlush,
-			Logf:          log.Printf,
+			Params:              cfg.Core.SMT.StoreParams(),
+			Fsync:               *storeFsync,
+			FlushInterval:       *storeFlush,
+			CompactMinBytes:     *compactMin,
+			CompactGarbageRatio: *compactRatio,
+			Logf:                log.Printf,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vs3d: open store:", err)
 			os.Exit(1)
 		}
 		cfg.Store = st
+	}
+	if *storeCompact {
+		reclaimed, err := cfg.Store.Compact()
+		if cerr := cfg.Store.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vs3d: compact store:", err)
+			os.Exit(1)
+		}
+		log.Printf("vs3d: compacted store %s: reclaimed %d bytes", *storeDir, reclaimed)
+		return
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -115,11 +143,15 @@ func main() {
 // records appended by those last in-flight requests reach disk too. Split
 // from main so the smoke tests can drive the real daemon on an ephemeral
 // port.
+// rpcFrameTimeout is the per-frame write deadline run hands the rpc server
+// (main overrides it from -rpc-write-timeout).
+var rpcFrameTimeout = 10 * time.Second
+
 func run(ctx context.Context, ln, rpcLn net.Listener, cfg serve.Config, logger *log.Logger) error {
 	backend := serve.New(cfg)
 	var rpcSrv *rpc.Server
 	if rpcLn != nil {
-		rpcSrv = rpc.NewServer(backend, rpc.ServerConfig{Logf: logger.Printf})
+		rpcSrv = rpc.NewServer(backend, rpc.ServerConfig{Logf: logger.Printf, WriteTimeout: rpcFrameTimeout})
 		backend.AdvertiseRPC(rpc.AdvertiseAddr(rpcLn.Addr()))
 		backend.SetRPCStats(rpcSrv.Stats)
 		go func() {

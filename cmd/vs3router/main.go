@@ -13,7 +13,7 @@
 //	vs3router -backend http://10.0.0.1:8080=2 -backend http://10.0.0.2:8080 \
 //	          [-addr :8079] [-rpc :8078] [-policy affinity|random] [-replicas 128] \
 //	          [-health-interval 2s] [-hedge] [-hedge-min 10ms] [-hedge-max 1s] \
-//	          [-no-rpc] [-id NAME]
+//	          [-store-aware=true] [-no-rpc] [-id NAME]
 //
 // Each -backend flag names one vs3d base URL with an optional =WEIGHT ring
 // share multiplier (default 1; a weight-2 backend owns about twice the
@@ -27,6 +27,13 @@
 // to [-hedge-min, -hedge-max]), the request is also fired at the ring
 // successor and the loser is cancelled. -no-rpc keeps every backend on HTTP
 // even if it advertises rpc (the benchmark control arm).
+//
+// -store-aware (default true) enables store-aware placement: the health
+// sweep keeps a bloom digest of each backend's solved problem keys, and a
+// request whose key a live backend's digest claims routes there ahead of
+// plain ring order — after a reweight or node change, known problems go back
+// to the node that already holds their knowledge instead of being re-derived
+// from scratch (see DESIGN.md §17).
 //
 // Endpoints:
 //
@@ -81,8 +88,10 @@ func main() {
 	hedge := flag.Bool("hedge", false, "hedge slow requests at the ring successor")
 	hedgeMin := flag.Duration("hedge-min", 10*time.Millisecond, "floor on the adaptive hedge delay")
 	hedgeMax := flag.Duration("hedge-max", time.Second, "cap on the adaptive hedge delay")
+	storeAware := flag.Bool("store-aware", true, "prefer backends whose knowledge-store digest claims a request's problem key")
 	noRPC := flag.Bool("no-rpc", false, "keep all backends on HTTP even when they advertise binary rpc")
 	id := flag.String("id", "vs3router", "router identity reported in stats and metrics")
+	flag.DurationVar(&rpcFrameTimeout, "rpc-write-timeout", rpcFrameTimeout, "per-frame rpc write deadline; a stalled peer's connection is torn down on expiry (negative = none)")
 	flag.Parse()
 
 	for _, u := range strings.Split(*backends, ",") {
@@ -100,6 +109,7 @@ func main() {
 		Hedge:          *hedge,
 		HedgeMin:       *hedgeMin,
 		HedgeMax:       *hedgeMax,
+		StoreAware:     *storeAware,
 		DisableRPC:     *noRPC,
 		ID:             *id,
 	}
@@ -145,6 +155,10 @@ func parseBackend(v string) (url string, weight float64, err error) {
 // ctx is cancelled, then shuts down gracefully. Split from main so the
 // cluster smoke test and benchmark can drive the real router on an
 // ephemeral port.
+// rpcFrameTimeout is the per-frame write deadline run hands the rpc server
+// (main overrides it from -rpc-write-timeout).
+var rpcFrameTimeout = 10 * time.Second
+
 func run(ctx context.Context, ln, rpcLn net.Listener, cfg route.Config, logger *log.Logger) error {
 	router, err := route.New(cfg)
 	if err != nil {
@@ -153,7 +167,7 @@ func run(ctx context.Context, ln, rpcLn net.Listener, cfg route.Config, logger *
 	defer router.Close()
 	var rpcSrv *rpc.Server
 	if rpcLn != nil {
-		rpcSrv = rpc.NewServer(router, rpc.ServerConfig{Logf: logger.Printf})
+		rpcSrv = rpc.NewServer(router, rpc.ServerConfig{Logf: logger.Printf, WriteTimeout: rpcFrameTimeout})
 		router.AdvertiseRPC(rpc.AdvertiseAddr(rpcLn.Addr()))
 		go func() {
 			if err := rpcSrv.Serve(rpcLn); err != nil && !errors.Is(err, net.ErrClosed) {

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/load"
+)
+
+// Bench10Report is the BENCH_10.json schema: the generational-compaction and
+// store-aware-routing report. Part A (Compaction) measures the on-disk shrink
+// of a duplicate-heavy knowledge store and confirms the compacted generation
+// warm-loads with identical verdicts and zero from-scratch work. Part B
+// (Routing) reweights a warmed fleet's hash ring — moving keys off the nodes
+// that solved them — and compares store-aware placement against plain ring
+// affinity on the from-scratch work the fleet must redo. Produced by
+// TestCompactBench in cmd/vs3router (`make bench-compact`); rendered by
+// `benchtab -table 10` from the committed file.
+type Bench10Report struct {
+	Report     string          `json:"report"`
+	Purpose    string          `json:"purpose"`
+	Host       string          `json:"host"`
+	GoMaxP     int             `json:"gomaxprocs"`
+	Compaction Bench10Compact  `json:"compaction"`
+	Routing    Bench10Routing  `json:"routing"`
+	Findings   Bench10Findings `json:"findings"`
+	Notes      []string        `json:"notes"`
+}
+
+// Bench10Compact is Part A: one duplicate-heavy store before and after
+// Compact, plus the warm restart over the compacted generation.
+type Bench10Compact struct {
+	// Outcomes is the number of distinct solved problems in the store;
+	// Copies is how many times each live record was duplicated on disk
+	// before compaction (simulated rewrite churn).
+	Outcomes int `json:"outcomes"`
+	Copies   int `json:"copies"`
+
+	LogBytesBefore int64   `json:"log_bytes_before"`
+	LogBytesAfter  int64   `json:"log_bytes_after"`
+	ReclaimedBytes int64   `json:"reclaimed_bytes"`
+	ShrinkX        float64 `json:"shrink_x"`
+
+	// WarmWork is the from-scratch work (smt queries + fm eliminations) a
+	// restart over the compacted store spends re-answering the suite; the
+	// gate requires 0.
+	WarmWork          int64 `json:"warm_work"`
+	WarmStoreHits     int64 `json:"warm_store_hits"`
+	VerdictsIdentical bool  `json:"verdicts_identical"`
+}
+
+// Bench10Routing is Part B: the same request corpus replayed against a
+// warmed two-backend fleet after a ring reweight, once with store-aware
+// placement and once with plain affinity. Arms are keyed "store_aware" and
+// "affinity_only".
+type Bench10Routing struct {
+	Arms map[string]load.Result `json:"arms"`
+	// StoreHits is the router's route_store_hits delta over the
+	// store-aware arm: placements a digest claim moved off the ring owner.
+	StoreHits int64 `json:"route_store_hits"`
+}
+
+// Bench10Findings are the gated claims.
+type Bench10Findings struct {
+	// CompactionShrinkX is LogBytesBefore/LogBytesAfter; the gate requires
+	// >= 3 on the duplicate-heavy store.
+	CompactionShrinkX float64 `json:"compaction_shrink_x"`
+	CompactWarmWork   int64   `json:"compact_warm_work"`
+
+	StoreAwareWork int64 `json:"store_aware_work"`
+	AffinityWork   int64 `json:"affinity_only_work"`
+	// WorkSavedX is AffinityWork/StoreAwareWork (how much from-scratch
+	// re-derivation store-aware placement avoids after the reweight).
+	WorkSavedX float64 `json:"affinity_over_store_aware_work"`
+	StoreHits  int64   `json:"route_store_hits"`
+
+	VerdictsIdentical bool `json:"verdicts_identical_across_arms"`
+}
+
+// ReadBench10 loads a committed BENCH_10.json.
+func ReadBench10(path string) (Bench10Report, error) {
+	var rep Bench10Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Report != "BENCH_10" {
+		return rep, fmt.Errorf("%s: report %q, want BENCH_10", path, rep.Report)
+	}
+	return rep, nil
+}
+
+// WriteBench10Table renders the compaction and store-aware routing report.
+func WriteBench10Table(w io.Writer, rep Bench10Report) {
+	c := rep.Compaction
+	fmt.Fprintf(w, "Table 10: log compaction and store-aware routing (%s, GOMAXPROCS=%d)\n\n", rep.Host, rep.GoMaxP)
+	fmt.Fprintf(w, "compaction: %d outcomes x%d duplicated, log %d -> %d bytes (%.1fx smaller, %d reclaimed)\n",
+		c.Outcomes, c.Copies, c.LogBytesBefore, c.LogBytesAfter, c.ShrinkX, c.ReclaimedBytes)
+	fmt.Fprintf(w, "            warm restart on compacted store: %d from-scratch work, %d store hits, verdicts identical: %v\n\n",
+		c.WarmWork, c.WarmStoreHits, c.VerdictsIdentical)
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %8s %8s %6s %6s\n",
+		"arm", "p50 ms", "p95 ms", "req/s", "queries", "fm", "work", "bad")
+	for _, name := range []string{"store_aware", "affinity_only"} {
+		arm, ok := rep.Routing.Arms[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-16s %8.2f %8.2f %10.1f %8d %8d %6d %6d\n",
+			name, arm.P50MS, arm.P95MS, arm.ThroughputRPS,
+			arm.SMTQueries, arm.FMScratch+arm.FMIncremental, arm.Work(),
+			arm.Incorrect+arm.Errors)
+	}
+	f := rep.Findings
+	saved := fmt.Sprintf("%.1fx less", f.WorkSavedX)
+	if f.StoreAwareWork == 0 && f.AffinityWork > 0 {
+		saved = "all re-derivation avoided"
+	}
+	fmt.Fprintf(w, "\nrouting after reweight: store-aware %d vs affinity-only %d from-scratch work (%s), %d digest-preferred placements\n",
+		f.StoreAwareWork, f.AffinityWork, saved, f.StoreHits)
+	fmt.Fprintf(w, "verdicts identical across arms: %v\n", f.VerdictsIdentical)
+}

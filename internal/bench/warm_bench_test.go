@@ -83,6 +83,98 @@ func TestWarmBench(t *testing.T) {
 	t.Logf("wrote %s", out)
 }
 
+// TestWarmVsCompactedExamples is the compaction arm of the verdict-identity
+// sweep behind `make test-differential`: every examples/ problem is solved
+// cold on a fresh store, the log is compacted to a new generation, and a
+// lifetime over the compacted store must agree exactly with the cold one —
+// same verdicts, same inferred precondition sets — while answering from the
+// store (compaction must lose no live knowledge).
+func TestWarmVsCompactedExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples warm/compacted sweep skipped in -short mode (run via make test-differential)")
+	}
+	for _, cell := range exampleCells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			dir := t.TempDir()
+			lifetime := func() (verdicts []bool, pres []string, loaded int64) {
+				cfg := core.Config{}
+				st, err := store.Open(dir, store.Options{Params: cfg.SMT.StoreParams(), Logf: t.Logf})
+				if err != nil {
+					t.Fatalf("store.Open: %v", err)
+				}
+				ss := st.Stats()
+				loaded = ss.LoadedLemmas + ss.LoadedCores + ss.LoadedVerdicts + ss.LoadedConsistency + ss.LoadedOutcomes
+				defer func() {
+					if err := st.Close(); err != nil {
+						t.Fatalf("store.Close: %v", err)
+					}
+				}()
+				cfg.Knowledge = st
+				v := core.New(cfg)
+				if cell.methods == nil {
+					ps, _, err := v.InferPreconditions(cell.build())
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, p := range ps {
+						pres = append(pres, p.Pre.String())
+					}
+					return nil, pres, loaded
+				}
+				for _, m := range cell.methods {
+					o, err := v.Verify(cell.build(), m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					verdicts = append(verdicts, o.Proved)
+				}
+				return verdicts, nil, loaded
+			}
+
+			coldV, coldP, _ := lifetime()
+
+			st, err := store.Open(dir, store.Options{Params: core.Config{}.SMT.StoreParams(), Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("reopen for compaction: %v", err)
+			}
+			reclaimed, err := st.Compact()
+			if cerr := st.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+			t.Logf("compacted: reclaimed %d bytes", reclaimed)
+
+			warmV, warmP, warmLoaded := lifetime()
+			if len(coldV) != len(warmV) {
+				t.Fatalf("verdict count changed: %d vs %d", len(coldV), len(warmV))
+			}
+			for i := range coldV {
+				if coldV[i] != warmV[i] {
+					t.Errorf("method %v: cold proved=%v, compacted-warm proved=%v", cell.methods[i], coldV[i], warmV[i])
+				}
+			}
+			if len(coldP) != len(warmP) {
+				t.Fatalf("precondition count changed: cold %v vs compacted-warm %v", coldP, warmP)
+			}
+			seen := map[string]bool{}
+			for _, p := range coldP {
+				seen[p] = true
+			}
+			for _, p := range warmP {
+				if !seen[p] {
+					t.Errorf("compacted-warm lifetime inferred precondition %q absent from cold set %v", p, coldP)
+				}
+			}
+			if warmLoaded == 0 {
+				t.Error("compacted store loaded zero records; compaction dropped live knowledge")
+			}
+		})
+	}
+}
+
 // TestWarmVsColdExamples is the verdict-identity differential sweep behind
 // `make test-differential`: every examples/ problem is solved cold on a
 // fresh store, then again on a reopened store, and the two lifetimes must

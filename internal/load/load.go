@@ -110,15 +110,24 @@ type Result struct {
 	SMTQueries    int64   `json:"smt_queries"`
 	SMTCacheHits  int64   `json:"smt_cache_hits"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	FMScratch     int64   `json:"fm_scratch"`
+	FMIncremental int64   `json:"fm_incremental"`
 	ServerShed    int64   `json:"server_rejected"`
 }
 
+// Work returns the run's server-side from-scratch solving work: SMT validity
+// queries plus Fourier–Motzkin eliminations. The store-aware routing
+// benchmark (BENCH_10) compares this quantity across arms.
+func (r Result) Work() int64 { return r.SMTQueries + r.FMScratch + r.FMIncremental }
+
 // statsProbe is the slice of a /v1/stats body the generator diffs.
 type statsProbe struct {
-	Requests  int64 `json:"requests"`
-	Rejected  int64 `json:"rejected"`
-	Queries   int64 `json:"smt_queries"`
-	CacheHits int64 `json:"smt_cache_hits"`
+	Requests      int64 `json:"requests"`
+	Rejected      int64 `json:"rejected"`
+	Queries       int64 `json:"smt_queries"`
+	CacheHits     int64 `json:"smt_cache_hits"`
+	FMScratch     int64 `json:"fm_scratch"`
+	FMIncremental int64 `json:"fm_incremental"`
 }
 
 func fetchStats(ctx context.Context, client *http.Client, base string) (statsProbe, error) {
@@ -202,6 +211,8 @@ func Run(ctx context.Context, opts Options) (Result, error) {
 	if err == nil {
 		res.SMTQueries = after.Queries - before.Queries
 		res.SMTCacheHits = after.CacheHits - before.CacheHits
+		res.FMScratch = after.FMScratch - before.FMScratch
+		res.FMIncremental = after.FMIncremental - before.FMIncremental
 		res.ServerShed = after.Rejected - before.Rejected
 		if total := res.SMTQueries + res.SMTCacheHits; total > 0 {
 			res.CacheHitRatio = float64(res.SMTCacheHits) / float64(total)
@@ -374,4 +385,5 @@ func (r Result) WriteReport(w io.Writer) {
 	fmt.Fprintf(w, "throughput    %.1f req/s (shed rate %.1f%%)\n", r.ThroughputRPS, 100*r.ShedRate)
 	fmt.Fprintf(w, "latency ms    p50=%.1f p95=%.1f p99=%.1f mean=%.1f\n", r.P50MS, r.P95MS, r.P99MS, r.MeanMS)
 	fmt.Fprintf(w, "smt           queries=%d cache_hits=%d hit_ratio=%.3f\n", r.SMTQueries, r.SMTCacheHits, r.CacheHitRatio)
+	fmt.Fprintf(w, "fm            scratch=%d incremental=%d (from-scratch work %d)\n", r.FMScratch, r.FMIncremental, r.Work())
 }

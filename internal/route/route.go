@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/rpc"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // Policy selects how single requests and batch items map to backends.
@@ -76,6 +78,16 @@ type Config struct {
 	// 1s). Before ~20 latency samples exist the delay is 25ms.
 	HedgeMin time.Duration
 	HedgeMax time.Duration
+	// StoreAware enables store-aware placement under the Affinity policy:
+	// the health sweep keeps a bloom digest of each backend's solved problem
+	// keys (refetched only when the X-VS3-Store-Gen healthz header moves),
+	// and a request whose key a live backend's digest claims is routed there
+	// ahead of plain ring order. After a ring change (reweight, node
+	// added/removed) this sends a known problem back to the node that already
+	// holds its knowledge instead of re-deriving it from scratch on the new
+	// ring owner. Digest false positives only cost a misplaced preference —
+	// the verdict is identical wherever the request lands.
+	StoreAware bool
 }
 
 func (c Config) normalize() Config {
@@ -129,6 +141,18 @@ type backend struct {
 	rpcMu  sync.Mutex
 	rpcc   *rpc.Client
 	notRPC atomic.Bool // handshake refused: never retry binary on this backend
+
+	// Solved-outcome digest state (StoreAware). digest is the last parsed
+	// bloom digest (nil claims nothing); digestGen is the generation it
+	// reflects, compared against the X-VS3-Store-Gen healthz header so the
+	// sweep refetches only on change.
+	digest    atomic.Pointer[store.BloomDigest]
+	digestGen atomic.Uint64
+}
+
+// claims reports whether the backend's last known digest claims key.
+func (b *backend) claims(key string) bool {
+	return b.digest.Load().Contains(key)
 }
 
 func (b *backend) id() string {
@@ -196,6 +220,8 @@ type Router struct {
 	hedgeFired    atomic.Int64 // hedge requests fired at a ring successor
 	hedgeWon      atomic.Int64 // races the hedge answered first
 	hedgeCanceled atomic.Int64 // losers cancelled after the other side won
+
+	storeHits atomic.Int64 // placements moved off the ring owner by a digest claim
 
 	latMu   sync.Mutex // rolling backend-latency window feeding the hedge delay
 	lats    [512]time.Duration
@@ -314,9 +340,89 @@ func (r *Router) sweep() {
 					}
 				}
 			}
+			if r.cfg.StoreAware {
+				if gh := resp.Header.Get("X-VS3-Store-Gen"); gh != "" {
+					if gen, perr := strconv.ParseUint(gh, 10, 64); perr == nil {
+						r.refreshDigest(b, gen)
+					}
+				}
+			}
 		}(b)
 	}
 	wg.Wait()
+}
+
+// refreshDigest refetches b's solved-outcome digest when the generation the
+// backend advertises (on /healthz) has moved past the one the router holds.
+// The binary rpc surface answers without leasing a session; HTTP backends
+// fall back to the store_digest field of /v1/stats.
+func (r *Router) refreshDigest(b *backend, gen uint64) {
+	if gen == 0 || b.digestGen.Load() >= gen {
+		return
+	}
+	encoded, got, ok := r.fetchDigest(b)
+	if !ok {
+		return
+	}
+	d, err := store.ParseBloomDigest(encoded)
+	if err != nil {
+		// A malformed digest claims nothing; plain ring affinity still works.
+		b.digest.Store(nil)
+		b.digestGen.Store(got)
+		return
+	}
+	b.digest.Store(d)
+	if got < gen {
+		got = gen
+	}
+	b.digestGen.Store(got)
+}
+
+// fetchDigest retrieves a backend's encoded digest and its generation.
+func (r *Router) fetchDigest(b *backend) (encoded string, gen uint64, ok bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthTimeout)
+	defer cancel()
+	var body []byte
+	if c := b.rpcClient(); c != nil {
+		resp, err := c.Call(ctx, rpc.Request{Kind: rpc.KindDigest})
+		if err == nil && resp.Status == http.StatusOK {
+			body = resp.Body
+		}
+	}
+	if body == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/stats", nil)
+		if err != nil {
+			return "", 0, false
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return "", 0, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return "", 0, false
+		}
+		body, err = io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+		if err != nil {
+			return "", 0, false
+		}
+	}
+	// Both shapes carry the same information under different field names
+	// (serve.DigestResponse vs the /v1/stats store_digest fields).
+	var peek struct {
+		Digest      string `json:"digest"`
+		Gen         uint64 `json:"gen"`
+		StoreDigest string `json:"store_digest"`
+		StoreGen    uint64 `json:"store_digest_gen"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		return "", 0, false
+	}
+	if peek.StoreGen > 0 || peek.StoreDigest != "" {
+		return peek.StoreDigest, peek.StoreGen, true
+	}
+	return peek.Digest, peek.Gen, true
 }
 
 // joinRPCAddr resolves an advertised X-VS3-RPC value against the backend's
@@ -338,6 +444,12 @@ func joinRPCAddr(backendURL, adv string) string {
 // died lands deterministically on the owner's ring successor, and moves
 // back when the owner recovers). Random: a random permutation of live
 // nodes, dead ones appended as a last resort.
+//
+// Under StoreAware + Affinity, live backends whose solved-outcome digest
+// claims the key are moved (stably) ahead of the rest: after a ring change
+// the node that already holds a problem's knowledge beats the new ring owner,
+// which would re-derive everything from scratch. When the ring owner itself
+// claims the key the order is unchanged and no store hit is counted.
 func (r *Router) candidates(key string) []int {
 	seq := r.ring.sequence(key)
 	if r.cfg.Policy == Random {
@@ -352,6 +464,23 @@ func (r *Router) candidates(key string) []int {
 			live = append(live, i)
 		} else {
 			dead = append(dead, i)
+		}
+	}
+	if r.cfg.StoreAware && r.cfg.Policy == Affinity && len(live) > 1 {
+		claiming := make([]int, 0, len(live))
+		rest := make([]int, 0, len(live))
+		for _, i := range live {
+			if r.backends[i].claims(key) {
+				claiming = append(claiming, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		if len(claiming) > 0 {
+			if claiming[0] != live[0] {
+				r.storeHits.Add(1)
+			}
+			live = append(claiming, rest...)
 		}
 	}
 	return append(live, dead...)

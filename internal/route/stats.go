@@ -29,6 +29,9 @@ type BackendStats struct {
 	Proto string `json:"proto"`
 	// RPCConns is the router's open binary connections to this backend.
 	RPCConns int64 `json:"rpc_conns,omitempty"`
+	// StoreDigestGen is the solved-outcome digest generation the router last
+	// fetched from this backend (0 = none held; StoreAware only).
+	StoreDigestGen uint64 `json:"store_digest_gen,omitempty"`
 }
 
 // statsResponse is the body of the router's GET /v1/stats. The summed
@@ -47,6 +50,8 @@ type statsResponse struct {
 	HedgeFired    int64          `json:"hedge_fired"`
 	HedgeWon      int64          `json:"hedge_won"`
 	HedgeCanceled int64          `json:"hedge_canceled"`
+	StoreAware    bool           `json:"store_aware"`
+	StoreHits     int64          `json:"route_store_hits"`
 	RPCConns      int64          `json:"rpc_conns"`
 	Backends      []BackendStats `json:"backends"`
 
@@ -59,6 +64,8 @@ type statsResponse struct {
 	Queries          int64 `json:"smt_queries"`
 	CacheHits        int64 `json:"smt_cache_hits"`
 	AssumptionProbes int64 `json:"assumption_probes"`
+	FMScratch        int64 `json:"fm_scratch"`
+	FMIncremental    int64 `json:"fm_incremental"`
 	SharedLemmas     int64 `json:"shared_lemmas"`
 	CorePruned       int64 `json:"core_pruned"`
 	CoreEvicted      int64 `json:"core_evicted"`
@@ -74,6 +81,8 @@ type backendTotals struct {
 	Queries          int64 `json:"smt_queries"`
 	CacheHits        int64 `json:"smt_cache_hits"`
 	AssumptionProbes int64 `json:"assumption_probes"`
+	FMScratch        int64 `json:"fm_scratch"`
+	FMIncremental    int64 `json:"fm_incremental"`
 	SharedLemmas     int64 `json:"shared_lemmas"`
 	CorePruned       int64 `json:"core_pruned"`
 	CoreEvicted      int64 `json:"core_evicted"`
@@ -95,6 +104,8 @@ func (r *Router) statsSnapshot(ctx context.Context) statsResponse {
 		HedgeFired:    r.hedgeFired.Load(),
 		HedgeWon:      r.hedgeWon.Load(),
 		HedgeCanceled: r.hedgeCanceled.Load(),
+		StoreAware:    r.cfg.StoreAware,
+		StoreHits:     r.storeHits.Load(),
 	}
 	totals := make([]backendTotals, len(r.backends))
 	var wg sync.WaitGroup
@@ -113,6 +124,7 @@ func (r *Router) statsSnapshot(ctx context.Context) statsResponse {
 			bs.RPCConns = c.OpenConns()
 			resp.RPCConns += bs.RPCConns
 		}
+		bs.StoreDigestGen = b.digestGen.Load()
 		resp.Backends = append(resp.Backends, bs)
 		if !b.healthy.Load() {
 			continue
@@ -150,6 +162,8 @@ func (r *Router) statsSnapshot(ctx context.Context) statsResponse {
 		resp.Queries += t.Queries
 		resp.CacheHits += t.CacheHits
 		resp.AssumptionProbes += t.AssumptionProbes
+		resp.FMScratch += t.FMScratch
+		resp.FMIncremental += t.FMIncremental
 		resp.SharedLemmas += t.SharedLemmas
 		resp.CorePruned += t.CorePruned
 		resp.CoreEvicted += t.CoreEvicted
@@ -187,6 +201,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	pw.Counter("vs3router_hedge_fired_total", "Hedge requests fired at ring successors.", float64(r.hedgeFired.Load()), id...)
 	pw.Counter("vs3router_hedge_won_total", "Hedged races the successor answered first.", float64(r.hedgeWon.Load()), id...)
 	pw.Counter("vs3router_hedge_canceled_total", "Losing sides cancelled after the other side won.", float64(r.hedgeCanceled.Load()), id...)
+	pw.Counter("vs3router_store_hits_total", "Placements moved off the ring owner by a solved-outcome digest claim.", float64(r.storeHits.Load()), id...)
 	var rpcConns int64
 	for _, b := range r.backends {
 		labels := []string{"backend", b.url}

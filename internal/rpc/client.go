@@ -22,6 +22,13 @@ type ClientConfig struct {
 	StreamsPerConn int
 	// DialTimeout bounds one dial + handshake (default 3s).
 	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s, negative disables).
+	// Frame writers on a connection serialize behind one mutex, so without a
+	// deadline a server that stops reading wedges every stream multiplexed on
+	// that connection — including CANCEL frames for unrelated calls — behind
+	// one blocked write. On expiry the connection is failed; callers see a
+	// transport error and their normal failover/redial path takes over.
+	WriteTimeout time.Duration
 }
 
 func (c ClientConfig) normalize() ClientConfig {
@@ -33,6 +40,12 @@ func (c ClientConfig) normalize() ClientConfig {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 3 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0
 	}
 	return c
 }
@@ -192,14 +205,15 @@ func (c *Client) dial(ctx context.Context) (*clientConn, error) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
-	cc := &clientConn{conn: conn, streams: map[uint64]chan Response{}, deadc: make(chan struct{})}
+	cc := &clientConn{conn: conn, writeTimeout: c.cfg.WriteTimeout, streams: map[uint64]chan Response{}, deadc: make(chan struct{})}
 	go cc.readLoop()
 	return cc, nil
 }
 
 // clientConn is one pooled connection.
 type clientConn struct {
-	conn net.Conn
+	conn         net.Conn
+	writeTimeout time.Duration
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -261,9 +275,7 @@ func (cc *clientConn) readLoop() {
 				ch <- resp // buffered; a cancelled caller simply never reads it
 			}
 		case framePing:
-			cc.wmu.Lock()
-			_ = writeFrame(cc.conn, framePong, f.stream, f.payload)
-			cc.wmu.Unlock()
+			_ = cc.write(framePong, f.stream, f.payload)
 		case frameGoAway:
 			cc.mu.Lock()
 			cc.goaway = true // existing streams finish; grab() stops picking us
@@ -277,10 +289,21 @@ func (cc *clientConn) readLoop() {
 	}
 }
 
+// write sends one frame under the write mutex, bounded by WriteTimeout. A
+// failed or expired write fails the whole connection: the frame stream is
+// unrecoverable mid-frame, and failing fast unblocks every waiter instead of
+// letting a stalled peer wedge wmu (and with it CANCELs for other streams).
 func (cc *clientConn) write(typ byte, stream uint64, payload []byte) error {
 	cc.wmu.Lock()
 	defer cc.wmu.Unlock()
-	return writeFrame(cc.conn, typ, stream, payload)
+	if cc.writeTimeout > 0 {
+		_ = cc.conn.SetWriteDeadline(time.Now().Add(cc.writeTimeout))
+	}
+	err := writeFrame(cc.conn, typ, stream, payload)
+	if err != nil {
+		cc.fail(fmt.Errorf("rpc: frame write: %w", err))
+	}
+	return err
 }
 
 // roundTrip opens a stream, writes the request, and waits for its response,

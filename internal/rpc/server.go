@@ -33,6 +33,13 @@ type ServerConfig struct {
 	// complete the 5-byte handshake (default 10s), so an idle port scanner
 	// cannot pin a goroutine.
 	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s, negative disables).
+	// Frame writers on a connection serialize behind one mutex, so without a
+	// deadline a single peer that stops reading wedges every stream on that
+	// connection — including CANCEL handling — behind one blocked write. On
+	// expiry the connection is torn down: streams see their contexts
+	// cancelled and the client's failover takes over.
+	WriteTimeout time.Duration
 	// Logf, when non-nil, receives connection-level error lines.
 	Logf func(format string, args ...any)
 }
@@ -43,6 +50,12 @@ func (c ServerConfig) normalize() ServerConfig {
 	}
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -196,10 +209,22 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// write sends one frame under the write mutex, bounded by WriteTimeout. A
+// failed or expired write leaves the frame stream unrecoverable mid-frame, so
+// the connection is closed: the read loop exits, serveConn's cleanup cancels
+// every live stream, and wmu stops being a choke point for a dead peer.
 func (c *serverConn) write(typ byte, stream uint64, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return writeFrame(c.conn, typ, stream, payload)
+	if d := c.srv.cfg.WriteTimeout; d > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	err := writeFrame(c.conn, typ, stream, payload)
+	if err != nil {
+		c.srv.cfg.Logf("rpc: %s: frame write: %v (closing connection)", c.conn.RemoteAddr(), err)
+		c.conn.Close()
+	}
+	return err
 }
 
 func (c *serverConn) goAway() { _ = c.write(frameGoAway, 0, nil) }

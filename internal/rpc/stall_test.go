@@ -1,0 +1,146 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These are the regression tests for the write-stall bug: connections set no
+// write deadline after the handshake, so a peer that stopped reading parked
+// one goroutine in a blocking write while it held the connection's write
+// mutex — wedging every multiplexed stream (responses, CANCELs, PONGs) behind
+// it forever. With per-frame write deadlines the stalled connection is torn
+// down instead and normal failover takes over.
+
+// tuneListener clamps the kernel send buffer on accepted connections so a
+// stalled reader backs a large pending write up within a few KB instead of a
+// few MB of autotuned socket buffer.
+type tuneListener struct{ net.Listener }
+
+func (l tuneListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err == nil {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetWriteBuffer(4 << 10)
+		}
+	}
+	return conn, err
+}
+
+// TestServerWriteStallTearsDownConnection: a client opens a stream, then never
+// reads the (large) response. The server's response write must hit its
+// deadline and tear the connection down — before the fix, the write blocked
+// forever and both gauges stayed pinned.
+func TestServerWriteStallTearsDownConnection(t *testing.T) {
+	// The big response only goes to the stall request: the listener clamps
+	// every accepted connection's send buffer, and squeezing 8MB through a
+	// few-KB buffer is slow even for a reading peer (delayed ACKs), which
+	// would trip the deadline on the well-behaved recovery connection too.
+	big := bytes.Repeat([]byte("x"), 8<<20)
+	h := handlerFunc(func(ctx context.Context, req Request) Response {
+		if req.Spec == "stall" {
+			return Response{Status: 200, Body: big}
+		}
+		return Response{Status: 200, Body: []byte("ok")}
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2s is generous for a reading peer even on a loaded CI box (a too-tight
+	// deadline tears down well-behaved connections when the scheduler starves
+	// the reader), while the stalled connection can never drain regardless.
+	srv := NewServer(h, ServerConfig{WriteTimeout: 2 * time.Second, Logf: t.Logf})
+	go srv.Serve(tuneListener{ln})
+	defer func() { ln.Close(); srv.Close() }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4 << 10)
+	}
+	if err := handshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := encodeRequest(Request{Kind: KindVerify, Spec: "stall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, frameReq, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately never read: the 8MB response overflows the clamped socket
+	// buffers and parks the server in the frame write until its deadline.
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conns, streams, _, _ := srv.Stats()
+		if conns == 0 && streams == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled connection never torn down: conns=%d streams=%d", conns, streams)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The server must still serve fresh, well-behaved connections.
+	c := NewClient(ln.Addr().String(), ClientConfig{})
+	defer c.Close()
+	resp, err := c.Call(context.Background(), Request{Kind: KindVerify, Spec: "after"})
+	if err != nil {
+		t.Fatalf("call after stalled-peer teardown: %v", err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "ok" {
+		t.Fatalf("call after teardown: status=%d body=%q", resp.Status, resp.Body)
+	}
+}
+
+// TestClientWriteStallFailsCall: the server handshakes and then never reads a
+// frame. The client's (large) request write must hit its deadline and fail
+// the call as a transport error — before the fix, Call blocked forever.
+func TestClientWriteStallFailsCall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				_ = tc.SetReadBuffer(4 << 10)
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_ = handshake(conn)
+				<-stop // handshake done; now stall, reading nothing
+			}(conn)
+		}
+	}()
+
+	c := NewClient(ln.Addr().String(), ClientConfig{WriteTimeout: 300 * time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Call(context.Background(), Request{Kind: KindVerify, Spec: strings.Repeat("x", 8<<20)})
+	if err == nil {
+		t.Fatal("call against a stalled reader returned nil")
+	}
+	// Two attempts at ~300ms each plus dial slack: well under the blocking-
+	// forever failure mode, which only ends at the test binary's timeout.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("stalled call took %v to fail", elapsed)
+	}
+}

@@ -68,6 +68,11 @@ const (
 	// KindPreconditions enumerates maximally-weak preconditions (the
 	// POST /v1/preconditions analog).
 	KindPreconditions = "preconditions"
+	// KindDigest fetches the backend's solved-outcome bloom digest (the
+	// store_digest field of GET /v1/stats). No spec; answered without
+	// leasing a verifier session, so the router's sweep can refresh digests
+	// cheaply over an already-open connection.
+	KindDigest = "digest"
 )
 
 // Request is one call. It mirrors the HTTP request surface: Spec and Method
@@ -206,6 +211,8 @@ func encodeRequest(req Request) ([]byte, error) {
 		kind = 1
 	case KindPreconditions:
 		kind = 2
+	case KindDigest:
+		kind = 3
 	default:
 		return nil, fmt.Errorf("rpc: unknown request kind %q", req.Kind)
 	}
@@ -228,6 +235,8 @@ func decodeRequest(payload []byte) (Request, error) {
 		req.Kind = KindVerify
 	case 2:
 		req.Kind = KindPreconditions
+	case 3:
+		req.Kind = KindDigest
 	default:
 		return Request{}, fmt.Errorf("rpc: unknown request kind byte %d", payload[0])
 	}

@@ -66,6 +66,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pw.Gauge("vs3d_store_queue_depth", "Write-behind records waiting for the next flush.", float64(sr.StoreQueueDepth), id...)
 		pw.Counter("vs3d_store_flushes_total", "Write-behind flushes (ticker, Flush, and Close).", float64(sr.StoreFlushes), id...)
 		pw.Counter("vs3d_store_flush_errors_total", "Write-behind flushes that failed (next load truncates any torn tail).", float64(sr.StoreFlushErrors), id...)
+		pw.Counter("vs3d_store_flush_retries_total", "Failed flush batches requeued for a later attempt.", float64(sr.StoreFlushRetry), id...)
+		pw.Counter("vs3d_store_compactions_total", "Generational log compactions completed.", float64(sr.StoreCompactions), id...)
+		pw.Counter("vs3d_store_compact_errors_total", "Compactions abandoned on error (old generation left in place).", float64(sr.StoreCompactErrors), id...)
+		pw.Counter("vs3d_store_reclaimed_bytes_total", "Log bytes reclaimed by compaction.", float64(sr.StoreReclaimedBytes), id...)
+		pw.Gauge("vs3d_store_log_bytes", "Knowledge log size on disk.", float64(sr.StoreLogBytes), id...)
+		pw.Gauge("vs3d_store_live_bytes", "Bytes of live, deduplicated records in the log.", float64(sr.StoreLiveBytes), id...)
 	}
 
 	var buf bytes.Buffer

@@ -18,6 +18,15 @@ import (
 // stream context flows through the leased session's Stop hook just like an
 // HTTP client disconnect — the run aborts with 499, never a false verdict.
 func (s *Server) ServeRPC(ctx context.Context, req rpc.Request) rpc.Response {
+	if req.Kind == rpc.KindDigest {
+		// No spec and no session lease: answered from the store's cached
+		// digest so the router can poll it on its sweep cadence.
+		var resp DigestResponse
+		if st := s.cfg.Store; st != nil {
+			resp.Digest, resp.Gen = st.OutcomeDigest()
+		}
+		return rpcJSON(http.StatusOK, "", s.cfg.ID, resp)
+	}
 	if req.Spec == "" {
 		return rpcError(http.StatusBadRequest, "", s.cfg.ID, errors.New("missing \"spec\""))
 	}

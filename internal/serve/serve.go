@@ -10,6 +10,7 @@
 //	POST /v1/verify         {"spec": "<vs3 source>", "method": "lfp|gfp|cfp", "timeout_ms": 5000}
 //	POST /v1/preconditions  {"spec": "<vs3 source>", "timeout_ms": 5000}
 //	POST /v1/batch          {"items": [<verify request>, ...]} → NDJSON stream of per-item results
+//	POST /v1/compact        rewrite the knowledge store's live set to a fresh generation
 //	GET  /v1/stats          server-lifetime counters (pool, solver caches, merged collector)
 //	GET  /metrics           the same counters in Prometheus text format
 //	GET  /healthz           liveness probe (503 once draining)
@@ -260,10 +261,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/preconditions", s.handlePreconditions)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/compact", s.handleCompact)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if st := s.cfg.Store; st != nil {
+			// The outcome-digest generation rides on the probe the router
+			// already makes, so its sweep refetches the (larger) digest only
+			// when this header changes.
+			w.Header().Set("X-VS3-Store-Gen", strconv.FormatUint(st.DigestGen(), 10))
+		}
 		if s.draining.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "draining")
@@ -575,6 +583,50 @@ func (s *Server) handlePreconditions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// DigestResponse is the body of an rpc KindDigest answer: the store's
+// solved-outcome bloom digest (see store.OutcomeDigest) and its generation.
+// Both are zero-valued when no store is attached.
+type DigestResponse struct {
+	Digest string `json:"digest"`
+	Gen    uint64 `json:"gen"`
+}
+
+// CompactResponse is the body of POST /v1/compact.
+type CompactResponse struct {
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+	Compactions    int64 `json:"compactions"`
+	LogBytes       int64 `json:"log_bytes"`
+	LiveBytes      int64 `json:"live_bytes"`
+}
+
+// handleCompact triggers one on-demand store compaction. Serving continues
+// concurrently; the response carries the reclaimed byte count and the store's
+// post-compaction size counters.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	st := s.cfg.Store
+	if st == nil {
+		writeError(w, http.StatusConflict, errors.New("no knowledge store attached (-store)"))
+		return
+	}
+	reclaimed, err := st.Compact()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ss := st.Stats()
+	writeJSON(w, http.StatusOK, CompactResponse{
+		ReclaimedBytes: reclaimed,
+		Compactions:    ss.Compactions,
+		LogBytes:       ss.LogBytes,
+		LiveBytes:      ss.LiveBytes,
+	})
+}
+
 // abortStatus maps an aborted run to its HTTP status: 504 for a deadline,
 // 499 (nginx's client-closed-request convention) for a disconnect.
 func abortStatus(ctx context.Context) int {
@@ -657,6 +709,19 @@ type statsResponse struct {
 	StoreQueueDepth  int64 `json:"store_queue_depth,omitempty"`
 	StoreFlushes     int64 `json:"store_flushes,omitempty"`
 	StoreFlushErrors int64 `json:"store_flush_errors,omitempty"`
+	StoreFlushRetry  int64 `json:"store_flush_retries,omitempty"`
+
+	// Compaction counters and the generational log's size accounting
+	// (log_bytes on disk vs live_bytes of deduplicated records), plus the
+	// solved-outcome bloom digest the router's store-aware placement reads
+	// (see store.OutcomeDigest; the gen changes exactly when the digest may).
+	StoreCompactions    int64  `json:"store_compactions,omitempty"`
+	StoreCompactErrors  int64  `json:"store_compact_errors,omitempty"`
+	StoreReclaimedBytes int64  `json:"store_reclaimed_bytes,omitempty"`
+	StoreLogBytes       int64  `json:"store_log_bytes,omitempty"`
+	StoreLiveBytes      int64  `json:"store_live_bytes,omitempty"`
+	StoreDigest         string `json:"store_digest,omitempty"`
+	StoreDigestGen      uint64 `json:"store_digest_gen,omitempty"`
 
 	// Collector is the merge of every finished request's collector delta.
 	Collector stats.Snapshot `json:"collector"`
@@ -725,6 +790,13 @@ func (s *Server) statsSnapshot() statsResponse {
 		resp.StoreQueueDepth = ss.QueueDepth
 		resp.StoreFlushes = ss.Flushes
 		resp.StoreFlushErrors = ss.FlushErrors
+		resp.StoreFlushRetry = ss.FlushRetries
+		resp.StoreCompactions = ss.Compactions
+		resp.StoreCompactErrors = ss.CompactErrors
+		resp.StoreReclaimedBytes = ss.ReclaimedBytes
+		resp.StoreLogBytes = ss.LogBytes
+		resp.StoreLiveBytes = ss.LiveBytes
+		resp.StoreDigest, resp.StoreDigestGen = st.OutcomeDigest()
 		if len(s.sessions) > 0 {
 			// One CoreStore is shared by all sessions; count its promotions once.
 			resp.StoreWarmCores = s.sessions[0].v.Engine().NumWarmCores()

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openManual opens a store whose flusher effectively never runs, so tests
+// drive flush() by hand.
+func openManual(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	opts.Params = "p"
+	opts.FlushInterval = time.Hour
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// TestFlushRequeuesOnWriteError is the regression test for the flush data-
+// loss bug: the write-behind queue was cleared before the file write was
+// checked, so one transient write error (a brief ENOSPC, say) silently lost
+// every queued record. The batch must instead stay queued and land on disk
+// once the error clears.
+func TestFlushRequeuesOnWriteError(t *testing.T) {
+	dir := t.TempDir()
+	s := openManual(t, dir, Options{Logf: t.Logf})
+
+	s.AppendVerdict("survivor-1", true)
+	s.AppendVerdict("survivor-2", false)
+	s.AppendOutcome("prob", "optimal", []byte(`{"proved":true}`))
+
+	fail := true
+	s.qmu.Lock()
+	s.writeHook = func(b []byte) (int, error) {
+		if fail {
+			return 0, fmt.Errorf("injected: no space left on device")
+		}
+		return s.file.Write(b)
+	}
+	s.qmu.Unlock()
+
+	if err := s.flush(false); err == nil {
+		t.Fatal("flush with failing writer returned nil")
+	}
+	st := s.Stats()
+	if st.FlushErrors != 1 || st.FlushRetries != 1 {
+		t.Fatalf("after failed flush: %+v", st)
+	}
+	if st.QueueDepth != 3 {
+		t.Fatalf("queue depth after failed flush = %d, want 3 (batch requeued)", st.QueueDepth)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("failed flush dropped %d records", st.Dropped)
+	}
+
+	// Error clears; the very next flush must deliver the whole batch.
+	fail = false
+	if err := s.flush(true); err != nil {
+		t.Fatalf("flush after error cleared: %v", err)
+	}
+	if st := s.Stats(); st.QueueDepth != 0 {
+		t.Fatalf("queue depth after recovery = %d", st.QueueDepth)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir, "p")
+	defer r.Close()
+	for _, key := range []string{"survivor-1", "survivor-2"} {
+		if _, ok := r.Verdict(key); !ok {
+			t.Errorf("verdict %q lost across the transient write error", key)
+		}
+	}
+	if _, ok := r.Outcome("prob", "optimal"); !ok {
+		t.Error("outcome lost across the transient write error")
+	}
+}
+
+// TestFlushRetryBudget pins the bound: a persistently failing writer may not
+// pin the batch (and the memory behind it) forever — after maxFlushRetries
+// consecutive failures the batch is dropped, counted, and warned about.
+func TestFlushRetryBudget(t *testing.T) {
+	dir := t.TempDir()
+	var logged []string
+	var lmu sync.Mutex
+	s := openManual(t, dir, Options{Logf: func(format string, args ...any) {
+		lmu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		lmu.Unlock()
+	}})
+	defer s.Close()
+
+	s.AppendVerdict("doomed", true)
+	s.qmu.Lock()
+	s.writeHook = func([]byte) (int, error) { return 0, fmt.Errorf("injected: persistent failure") }
+	s.qmu.Unlock()
+
+	for i := 0; i < maxFlushRetries; i++ {
+		if err := s.flush(false); err == nil {
+			t.Fatal("failing flush returned nil")
+		}
+		if st := s.Stats(); st.QueueDepth != 1 || st.Dropped != 0 {
+			t.Fatalf("attempt %d: %+v, want batch still queued", i+1, st)
+		}
+	}
+	// One past the budget: the batch is dropped.
+	if err := s.flush(false); err == nil {
+		t.Fatal("failing flush returned nil")
+	}
+	st := s.Stats()
+	if st.QueueDepth != 0 || st.Dropped != 1 {
+		t.Fatalf("after exhausted retry budget: %+v, want batch dropped", st)
+	}
+	lmu.Lock()
+	defer lmu.Unlock()
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "dropping") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no drop warning logged; got %q", logged)
+	}
+}
+
+// TestFlushPartialWriteRollsBack covers the torn-tail hazard of requeueing:
+// when the write lands partially, the retry must not append the whole batch
+// after a half-written line (replay would truncate at the tear and lose the
+// rest). The file rolls back to the last well-formed prefix first.
+func TestFlushPartialWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	s := openManual(t, dir, Options{Logf: t.Logf})
+
+	s.AppendVerdict("before-partial", true)
+	partial := true
+	s.qmu.Lock()
+	s.writeHook = func(b []byte) (int, error) {
+		if partial {
+			n := len(b) / 2
+			if _, err := s.file.Write(b[:n]); err != nil {
+				return 0, err
+			}
+			return n, fmt.Errorf("injected: partial write")
+		}
+		return s.file.Write(b)
+	}
+	s.qmu.Unlock()
+
+	if err := s.flush(false); err == nil {
+		t.Fatal("partial flush returned nil")
+	}
+	partial = false
+	if err := s.flush(true); err != nil {
+		t.Fatalf("flush after partial: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir, "p")
+	defer r.Close()
+	if _, ok := r.Verdict("before-partial"); !ok {
+		t.Fatal("record lost after partial-write recovery")
+	}
+	if r.Stats().ColdStart {
+		t.Fatal("partial-write recovery corrupted the log")
+	}
+}
+
+// TestDropWarningRateLimit pins the queue-full warning policy: the first
+// drop warns immediately, further drops warn at most once per
+// DropWarnInterval, and the next warning carries the count accumulated in
+// between.
+func TestDropWarningRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	var warns []string
+	var lmu sync.Mutex
+	s := openManual(t, dir, Options{
+		DropWarnInterval: 80 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			msg := fmt.Sprintf(format, args...)
+			if strings.Contains(msg, "queue full") {
+				lmu.Lock()
+				warns = append(warns, msg)
+				lmu.Unlock()
+			}
+		},
+	})
+	defer s.Close()
+
+	// Fill the queue to the brim so further pushes drop.
+	s.qmu.Lock()
+	for len(s.queue) < maxQueuedRecords {
+		s.queue = append(s.queue, []byte("x\n"))
+	}
+	s.qmu.Unlock()
+
+	nwarns := func() int {
+		lmu.Lock()
+		defer lmu.Unlock()
+		return len(warns)
+	}
+
+	s.AppendVerdict("drop-1", true)
+	if n := nwarns(); n != 1 {
+		t.Fatalf("first drop: %d warnings, want 1 (immediate)", n)
+	}
+	s.AppendVerdict("drop-2", true)
+	s.AppendVerdict("drop-3", true)
+	if n := nwarns(); n != 1 {
+		t.Fatalf("drops within the interval: %d warnings, want still 1", n)
+	}
+	time.Sleep(100 * time.Millisecond)
+	s.AppendVerdict("drop-4", true)
+	if n := nwarns(); n != 2 {
+		t.Fatalf("drop after interval: %d warnings, want 2", n)
+	}
+	lmu.Lock()
+	last := warns[len(warns)-1]
+	lmu.Unlock()
+	if !strings.Contains(last, "dropped 3 records") || !strings.Contains(last, "4 total") {
+		t.Errorf("second warning does not carry accumulated counts: %q", last)
+	}
+	if st := s.Stats(); st.Dropped != 4 {
+		t.Errorf("Dropped = %d, want 4", st.Dropped)
+	}
+
+	// Emptying the queue restores appends (sanity that the test setup did
+	// not wedge the store).
+	s.qmu.Lock()
+	s.queue = s.queue[:0]
+	s.qmu.Unlock()
+	s.AppendVerdict("accepted-again", true)
+	if st := s.Stats(); st.Dropped != 4 {
+		t.Errorf("append after drain dropped: %+v", st)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lia"
@@ -47,6 +48,13 @@ const (
 	version = 1
 
 	logName = "knowledge.log"
+
+	// tmpName is the next-generation rewrite target of the compactor. It is
+	// atomically renamed over logName on success and removed on open: a
+	// crash at any point of a compaction leaves either the old generation
+	// (tmp incomplete or complete-but-unrenamed) or the new one (rename
+	// done), both loadable.
+	tmpName = logName + ".tmp"
 
 	// maxLineBytes bounds a single record line; anything longer is treated
 	// as corruption (and callers never produce records near this size).
@@ -64,7 +72,23 @@ const (
 	// maxCores bounds the portable core list.
 	maxCores = 4096
 
+	// maxFlushRetries bounds how many consecutive flushes may fail before
+	// the batch is dropped (and counted): a transient write error (brief
+	// ENOSPC, ...) is retried, a persistent one must not pin the queue
+	// forever.
+	maxFlushRetries = 8
+
 	defaultFlushInterval = 250 * time.Millisecond
+
+	// defaultDropWarnInterval rate-limits the queue-full warning: the first
+	// drop logs immediately, later drops log at most once per interval.
+	defaultDropWarnInterval = 30 * time.Second
+
+	// Auto-compaction defaults: the flusher triggers a compaction once the
+	// log exceeds CompactMinBytes and at least CompactGarbageRatio of it is
+	// not live (duplicate or superseded records from earlier generations).
+	defaultCompactMinBytes     = 1 << 20
+	defaultCompactGarbageRatio = 0.5
 )
 
 // Options configures Open.
@@ -86,6 +110,20 @@ type Options struct {
 	// Logf, when non-nil, receives warnings (corruption fallback, dropped
 	// records). It is never called on the solver hot path.
 	Logf func(format string, args ...any)
+
+	// DropWarnInterval rate-limits the queue-full data-loss warning
+	// (default 30s): the first drop logs immediately, later drops at most
+	// once per interval.
+	DropWarnInterval time.Duration
+
+	// CompactMinBytes and CompactGarbageRatio tune the flusher's
+	// auto-compaction trigger: compact once the log exceeds CompactMinBytes
+	// (default 1 MiB) and at least CompactGarbageRatio (default 0.5) of it
+	// is garbage. DisableAutoCompact turns the trigger off; Compact() stays
+	// available.
+	CompactMinBytes     int64
+	CompactGarbageRatio float64
+	DisableAutoCompact  bool
 }
 
 // Lemma is one grounder-independent theory lemma: the clause
@@ -114,12 +152,19 @@ type Stats struct {
 	LoadedConsistency int64
 	LoadedOutcomes    int64
 
-	Appended    int64 // records accepted into the queue this lifetime
-	Deduped     int64 // appends skipped because an identical record exists
-	Dropped     int64 // appends lost to a full queue
-	QueueDepth  int64 // records currently awaiting flush
-	Flushes     int64
-	FlushErrors int64
+	Appended     int64 // records accepted into the queue this lifetime
+	Deduped      int64 // appends skipped because an identical record exists
+	Dropped      int64 // appends lost to a full queue or a failed flush
+	QueueDepth   int64 // records currently awaiting flush
+	Flushes      int64
+	FlushErrors  int64
+	FlushRetries int64 // failed flushes whose batch was requeued
+
+	Compactions    int64 // completed log compactions this lifetime
+	CompactErrors  int64 // compactions aborted by an error
+	ReclaimedBytes int64 // log bytes reclaimed by compaction
+	LogBytes       int64 // current on-disk log size
+	LiveBytes      int64 // estimated bytes of the live, deduplicated record set
 }
 
 // record is the one-envelope wire form of every log line.
@@ -158,15 +203,39 @@ type Store struct {
 	cons     map[string]bool    // formula key -> consistent?
 	outcomes map[string][]byte  // problemKey \x00 method -> response JSON
 	cores    []Core
-	seen     map[string]struct{} // dedup over loaded + appended records
 
-	qmu   sync.Mutex
-	queue [][]byte // encoded lines awaiting flush
-	file  *os.File
+	// seen dedups lemma/core appends within this lifetime only. It is NOT
+	// rebuilt from the log at Open (that would pin an exact key string per
+	// record ever written — RAM proportional to log history), so a hot
+	// skeleton's lemma vectors re-learned in a later lifetime re-append;
+	// compaction is the cross-lifetime deduplicator. Verdict, consistency,
+	// and outcome appends dedup exactly (and for free) against their loaded
+	// maps.
+	seen map[string]struct{}
+
+	qmu          sync.Mutex
+	queue        [][]byte // encoded lines awaiting flush
+	file         *os.File
+	logBytes     int64                     // on-disk size of the well-formed log prefix
+	flushRetries int                       // consecutive failed flushes of the current batch
+	writeHook    func([]byte) (int, error) // test seam; nil means file.Write
+
+	// cmu serializes compactions (manual Compact vs the flusher trigger).
+	cmu sync.Mutex
+	// compactHook, when non-nil, is called at each compaction stage; a true
+	// return aborts in place, leaving exactly the on-disk state a crash at
+	// that point would (test seam for crash-recovery coverage).
+	compactHook func(stage string) bool
+
+	dropMu        sync.Mutex
+	lastDropWarn  time.Time
+	droppedAtWarn int64
+
+	digest digestCache
 
 	stop    chan struct{}
 	done    chan struct{}
-	closed  bool
+	closed  atomic.Bool
 	closeMu sync.Mutex
 
 	smu sync.Mutex
@@ -179,6 +248,15 @@ type Store struct {
 func (o *Options) normalize() {
 	if o.FlushInterval <= 0 {
 		o.FlushInterval = defaultFlushInterval
+	}
+	if o.DropWarnInterval <= 0 {
+		o.DropWarnInterval = defaultDropWarnInterval
+	}
+	if o.CompactMinBytes <= 0 {
+		o.CompactMinBytes = defaultCompactMinBytes
+	}
+	if o.CompactGarbageRatio <= 0 || o.CompactGarbageRatio > 1 {
+		o.CompactGarbageRatio = defaultCompactGarbageRatio
 	}
 }
 
@@ -198,6 +276,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	// A stale next-generation file is a compaction that never completed its
+	// rename: the current log is intact and authoritative, so the tmp is
+	// discarded (whether torn mid-write or complete-but-unrenamed).
+	tmp := filepath.Join(dir, tmpName)
+	if err := os.Remove(tmp); err == nil {
+		s.logf("store: removed stale compaction file %s (interrupted compaction; current log is authoritative)", tmp)
+	}
+
 	start := time.Now()
 	goodBytes, freshHeader := s.load()
 	s.st.LoadMillis = time.Since(start).Milliseconds()
@@ -219,6 +305,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s.file = f
+	s.logBytes = goodBytes
 	if freshHeader {
 		hdr := record{T: "hdr", Version: version, Params: opts.Params}
 		line, _ := encode(hdr)
@@ -230,7 +317,11 @@ func Open(dir string, opts Options) (*Store, error) {
 			f.Close()
 			return nil, fmt.Errorf("store: %w", err)
 		}
+		s.logBytes += int64(len(line))
+		s.st.LiveBytes += int64(len(line))
 	}
+	s.st.LogBytes = s.logBytes
+	s.digest.bump()
 	go s.flusher()
 	return s, nil
 }
@@ -272,6 +363,13 @@ func (s *Store) load() (goodBytes int64, freshHeader bool) {
 		return 0, true
 	}
 
+	// loadSeen dedups replay only: it is discarded when load returns, so
+	// the resident store never pins a key string per historical record.
+	// Duplicate records on disk (re-learned lemmas from later lifetimes,
+	// pre-compaction generations) collapse here and are counted as garbage
+	// via the LiveBytes/LogBytes gap that drives auto-compaction.
+	loadSeen := map[string]struct{}{}
+
 	var off int64
 	first := true
 	for off < int64(len(data)) {
@@ -306,10 +404,13 @@ func (s *Store) load() (goodBytes int64, freshHeader bool) {
 				return sideline("solver params changed since the store was written")
 			}
 			first = false
+			s.st.LiveBytes += int64(nl) + 1
 			off += int64(nl) + 1
 			continue
 		}
-		s.replay(rec)
+		if s.replay(rec, loadSeen) {
+			s.st.LiveBytes += int64(nl) + 1
+		}
 		off += int64(nl) + 1
 	}
 	if first {
@@ -319,12 +420,14 @@ func (s *Store) load() (goodBytes int64, freshHeader bool) {
 	return off, false
 }
 
-// replay folds one decoded record into the in-memory maps.
-func (s *Store) replay(rec record) {
+// replay folds one decoded record into the in-memory maps, deduping against
+// loadSeen (first record wins). It reports whether the record was accepted —
+// a rejected record is on-disk garbage the compactor can reclaim.
+func (s *Store) replay(rec record, loadSeen map[string]struct{}) bool {
 	switch rec.T {
 	case "lem":
 		if rec.Skel == "" || len(rec.Lins) == 0 || len(rec.Lins) != len(rec.Vals) {
-			return
+			return false
 		}
 		for i := range rec.Lins {
 			if rec.Lins[i].Coef == nil {
@@ -333,61 +436,59 @@ func (s *Store) replay(rec record) {
 		}
 		lem := Lemma{Lins: rec.Lins, Vals: rec.Vals}
 		k := lemmaKey(rec.Skel, lem)
-		if _, dup := s.seen[k]; dup || len(s.lemmas[rec.Skel]) >= maxLemmasPerSkel {
-			return
+		if _, dup := loadSeen[k]; dup || len(s.lemmas[rec.Skel]) >= maxLemmasPerSkel {
+			return false
 		}
-		s.seen[k] = struct{}{}
+		loadSeen[k] = struct{}{}
 		s.lemmas[rec.Skel] = append(s.lemmas[rec.Skel], lem)
 		s.st.LoadedLemmas++
 	case "core":
 		if rec.Unknown == "" || len(rec.Preds) == 0 {
-			return
+			return false
 		}
 		c := Core{Unknown: rec.Unknown, Preds: rec.Preds}
 		k := coreKey(c)
-		if _, dup := s.seen[k]; dup || len(s.cores) >= maxCores {
-			return
+		if _, dup := loadSeen[k]; dup || len(s.cores) >= maxCores {
+			return false
 		}
-		s.seen[k] = struct{}{}
+		loadSeen[k] = struct{}{}
 		s.cores = append(s.cores, c)
 		s.st.LoadedCores++
 	case "vrd":
 		if rec.Skel == "" || rec.V == nil {
-			return
+			return false
 		}
-		k := "v|" + rec.Skel
-		if _, dup := s.seen[k]; dup {
-			return
+		if _, dup := s.verdicts[rec.Skel]; dup {
+			return false
 		}
-		s.seen[k] = struct{}{}
 		s.verdicts[rec.Skel] = *rec.V
 		s.st.LoadedVerdicts++
 	case "cons":
 		if rec.Skel == "" || rec.V == nil {
-			return
+			return false
 		}
-		k := "c|" + rec.Skel
-		if _, dup := s.seen[k]; dup {
-			return
+		if _, dup := s.cons[rec.Skel]; dup {
+			return false
 		}
-		s.seen[k] = struct{}{}
 		s.cons[rec.Skel] = *rec.V
 		s.st.LoadedConsistency++
 	case "out":
 		if rec.Skel == "" || rec.Method == "" || len(rec.Resp) == 0 {
-			return
+			return false
 		}
-		k := "o|" + rec.Skel + "\x00" + rec.Method
-		if _, dup := s.seen[k]; dup {
-			return
+		ok := rec.Skel + "\x00" + rec.Method
+		if _, dup := s.outcomes[ok]; dup {
+			return false
 		}
-		s.seen[k] = struct{}{}
-		s.outcomes[rec.Skel+"\x00"+rec.Method] = append([]byte(nil), rec.Resp...)
+		s.outcomes[ok] = append([]byte(nil), rec.Resp...)
 		s.st.LoadedOutcomes++
 	default:
 		// Unknown record type from a future minor revision: skip, do not
-		// treat as corruption.
+		// treat as corruption (and do not count it live — a compaction
+		// under this binary would not preserve it).
+		return false
 	}
+	return true
 }
 
 // --- encoding ---
@@ -532,14 +633,12 @@ func (s *Store) AppendVerdict(key string, valid bool) {
 	if s == nil || key == "" {
 		return
 	}
-	k := "v|" + key
 	s.mu.Lock()
-	if _, dup := s.seen[k]; dup {
+	if _, dup := s.verdicts[key]; dup {
 		s.mu.Unlock()
 		s.noteDedup()
 		return
 	}
-	s.seen[k] = struct{}{}
 	s.verdicts[key] = valid
 	s.mu.Unlock()
 	v := valid
@@ -552,14 +651,12 @@ func (s *Store) AppendConsistency(key string, sat bool) {
 	if s == nil || key == "" {
 		return
 	}
-	k := "c|" + key
 	s.mu.Lock()
-	if _, dup := s.seen[k]; dup {
+	if _, dup := s.cons[key]; dup {
 		s.mu.Unlock()
 		s.noteDedup()
 		return
 	}
-	s.seen[k] = struct{}{}
 	s.cons[key] = sat
 	s.mu.Unlock()
 	v := sat
@@ -573,17 +670,17 @@ func (s *Store) AppendOutcome(problemKey, method string, resp []byte) {
 	if s == nil || problemKey == "" || method == "" || len(resp) == 0 {
 		return
 	}
-	k := "o|" + problemKey + "\x00" + method
+	k := problemKey + "\x00" + method
 	cp := append([]byte(nil), resp...)
 	s.mu.Lock()
-	if _, dup := s.seen[k]; dup {
+	if _, dup := s.outcomes[k]; dup {
 		s.mu.Unlock()
 		s.noteDedup()
 		return
 	}
-	s.seen[k] = struct{}{}
-	s.outcomes[problemKey+"\x00"+method] = cp
+	s.outcomes[k] = cp
 	s.mu.Unlock()
+	s.digest.bump()
 	s.push(record{T: "out", Skel: problemKey, Method: method, Resp: cp})
 }
 
@@ -625,17 +722,39 @@ func (s *Store) push(rec record) {
 		s.qmu.Unlock()
 		s.smu.Lock()
 		s.st.Dropped++
+		total := s.st.Dropped
 		s.smu.Unlock()
+		s.warnDrop(total)
 		return
 	}
 	s.queue = append(s.queue, line)
 	s.qmu.Unlock()
 	s.smu.Lock()
 	s.st.Appended++
+	s.st.LiveBytes += int64(len(line))
 	s.smu.Unlock()
 }
 
-// flusher drains the queue every FlushInterval until Close.
+// warnDrop surfaces queue-full data loss at the log level, rate-limited: the
+// first drop logs immediately, later drops at most once per DropWarnInterval
+// (the intermediate count is carried into the next warning, so no loss goes
+// unreported).
+func (s *Store) warnDrop(total int64) {
+	s.dropMu.Lock()
+	now := time.Now()
+	if !s.lastDropWarn.IsZero() && now.Sub(s.lastDropWarn) < s.opts.DropWarnInterval {
+		s.dropMu.Unlock()
+		return
+	}
+	since := total - s.droppedAtWarn
+	s.lastDropWarn = now
+	s.droppedAtWarn = total
+	s.dropMu.Unlock()
+	s.logf("store: write-behind queue full; dropped %d records since last warning (%d total this lifetime)", since, total)
+}
+
+// flusher drains the queue every FlushInterval until Close, and triggers a
+// compaction when the log crosses the size/garbage-ratio threshold.
 func (s *Store) flusher() {
 	defer close(s.done)
 	t := time.NewTicker(s.opts.FlushInterval)
@@ -644,13 +763,17 @@ func (s *Store) flusher() {
 		select {
 		case <-t.C:
 			s.flush(s.opts.Fsync)
+			s.maybeCompact()
 		case <-s.stop:
 			return
 		}
 	}
 }
 
-// flush writes every queued line; sync forces an fsync afterwards.
+// flush writes every queued line; sync forces an fsync afterwards. The queue
+// is cleared only after the write succeeds: on error the batch stays queued
+// for the next attempt (a transient ENOSPC must not lose records), bounded
+// by maxFlushRetries, after which the batch is dropped and counted.
 func (s *Store) flush(sync bool) error {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
@@ -660,15 +783,60 @@ func (s *Store) flush(sync bool) error {
 		for _, line := range s.queue {
 			buf = append(buf, line...)
 		}
-		s.queue = s.queue[:0]
-		if _, err := s.file.Write(buf); err != nil {
-			firstErr = err
-		}
+		n, err := s.write(buf)
 		s.smu.Lock()
 		s.st.Flushes++
-		if firstErr != nil {
+		if err != nil {
 			s.st.FlushErrors++
 		}
+		s.smu.Unlock()
+		if err != nil {
+			firstErr = err
+			// A partial write leaves a torn line at the tail; retrying the
+			// whole batch after it would wedge replay at the tear (CRC
+			// mismatch truncates there). Roll the file back to the last
+			// well-formed prefix so the retry extends a clean log.
+			requeue := true
+			if n > 0 {
+				if terr := s.file.Truncate(s.logBytes); terr != nil {
+					// Cannot remove the torn tail: dropping the batch keeps
+					// the tear as the final bytes, which the next open
+					// truncates away — degraded, never corrupting.
+					requeue = false
+					s.logf("store: flush: rollback of torn tail failed (%v); dropping %d queued records", terr, len(s.queue))
+				} else if _, serr := s.file.Seek(s.logBytes, 0); serr != nil {
+					requeue = false
+					s.logf("store: flush: reposition after rollback failed (%v); dropping %d queued records", serr, len(s.queue))
+				}
+			}
+			if requeue {
+				s.flushRetries++
+				s.smu.Lock()
+				s.st.FlushRetries++
+				s.smu.Unlock()
+				if s.flushRetries <= maxFlushRetries {
+					s.logf("store: flush: %v; %d records requeued (attempt %d/%d)",
+						err, len(s.queue), s.flushRetries, maxFlushRetries)
+					return firstErr
+				}
+				s.logf("store: flush failed %d consecutive times (%v); dropping %d queued records",
+					s.flushRetries, err, len(s.queue))
+			}
+			dropped := int64(len(s.queue))
+			s.queue = s.queue[:0]
+			s.flushRetries = 0
+			s.smu.Lock()
+			s.st.Dropped += dropped
+			total := s.st.Dropped
+			s.smu.Unlock()
+			s.warnDrop(total)
+			return firstErr
+		}
+		s.queue = s.queue[:0]
+		s.flushRetries = 0
+		s.logBytes += int64(n)
+		s.smu.Lock()
+		s.st.LogBytes = s.logBytes
 		s.smu.Unlock()
 	}
 	if sync && firstErr == nil {
@@ -685,6 +853,15 @@ func (s *Store) flush(sync bool) error {
 	return firstErr
 }
 
+// write is the flusher's file append, routed through the test seam when one
+// is installed. Called with qmu held.
+func (s *Store) write(buf []byte) (int, error) {
+	if s.writeHook != nil {
+		return s.writeHook(buf)
+	}
+	return s.file.Write(buf)
+}
+
 // Flush synchronously drains the write-behind queue and fsyncs. Safe to call
 // at any time, including after Close (then a no-op).
 func (s *Store) Flush() error {
@@ -693,7 +870,7 @@ func (s *Store) Flush() error {
 	}
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil
 	}
 	return s.flush(true)
@@ -707,12 +884,16 @@ func (s *Store) Close() error {
 	}
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil
 	}
-	s.closed = true
+	s.closed.Store(true)
 	close(s.stop)
 	<-s.done
+	// Wait out any manual Compact in flight: it re-checks closed before the
+	// generation swap, so from here the file handle is stable.
+	s.cmu.Lock()
+	s.cmu.Unlock() //nolint:staticcheck // empty critical section is the barrier
 	err := s.flush(true)
 	if cerr := s.file.Close(); err == nil {
 		err = cerr
@@ -738,6 +919,7 @@ func (s *Store) Stats() Stats {
 	s.smu.Unlock()
 	s.qmu.Lock()
 	st.QueueDepth = int64(len(s.queue))
+	st.LogBytes = s.logBytes
 	s.qmu.Unlock()
 	return st
 }
